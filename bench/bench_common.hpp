@@ -1,0 +1,120 @@
+#pragma once
+
+// Shared helpers for the figure/table regeneration benches. Every bench
+// prints (a) the experiment's CSV series, (b) the paper's qualitative
+// expectation, and (c) a PASS/CHECK verdict on that expectation — absolute
+// numbers come from the simulator substitute, so only the *shape* is
+// asserted (see DESIGN.md and EXPERIMENTS.md).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "creator/creator.hpp"
+#include "launcher/launcher.hpp"
+#include "launcher/sim_backend.hpp"
+#include "sim/arch.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::bench {
+
+/// Memory-hierarchy working-set sizes per the paper's §5.1 convention:
+/// "L1" = half the first-level cache; each deeper level = twice the size of
+/// the cache above it.
+struct HierarchyLevel {
+  const char* name;
+  std::uint64_t bytes;
+};
+
+inline std::vector<HierarchyLevel> hierarchyLevels(
+    const sim::MachineConfig& m) {
+  return {
+      {"L1", m.l1.sizeBytes / 2},   // half the first cache level
+      {"L2", m.l1.sizeBytes * 2},   // twice the level above -> spills to L2
+      {"L3", m.l2.sizeBytes * 2},   // twice L2 -> spills to L3
+      {"RAM", m.l3.sizeBytes * 2},  // twice L3 -> spills to memory
+  };
+}
+
+/// XML for a (load)+ or (store)+ kernel of `mnemonic` (movaps/movss/...),
+/// fixed unroll range, over `arrays` arrays.
+inline std::string loadStoreKernelXml(const std::string& mnemonic,
+                                      int unrollMin, int unrollMax,
+                                      int arrays = 1, bool stores = false,
+                                      bool swapAfter = false,
+                                      bool alternate = false) {
+  int bytes = mnemonic == "movss" ? 4 : mnemonic == "movsd" ? 8 : 16;
+  std::string instrs;
+  for (int a = 0; a < arrays; ++a) {
+    std::string mem = "<memory><register><name>p" + std::to_string(a) +
+                      "</name></register><offset>0</offset></memory>";
+    std::string reg =
+        "<register><phyName>%xmm</phyName><min>0</min><max>8</max>"
+        "</register>";
+    bool isStore = alternate ? (a % 2 == 1) : stores;
+    instrs += "<instruction><operation>" + mnemonic + "</operation>";
+    instrs += isStore ? reg + mem : mem + reg;
+    if (swapAfter) instrs += "<swap_after_unroll/>";
+    instrs += "</instruction>";
+  }
+  std::string inductions;
+  for (int a = 0; a < arrays; ++a) {
+    inductions += "<induction><register><name>p" + std::to_string(a) +
+                  "</name></register><increment>" + std::to_string(bytes) +
+                  "</increment><offset>" + std::to_string(bytes) +
+                  "</offset></induction>";
+  }
+  return "<description><benchmark_name>" + mnemonic +
+         "</benchmark_name><kernel>" + instrs +
+         "<unrolling><min>" + std::to_string(unrollMin) + "</min><max>" +
+         std::to_string(unrollMax) + "</max></unrolling>" + inductions +
+         "<induction><register><name>r0</name></register>"
+         "<increment>-1</increment>"
+         "<linked><register><name>p0</name></register></linked>"
+         "<element_size>" + std::to_string(bytes) + "</element_size>"
+         "<last_induction/></induction>"
+         "<branch_information><label>L6</label><test>jge</test>"
+         "</branch_information></kernel></description>";
+}
+
+/// Generates the single program of an exact-unroll description.
+inline creator::GeneratedProgram generateOne(const std::string& xml) {
+  creator::MicroCreator mc;
+  auto programs = mc.generateFromText(xml);
+  if (programs.size() != 1) {
+    throw McError("expected exactly one generated program, got " +
+                  std::to_string(programs.size()));
+  }
+  return programs.front();
+}
+
+/// Verdict reporting: every bench states the paper's claim and whether the
+/// regenerated series honors it.
+inline int g_failures = 0;
+
+inline void expectShape(bool condition, const std::string& claim) {
+  std::printf("%s %s\n", condition ? "[PASS]" : "[CHECK]", claim.c_str());
+  if (!condition) ++g_failures;
+}
+
+inline void header(const std::string& title, const std::string& machine,
+                   const std::string& paperExpectation) {
+  std::printf("==== %s ====\n", title.c_str());
+  std::printf("machine: %s\n", machine.c_str());
+  std::printf("paper expectation: %s\n", paperExpectation.c_str());
+}
+
+inline int finish() {
+  if (g_failures) {
+    std::printf("RESULT: %d shape check(s) flagged for review\n", g_failures);
+  } else {
+    std::printf("RESULT: all shape checks PASS\n");
+  }
+  // Benches report CHECK verdicts in their output but exit 0: they are
+  // reports, not tests (absolute thresholds live in ctest).
+  return 0;
+}
+
+}  // namespace microtools::bench

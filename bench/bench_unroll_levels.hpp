@@ -1,0 +1,89 @@
+#pragma once
+
+// Shared implementation of Figures 11 and 12: average cycles per load (and
+// per store) for a (Load|Store)+ kernel, sweeping the unroll factor 1..8
+// and the memory-hierarchy level of the array (§5.1). Figure 11 uses the
+// vectorized movaps, Figure 12 the scalar movss; the paper reports movapd
+// identical to movaps, and movsd slightly above movss.
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "launcher/protocol.hpp"
+#include "support/csv.hpp"
+
+namespace microtools::bench {
+
+struct UnrollLevelResult {
+  // [level name][unroll] -> cycles per memory operation.
+  std::map<std::string, std::map<int, double>> loads;
+  std::map<std::string, std::map<int, double>> stores;
+};
+
+inline UnrollLevelResult runUnrollLevelStudy(const std::string& mnemonic,
+                                             const sim::MachineConfig& machine,
+                                             int maxUnroll = 8) {
+  UnrollLevelResult out;
+  int bytes = mnemonic == "movss" ? 4 : mnemonic == "movsd" ? 8 : 16;
+  for (bool stores : {false, true}) {
+    for (int unroll = 1; unroll <= maxUnroll; ++unroll) {
+      auto program = generateOne(
+          loadStoreKernelXml(mnemonic, unroll, unroll, 1, stores));
+      for (const HierarchyLevel& level : hierarchyLevels(machine)) {
+        launcher::SimBackend backend(machine);
+        auto kernel = backend.load(program.asmText, program.functionName);
+        launcher::KernelRequest request;
+        request.arrays.push_back(
+            launcher::ArraySpec{level.bytes, 4096, 0});
+        bool isRam = std::string(level.name) == "RAM";
+        // RAM: a single cold traversal is the RAM-resident measurement (a
+        // warm pass would promote the prefix into the caches); capping the
+        // trip count keeps the sweep fast without changing the residency.
+        std::uint64_t traverse =
+            isRam ? std::min<std::uint64_t>(level.bytes, 4 * 1024 * 1024)
+                  : level.bytes;
+        request.n = static_cast<int>(traverse /
+                                     static_cast<std::uint64_t>(bytes));
+        launcher::ProtocolOptions protocol;
+        protocol.innerRepetitions = 1;
+        protocol.outerRepetitions = 1;
+        protocol.warmup = !isRam;
+        launcher::Measurement m =
+            launcher::measureKernel(backend, *kernel, request, protocol);
+        double perOp = m.cyclesPerIteration.min / unroll;
+        (stores ? out.stores : out.loads)[level.name][unroll] = perOp;
+      }
+    }
+  }
+  return out;
+}
+
+inline void printUnrollLevelCsv(const UnrollLevelResult& result) {
+  csv::Table table({"kind", "level", "unroll", "cycles_per_op"});
+  for (const auto& [kind, data] :
+       {std::pair{std::string("load"), &result.loads},
+        std::pair{std::string("store"), &result.stores}}) {
+    for (const auto& [level, series] : *data) {
+      for (const auto& [unroll, value] : series) {
+        table.beginRow().add(kind).add(level).add(unroll).add(value).commit();
+      }
+    }
+  }
+  table.write(std::cout);
+}
+
+inline void checkUnrollLevelShape(const UnrollLevelResult& r,
+                                  const std::string& mnemonic) {
+  const auto& l = r.loads;
+  expectShape(l.at("L1").at(8) < l.at("L2").at(8) &&
+                  l.at("L2").at(8) < l.at("RAM").at(8),
+              "per-load cost ordered L1 < L2 < RAM at unroll 8");
+  expectShape(l.at("L3").at(8) < l.at("RAM").at(8),
+              "RAM costs more per load than L3");
+  expectShape(l.at("L1").at(8) < l.at("L1").at(1),
+              "unrolling is advantageous in L1 (" + mnemonic + ")");
+  expectShape(l.at("RAM").at(8) <= l.at("RAM").at(1) * 1.1,
+              "unrolling never hurts in RAM");
+}
+
+}  // namespace microtools::bench

@@ -1,0 +1,82 @@
+// Figure 5: cycles per iteration of the 200x200 matrix multiply for unroll
+// factors 1..8, comparing the actual (compiler-style, Figure-2) kernel with
+// the MicroCreator-generated equivalent. The paper measured a 9% gain at
+// unroll 8 on the real code and predicted 8.2% with the microbenchmark —
+// the two series agreeing closely is the claim being reproduced.
+
+#include "asmparse/asmparse.hpp"
+#include "bench_common.hpp"
+#include "kernels/matmul.hpp"
+#include "support/csv.hpp"
+
+using namespace microtools;
+
+int main() {
+  sim::MachineConfig machine = sim::nehalemX5650DualSocket();
+  bench::header(
+      "Figure 5 - matmul cycles/iteration vs unroll factor (200^2)",
+      machine.name,
+      "unrolling improves the kernel and saturates by ~unroll 8; the "
+      "MicroCreator-generated equivalent tracks the actual code closely "
+      "(paper: 8.2% predicted vs 9% measured gain)");
+
+  // MicroCreator-generated equivalents for every unroll factor.
+  creator::MicroCreator mc;
+  auto generated = mc.generateFromText(
+      kernels::matmulInnerKernelXml(1, 7, 200 * 8));
+  std::map<int, asmparse::Program> generatedPrograms;
+  for (const auto& p : generated) {
+    generatedPrograms.emplace(p.kernel.unrollFactor,
+                              asmparse::parseAssembly(p.asmText));
+  }
+
+  csv::Table table({"unroll", "actual_cycles_per_iter",
+                    "microtools_cycles_per_iter", "relative_difference"});
+  double actualU1 = 0, actualBest = 1e18, mtU1 = 0, mtBest = 1e18;
+  double worstDisagreement = 0;
+  for (int unroll = 1; unroll <= 7; ++unroll) {
+    kernels::MatmulStudyOptions actual;
+    actual.n = 200;
+    actual.unroll = unroll;
+    double actualCycles =
+        kernels::runMatmulStudy(machine, actual).cyclesPerKIteration;
+
+    kernels::MatmulStudyOptions viaCreator;
+    viaCreator.n = 200;
+    viaCreator.unroll = unroll;
+    viaCreator.programOverride = &generatedPrograms.at(unroll);
+    double mtCycles =
+        kernels::runMatmulStudy(machine, viaCreator).cyclesPerKIteration;
+
+    if (unroll == 1) {
+      actualU1 = actualCycles;
+      mtU1 = mtCycles;
+    }
+    actualBest = std::min(actualBest, actualCycles);
+    mtBest = std::min(mtBest, mtCycles);
+    double diff = std::abs(actualCycles - mtCycles) / actualCycles;
+    worstDisagreement = std::max(worstDisagreement, diff);
+    table.beginRow()
+        .add(unroll)
+        .add(actualCycles)
+        .add(mtCycles)
+        .add(diff, 4)
+        .commit();
+  }
+  table.write(std::cout);
+
+  double actualGain = (actualU1 - actualBest) / actualU1 * 100.0;
+  double mtGain = (mtU1 - mtBest) / mtU1 * 100.0;
+  std::printf("actual unroll gain: %.1f%%  microtools prediction: %.1f%%\n",
+              actualGain, mtGain);
+  bench::expectShape(actualBest < actualU1,
+                     "unrolling improves the actual kernel");
+  bench::expectShape(mtBest < mtU1,
+                     "unrolling improves the MicroCreator equivalent");
+  bench::expectShape(std::abs(actualGain - mtGain) < 10.0,
+                     "predicted and measured unroll gains agree within a "
+                     "few percent (paper: 8.2% vs 9%)");
+  bench::expectShape(worstDisagreement < 0.15,
+                     "the two series track each other at every unroll");
+  return bench::finish();
+}

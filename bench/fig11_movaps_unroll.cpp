@@ -1,0 +1,35 @@
+// Figure 11: average cycles per load and store using the vectorized movaps
+// instruction, sweeping the unroll factor 1..8 against the L1/L2/L3/RAM
+// residency of the array (§5.1; one plot line per hierarchy level).
+
+#include "bench_unroll_levels.hpp"
+
+using namespace microtools;
+
+int main() {
+  sim::MachineConfig machine = sim::nehalemX5650DualSocket();
+  bench::header(
+      "Figure 11 - cycles per movaps load/store vs unroll and hierarchy",
+      machine.name,
+      "unrolling amortizes loop overhead at every level; deeper levels "
+      "cost more per access; vectorized RAM accesses show the largest "
+      "latency impact (16 bytes moved per instruction)");
+
+  bench::UnrollLevelResult result =
+      bench::runUnrollLevelStudy("movaps", machine);
+  bench::printUnrollLevelCsv(result);
+  bench::checkUnrollLevelShape(result, "movaps");
+
+  // Paper §5.1: movapd behaves identically to movaps on this architecture.
+  bench::UnrollLevelResult movapd =
+      bench::runUnrollLevelStudy("movapd", machine, 4);
+  bool same = true;
+  for (const auto& [level, series] : movapd.loads) {
+    for (const auto& [unroll, value] : series) {
+      double ref = result.loads.at(level).at(unroll);
+      if (std::abs(value - ref) / ref > 0.02) same = false;
+    }
+  }
+  bench::expectShape(same, "movapd matches movaps (paper: \"the same\")");
+  return bench::finish();
+}

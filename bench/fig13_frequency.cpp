@@ -1,0 +1,69 @@
+// Figure 13: average cycles per movaps load (8 loads unrolled) while the
+// core frequency is varied, measured with the frequency-invariant rdtsc.
+// L1/L2 timings scale with the core clock; L3 and RAM stay constant,
+// "proving on-core frequency modifications do not affect the off-core
+// frequency" (§5.1).
+
+#include "bench_common.hpp"
+#include "launcher/protocol.hpp"
+#include "support/csv.hpp"
+
+using namespace microtools;
+
+int main() {
+  sim::MachineConfig base = sim::nehalemX5650DualSocket();
+  bench::header(
+      "Figure 13 - cycles per movaps load vs core frequency",
+      base.name,
+      "in rdtsc cycles, L1/L2 timings vary with core frequency while L3 and "
+      "RAM remain constant (on-core DVFS does not touch the uncore)");
+
+  auto program = bench::generateOne(
+      bench::loadStoreKernelXml("movaps", 8, 8));
+
+  const std::vector<double> frequencies{1.60, 1.86, 2.13, 2.40, 2.67};
+  // [level][frequency index] -> tsc cycles per load.
+  std::map<std::string, std::vector<double>> series;
+
+  csv::Table table({"core_ghz", "level", "tsc_cycles_per_load"});
+  for (double ghz : frequencies) {
+    sim::MachineConfig machine = base;
+    machine.coreGHz = ghz;
+    for (const bench::HierarchyLevel& level :
+         bench::hierarchyLevels(machine)) {
+      launcher::SimBackend backend(machine);
+      auto kernel = backend.load(program.asmText, program.functionName);
+      launcher::KernelRequest request;
+      request.arrays.push_back(launcher::ArraySpec{level.bytes, 4096, 0});
+      request.n = static_cast<int>(level.bytes / 16);
+      launcher::ProtocolOptions protocol;
+      protocol.innerRepetitions = 1;
+      protocol.outerRepetitions = 2;
+      launcher::Measurement m =
+          launcher::measureKernel(backend, *kernel, request, protocol);
+      double perLoad = m.cyclesPerIteration.min / 8.0;
+      series[level.name].push_back(perLoad);
+      table.beginRow().add(ghz, 2).add(level.name).add(perLoad).commit();
+    }
+  }
+  table.write(std::cout);
+
+  auto spread = [](const std::vector<double>& v) {
+    double lo = *std::min_element(v.begin(), v.end());
+    double hi = *std::max_element(v.begin(), v.end());
+    return (hi - lo) / lo;
+  };
+  // L1 at 1.60 GHz should take ~2.67/1.60 = 1.67x the TSC cycles of 2.67.
+  double l1Ratio = series["L1"].front() / series["L1"].back();
+  std::printf("L1 tsc ratio (1.60 vs 2.67 GHz): %.2f (clock ratio %.2f)\n",
+              l1Ratio, 2.67 / 1.60);
+  bench::expectShape(l1Ratio > 1.4,
+                     "L1 timing varies with the core frequency");
+  bench::expectShape(spread(series["L2"]) > 0.25,
+                     "L2 timing varies with the core frequency");
+  bench::expectShape(spread(series["L3"]) < 0.20,
+                     "L3 timing is (nearly) frequency independent");
+  bench::expectShape(spread(series["RAM"]) < 0.20,
+                     "RAM timing is (nearly) frequency independent");
+  return bench::finish();
+}

@@ -1,0 +1,87 @@
+// Figure 16: the same four-array movss traversal executed on all 32 cores
+// of the quad-socket Nehalem (§5.2.2). Memory saturation raises the whole
+// curve (paper: 60-90 cycles/iteration vs 20-33 with eight cores) while
+// the alignment spread persists.
+//
+// Substitution note: subsampled alignment configurations and scaled-down
+// arrays, as in the Figure-15 bench; see EXPERIMENTS.md.
+
+#include "bench_common.hpp"
+#include "support/csv.hpp"
+#include "support/stats.hpp"
+
+using namespace microtools;
+
+int main() {
+  sim::MachineConfig machine = sim::nehalemX7550QuadSocket();
+  bench::header(
+      "Figure 16 - alignment sweep, 4-array movss traversal on 32 cores",
+      machine.name,
+      "with the full machine the memory system saturates: the whole curve "
+      "sits far above the 8-core one (paper: 60-90 vs 20-33 cycles/iter) "
+      "and alignment still matters");
+
+  auto program = bench::generateOne(bench::loadStoreKernelXml(
+      "movss", 2, 2, /*arrays=*/4, /*stores=*/false, /*swapAfter=*/false,
+      /*alternate=*/true));
+
+  launcher::AlignmentSweepSpec spec;
+  spec.minOffset = 0;
+  spec.maxOffset = 4096;
+  spec.step = 256;
+  spec.maxConfigs = 10;  // 32-core lockstep points are expensive
+  auto configs = launcher::alignmentConfigurations(4, spec);
+
+  const std::uint64_t arrayBytes = 128 * 1024;
+  launcher::SimBackend backend(machine);
+  auto kernel = backend.load(program.asmText, program.functionName);
+
+  csv::Table table({"config", "worst_cycles_per_iteration"});
+  std::vector<double> series32;
+  int index = 0;
+  for (const auto& offsets : configs) {
+    launcher::KernelRequest request;
+    for (std::uint64_t off : offsets) {
+      request.arrays.push_back(launcher::ArraySpec{arrayBytes, 4096, off});
+    }
+    request.n = static_cast<int>(arrayBytes / 4);
+    auto results = backend.invokeFork(*kernel, request, 32, 1,
+                                      launcher::PinPolicy::Scatter);
+    double worst = 0;
+    for (const auto& r : results) {
+      worst = std::max(worst, r.tscCycles / static_cast<double>(r.iterations));
+    }
+    series32.push_back(worst);
+    table.beginRow().add(index++).add(worst).commit();
+  }
+  table.write(std::cout);
+
+  // Reference: the same workload on 8 cores (the Figure-15 setting).
+  launcher::KernelRequest reference;
+  for (int a = 0; a < 4; ++a) {
+    reference.arrays.push_back(launcher::ArraySpec{arrayBytes, 4096, 0});
+  }
+  reference.n = static_cast<int>(arrayBytes / 4);
+  auto eight = backend.invokeFork(*kernel, reference, 8, 1,
+                                  launcher::PinPolicy::Scatter);
+  double eightWorst = 0;
+  for (const auto& r : eight) {
+    eightWorst = std::max(eightWorst,
+                          r.tscCycles / static_cast<double>(r.iterations));
+  }
+
+  stats::Summary s = stats::summarize(series32);
+  std::printf("32-core: min=%.2f max=%.2f; 8-core reference=%.2f\n", s.min,
+              s.max, eightWorst);
+  bench::expectShape(s.min > eightWorst * 1.5,
+                     "32-core execution sits far above the 8-core curve "
+                     "(memory saturation; paper: ~60-90 vs 20-33)");
+  // Known model limitation (recorded in EXPERIMENTS.md): under full
+  // bandwidth saturation the deterministic channel model flattens the
+  // residual alignment spread that the paper's hardware retains (60-90);
+  // the spread is asserted in the unsaturated Figure-15 bench instead.
+  std::printf("note: alignment spread under saturation: %.1f%% "
+              "(paper retains ~50%%; see EXPERIMENTS.md)\n",
+              (s.max - s.min) / s.min * 100.0);
+  return bench::finish();
+}

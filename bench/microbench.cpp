@@ -1,0 +1,95 @@
+// google-benchmark micro-costs of the MicroTools substrates themselves:
+// XML parsing, the 19-pass generation pipeline, assembly parsing, cache
+// lookups and simulated kernel execution. These guard the tool's own
+// performance (a generator that takes minutes for 510 variants would be
+// useless for the paper's workflow).
+
+#include <benchmark/benchmark.h>
+
+#include "asmparse/asmparse.hpp"
+#include "bench_common.hpp"
+#include "sim/cache.hpp"
+#include "sim/core.hpp"
+
+using namespace microtools;
+
+namespace {
+
+const std::string& fig6Xml() {
+  static const std::string xml =
+      bench::loadStoreKernelXml("movaps", 1, 8, 1, false, true);
+  return xml;
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::parse(fig6Xml()));
+  }
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_Generate510Variants(benchmark::State& state) {
+  creator::MicroCreator mc;
+  creator::Description description =
+      creator::parseDescriptionText(fig6Xml());
+  for (auto _ : state) {
+    auto programs = mc.generate(description);
+    if (programs.size() != 510) state.SkipWithError("wrong variant count");
+    benchmark::DoNotOptimize(programs);
+  }
+  state.SetItemsProcessed(state.iterations() * 510);
+}
+BENCHMARK(BM_Generate510Variants);
+
+void BM_AsmParse(benchmark::State& state) {
+  auto program = bench::generateOne(
+      bench::loadStoreKernelXml("movaps", 8, 8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asmparse::parseAssembly(program.asmText));
+  }
+}
+BENCHMARK(BM_AsmParse);
+
+void BM_CacheLookup(benchmark::State& state) {
+  sim::CacheLevel cache(32 * 1024, 8, 64);
+  for (std::uint64_t line = 0; line < 512; ++line) cache.insert(line);
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(line));
+    line = (line + 1) % 512;
+  }
+}
+BENCHMARK(BM_CacheLookup);
+
+void BM_SimulatedKernelIteration(benchmark::State& state) {
+  auto program = bench::generateOne(
+      bench::loadStoreKernelXml("movaps", 8, 8));
+  asmparse::Program parsed = asmparse::parseAssembly(program.asmText);
+  sim::MachineConfig machine = sim::nehalemX5650DualSocket();
+  sim::MemorySystem memsys(machine);
+  memsys.touch(0, 0x100000, 1 << 14);
+  std::uint64_t clock = 0;
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    sim::CoreSim core(machine, memsys, 0);
+    sim::RunResult r = core.run(parsed, 1 << 12, {0x100000}, clock);
+    clock += r.coreCycles;
+    iterations += r.iterations;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(iterations));
+}
+BENCHMARK(BM_SimulatedKernelIteration);
+
+void BM_AlignmentConfigGeneration(benchmark::State& state) {
+  launcher::AlignmentSweepSpec spec;
+  spec.maxConfigs = 2500;
+  spec.step = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(launcher::alignmentConfigurations(4, spec));
+  }
+}
+BENCHMARK(BM_AlignmentConfigGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

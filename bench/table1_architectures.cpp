@@ -1,0 +1,44 @@
+// Table 1: the association between the paper's figures and the target
+// architectures, reproduced from the launcher's architecture registry
+// together with the simulated machine parameters each entry carries.
+
+#include "bench_common.hpp"
+#include "launcher/arch_registry.hpp"
+#include "support/csv.hpp"
+
+using namespace microtools;
+
+int main() {
+  bench::header("Table 1 - architectures and associated figures", "registry",
+                "three machines: Sandy Bridge E31240 (figs 17, 18), "
+                "dual-socket Nehalem X5650 (figs 2-5, 11-14), quad-socket "
+                "Nehalem X7550 (figs 15, 16)");
+
+  csv::Table table({"architecture", "description", "sockets", "cores",
+                    "ghz", "l3_mb", "figures"});
+  for (const launcher::ArchEntry& entry : launcher::table1()) {
+    std::string figures;
+    for (int f : entry.figures) {
+      figures += (figures.empty() ? "" : " ") + std::to_string(f);
+    }
+    table.beginRow()
+        .add(entry.config.name)
+        .add(entry.description)
+        .add(entry.config.sockets)
+        .add(entry.config.totalCores())
+        .add(entry.config.nominalGHz, 2)
+        .add(static_cast<std::uint64_t>(entry.config.l3.sizeBytes >> 20))
+        .add(figures)
+        .commit();
+  }
+  table.write(std::cout);
+
+  const auto& entries = launcher::table1();
+  bench::expectShape(entries.size() == 3, "three architectures registered");
+  bench::expectShape(entries[1].config.totalCores() == 12 &&
+                         entries[2].config.totalCores() == 32,
+                     "core counts match the paper (12 and 32)");
+  bench::expectShape(entries[0].figures == std::vector<int>({17, 18}),
+                     "Sandy Bridge carries the OpenMP figures");
+  return bench::finish();
+}

@@ -1,0 +1,78 @@
+// §5.2.2 in miniature: sweep the alignment of the arrays of a copy-style
+// movss traversal and watch cycles/iteration spread — then locate the bad
+// configurations (stores landing on the same 4 KiB page offset as loads).
+
+#include <cstdio>
+
+#include "creator/creator.hpp"
+#include "launcher/launcher.hpp"
+#include "launcher/sim_backend.hpp"
+
+using namespace microtools;
+
+int main() {
+  const char* xml = R"(
+<kernel>
+  <instruction>
+    <operation>movss</operation>
+    <memory><register><name>src</name></register><offset>0</offset></memory>
+    <register><phyName>%xmm0</phyName></register>
+  </instruction>
+  <instruction>
+    <operation>movss</operation>
+    <register><phyName>%xmm0</phyName></register>
+    <memory><register><name>dst</name></register><offset>0</offset></memory>
+  </instruction>
+  <unrolling><min>4</min><max>4</max></unrolling>
+  <induction><register><name>src</name></register>
+    <increment>4</increment><offset>4</offset></induction>
+  <induction><register><name>dst</name></register>
+    <increment>4</increment><offset>4</offset></induction>
+  <induction><register><name>r0</name></register><increment>-1</increment>
+    <linked><register><name>src</name></register></linked>
+    <last_induction/></induction>
+  <branch_information><label>L2</label><test>jge</test>
+  </branch_information>
+</kernel>)";
+
+  creator::MicroCreator mc;
+  auto programs = mc.generateFromText(xml);
+  launcher::MicroLauncher ml(
+      std::make_unique<launcher::SimBackend>(sim::nehalemX5650DualSocket()));
+  auto kernel = ml.load(programs.at(0));
+
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{8 * 1024, 4096, 0});
+  request.arrays.push_back(launcher::ArraySpec{8 * 1024, 4096, 0});
+  request.n = 8 * 1024 / 4;
+
+  launcher::AlignmentSweepSpec spec;
+  spec.minOffset = 0;
+  spec.maxOffset = 4096;
+  spec.step = 512;
+  spec.maxConfigs = 64;  // full 8x8 product
+
+  launcher::ProtocolOptions protocol;
+  protocol.innerRepetitions = 1;
+  protocol.outerRepetitions = 2;
+  auto samples = ml.alignmentSweep(*kernel, request, spec, protocol);
+
+  std::printf("%-10s %-10s %s\n", "src_off", "dst_off", "cycles/iter");
+  double lo = 1e300, hi = 0;
+  for (const auto& s : samples) {
+    double v = s.measurement.cyclesPerIteration.min;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    bool aliased = s.offsets[0] == s.offsets[1];
+    std::printf("%-10llu %-10llu %8.2f%s\n",
+                static_cast<unsigned long long>(s.offsets[0]),
+                static_cast<unsigned long long>(s.offsets[1]), v,
+                aliased ? "   <- same 4KiB page offset" : "");
+  }
+  std::printf("\nspread: %.2f .. %.2f cycles/iteration (%.0f%%)\n", lo, hi,
+              (hi - lo) / lo * 100);
+  std::printf("rule of thumb from this study: keep the destination's page "
+              "offset away\nfrom the source's to avoid 4KiB-aliasing "
+              "stalls.\n");
+  return 0;
+}

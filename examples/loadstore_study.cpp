@@ -1,0 +1,86 @@
+// The §5.1 study end to end: generate the full 510-variant (Load|Store)+
+// family from one description, execute every unroll-8 variant against two
+// hierarchy levels, and report the best variant per group — exactly the
+// "which code shape is optimal on this machine" question the MicroTools
+// automate.
+
+#include <cstdio>
+#include <map>
+
+#include "creator/creator.hpp"
+#include "launcher/launcher.hpp"
+#include "launcher/sim_backend.hpp"
+#include "support/strings.hpp"
+
+using namespace microtools;
+
+int main() {
+  const char* xml = R"(
+<description>
+  <benchmark_name>loadstore</benchmark_name>
+  <kernel>
+    <instruction>
+      <operation>movaps</operation>
+      <memory><register><name>r1</name></register><offset>0</offset></memory>
+      <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+      <swap_after_unroll/>
+    </instruction>
+    <unrolling><min>1</min><max>8</max></unrolling>
+    <induction><register><name>r1</name></register>
+      <increment>16</increment><offset>16</offset></induction>
+    <induction><register><name>r0</name></register><increment>-1</increment>
+      <linked><register><name>r1</name></register></linked>
+      <last_induction/></induction>
+    <branch_information><label>L6</label><test>jge</test>
+    </branch_information>
+  </kernel>
+</description>)";
+
+  creator::MicroCreator mc;
+  auto programs = mc.generateFromText(xml);
+  std::printf("generated %zu variants (sum of 2^u for u in 1..8 = 510)\n\n",
+              programs.size());
+
+  launcher::MicroLauncher ml(
+      std::make_unique<launcher::SimBackend>(sim::nehalemX5650DualSocket()));
+
+  struct Best {
+    std::string name;
+    double cycles = 1e300;
+  };
+  // group key: (level, loads, stores) at unroll 8.
+  std::map<std::string, Best> best;
+
+  launcher::ProtocolOptions protocol;
+  protocol.innerRepetitions = 1;
+  protocol.outerRepetitions = 2;
+  for (const auto& program : programs) {
+    if (program.kernel.unrollFactor != 8) continue;  // 256 variants
+    for (auto [levelName, bytes] :
+         {std::pair{"L1", 16 * 1024}, std::pair{"L2", 64 * 1024}}) {
+      auto kernel = ml.load(program);
+      launcher::KernelRequest request;
+      request.arrays.push_back(
+          launcher::ArraySpec{static_cast<std::uint64_t>(bytes), 4096, 0});
+      request.n = bytes / 4;
+      ml.backend().reset();
+      launcher::Measurement m = ml.measure(*kernel, request, protocol);
+      std::string key = strings::format("%s %dL/%dS", levelName,
+                                        program.kernel.loadCount(),
+                                        program.kernel.storeCount());
+      Best& slot = best[key];
+      if (m.cyclesPerIteration.min < slot.cycles) {
+        slot.cycles = m.cyclesPerIteration.min;
+        slot.name = program.name;
+      }
+    }
+  }
+
+  std::printf("best unroll-8 variant per (level, load/store mix):\n");
+  std::printf("%-12s %-34s %s\n", "group", "variant", "cycles/iter");
+  for (const auto& [key, slot] : best) {
+    std::printf("%-12s %-34s %8.2f\n", key.c_str(), slot.name.c_str(),
+                slot.cycles);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Demonstrates MicroCreator's plugin system (§3.3): load the
+// double_unroll_plugin shared library, show how the pass pipeline changed,
+// and generate with the modified pipeline.
+//
+// The plugin path is baked in by CMake (MT_EXAMPLE_PLUGIN_PATH); the same
+// library works with the CLI:
+//   microcreator input.xml --plugin <path>/double_unroll_plugin.so
+
+#include <cstdio>
+
+#include "creator/creator.hpp"
+
+using namespace microtools;
+
+#ifndef MT_EXAMPLE_PLUGIN_PATH
+#define MT_EXAMPLE_PLUGIN_PATH "examples/plugins/double_unroll_plugin.so"
+#endif
+
+int main() {
+  const char* xml = R"(
+<kernel>
+  <instruction>
+    <operation>movaps</operation>
+    <memory><register><name>r1</name></register><offset>0</offset></memory>
+    <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+  </instruction>
+  <unrolling><min>2</min><max>2</max></unrolling>
+  <induction><register><name>r1</name></register>
+    <increment>16</increment><offset>16</offset></induction>
+  <induction><register><name>r0</name></register><increment>-1</increment>
+    <linked><register><name>r1</name></register></linked>
+    <last_induction/></induction>
+  <branch_information><label>L6</label><test>jge</test>
+  </branch_information>
+</kernel>)";
+
+  creator::MicroCreator withoutPlugin;
+  auto plainPrograms = withoutPlugin.generateFromText(xml);
+  std::printf("without plugin: %zu program(s), unroll factor %d\n",
+              plainPrograms.size(), plainPrograms[0].kernel.unrollFactor);
+
+  creator::MicroCreator withPlugin;
+  withPlugin.loadPlugin(MT_EXAMPLE_PLUGIN_PATH);
+  std::printf("\npass pipeline after loading the plugin:\n");
+  int index = 1;
+  for (const std::string& name : withPlugin.passManager().passNames()) {
+    std::printf("  %2d. %s%s\n", index++, name.c_str(),
+                name == "DoubleUnroll" ? "   <- added by the plugin" : "");
+  }
+
+  auto programs = withPlugin.generateFromText(xml);
+  std::printf("\nwith plugin: %zu program(s), unroll factor %d "
+              "(doubled), name: %s\n",
+              programs.size(), programs[0].kernel.unrollFactor,
+              programs[0].name.c_str());
+  return 0;
+}

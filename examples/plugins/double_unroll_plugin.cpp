@@ -1,0 +1,29 @@
+// A MicroCreator plugin (§3.3): exported as a shared library and loaded at
+// run time with --plugin / MicroCreator::loadPlugin. It demonstrates the
+// three plugin capabilities without recompiling the tool:
+//
+//   * adding a pass (DoubleUnroll: doubles every kernel's unroll bounds
+//     before the Unrolling pass runs),
+//   * gating an existing pass off (Peephole),
+//   * replacing nothing — but the same API would allow it.
+
+#include <algorithm>
+
+#include "creator/pass_manager.hpp"
+
+using microtools::creator::GenerationState;
+using microtools::creator::LambdaPass;
+using microtools::creator::PassManager;
+
+extern "C" void pluginInit(PassManager& pm) {
+  pm.addPassBefore(
+      "Unrolling",
+      std::make_unique<LambdaPass>("DoubleUnroll", [](GenerationState& state) {
+        for (auto& kernel : state.kernels) {
+          kernel.unrollMin = std::min(kernel.unrollMin * 2, 64);
+          kernel.unrollMax = std::min(kernel.unrollMax * 2, 64);
+          kernel.tag("x2");
+        }
+      }));
+  pm.setGate("Peephole", [](const GenerationState&) { return false; });
+}

@@ -1,0 +1,87 @@
+// §7 of the paper: "MicroCreator creates variations of a described program
+// in order to evaluate variations in performance or power utilization."
+// This study uses the simulator's energy model to compare the generated
+// unroll variants on the energy axis — including the classic race-to-idle
+// effect under DVFS.
+
+#include <cstdio>
+
+#include "asmparse/asmparse.hpp"
+#include "creator/creator.hpp"
+#include "sim/core.hpp"
+
+using namespace microtools;
+
+namespace {
+
+sim::RunResult runVariant(const sim::MachineConfig& machine,
+                          const creator::GeneratedProgram& program,
+                          std::uint64_t arrayBytes) {
+  sim::MemorySystem memsys(machine);
+  memsys.touch(0, 0x100000000ull, arrayBytes + 64);
+  sim::CoreSim core(machine, memsys, 0);
+  asmparse::Program parsed = asmparse::parseAssembly(program.asmText);
+  return core.run(parsed, static_cast<int>(arrayBytes / 4),
+                  {0x100000000ull});
+}
+
+}  // namespace
+
+int main() {
+  const char* xml = R"(
+<kernel>
+  <instruction>
+    <operation>movaps</operation>
+    <memory><register><name>r1</name></register><offset>0</offset></memory>
+    <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+  </instruction>
+  <unrolling><min>1</min><max>8</max></unrolling>
+  <induction><register><name>r1</name></register>
+    <increment>16</increment><offset>16</offset></induction>
+  <induction><register><name>r0</name></register><increment>-1</increment>
+    <linked><register><name>r1</name></register></linked>
+    <last_induction/></induction>
+  <branch_information><label>L6</label><test>jge</test>
+  </branch_information>
+</kernel>)";
+
+  creator::MicroCreator mc;
+  auto programs = mc.generateFromText(xml);
+  sim::MachineConfig machine = sim::nehalemX5650DualSocket();
+  const std::uint64_t arrayBytes = 16 * 1024;  // L1-resident
+
+  std::printf("energy per element vs unroll factor (%s, L1 stream)\n\n",
+              machine.name.c_str());
+  std::printf("%-8s %-12s %-12s %-10s\n", "unroll", "cycles/elem",
+              "energy pJ/elem", "avg watts");
+  for (const auto& program : programs) {
+    sim::RunResult r = runVariant(machine, program, arrayBytes);
+    double elements = static_cast<double>(arrayBytes / 16) * 4;
+    std::printf("%-8d %-12.3f %-12.1f %-10.2f\n",
+                program.kernel.unrollFactor,
+                static_cast<double>(r.coreCycles) / elements,
+                r.energyPj / elements, r.averageWatts(machine));
+  }
+  std::printf("\nunrolling saves energy twice over: fewer loop-overhead "
+              "uops (dynamic) and a\nshorter runtime (static leakage).\n\n");
+
+  // Race to idle: the same unroll-8 kernel across the DVFS range.
+  std::printf("race-to-idle: unroll-8 energy per element vs core "
+              "frequency\n\n");
+  std::printf("%-10s %-12s %-14s\n", "core GHz", "tsc cyc/elem",
+              "energy pJ/elem");
+  const creator::GeneratedProgram& unroll8 = programs.back();
+  for (double ghz : {1.60, 1.86, 2.13, 2.40, 2.67}) {
+    sim::MachineConfig m = machine;
+    m.coreGHz = ghz;
+    sim::RunResult r = runVariant(m, unroll8, arrayBytes);
+    double elements = static_cast<double>(arrayBytes / 16) * 4;
+    std::printf("%-10.2f %-12.3f %-14.1f\n", ghz,
+                r.tscCycles / elements, r.energyPj / elements);
+  }
+  std::printf("\nfor an L1-resident kernel the work is constant, so "
+              "running faster spends the\nsame dynamic energy over fewer "
+              "leaky cycles: the highest frequency is the most\n"
+              "energy-efficient (race to idle).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// §3.5 "Current Uses": modeling stencil codes. A 1D three-point stencil
+// reads a[i-1], a[i], a[i+1] and writes b[i]; in MicroCreator terms that is
+// three loads at offsets -4/0/4 from one induction pointer, two adds, and a
+// store — with unrolling to study how many arithmetic instructions the
+// memory latencies hide (another §3.5 use case).
+
+#include <cstdio>
+
+#include "creator/creator.hpp"
+#include "launcher/launcher.hpp"
+#include "launcher/sim_backend.hpp"
+
+using namespace microtools;
+
+int main() {
+  const char* xml = R"(
+<description>
+  <benchmark_name>stencil3</benchmark_name>
+  <kernel>
+    <instruction>
+      <operation>movss</operation>
+      <memory><register><name>src</name></register><offset>0</offset></memory>
+      <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+    </instruction>
+    <instruction>
+      <operation>addss</operation>
+      <memory><register><name>src</name></register><offset>-4</offset></memory>
+      <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+    </instruction>
+    <instruction>
+      <operation>addss</operation>
+      <memory><register><name>src</name></register><offset>4</offset></memory>
+      <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+    </instruction>
+    <instruction>
+      <operation>movss</operation>
+      <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+      <memory><register><name>dst</name></register><offset>0</offset></memory>
+    </instruction>
+    <unrolling><min>1</min><max>8</max></unrolling>
+    <induction>
+      <register><name>src</name></register>
+      <increment>4</increment><offset>4</offset>
+    </induction>
+    <induction>
+      <register><name>dst</name></register>
+      <increment>4</increment><offset>4</offset>
+    </induction>
+    <induction>
+      <register><phyName>%eax</phyName></register>
+      <increment>1</increment>
+    </induction>
+    <induction>
+      <register><name>r0</name></register>
+      <increment>-1</increment>
+      <linked><register><name>src</name></register></linked>
+      <last_induction/>
+    </induction>
+    <branch_information><label>L9</label><test>jge</test>
+    </branch_information>
+  </kernel>
+</description>)";
+
+  creator::MicroCreator mc;
+  auto programs = mc.generateFromText(xml);
+  std::printf("stencil kernel: 3 loads + 2 adds + 1 store per point; "
+              "%zu unroll variants\n\n", programs.size());
+
+  launcher::MicroLauncher ml(
+      std::make_unique<launcher::SimBackend>(sim::nehalemX5650DualSocket()));
+  launcher::ProtocolOptions protocol;
+  protocol.innerRepetitions = 2;
+  protocol.outerRepetitions = 3;
+
+  std::printf("%-8s %-14s %s\n", "unroll", "L1-resident", "L3-resident");
+  for (const auto& program : programs) {
+    double perPoint[2];
+    int column = 0;
+    for (std::uint64_t bytes : {16ull * 1024, 768ull * 1024}) {
+      auto kernel = ml.load(program);
+      launcher::KernelRequest request;
+      // src needs one element of slack on each side for the -4/+4 taps.
+      request.arrays.push_back(launcher::ArraySpec{bytes + 64, 4096, 64});
+      request.arrays.push_back(launcher::ArraySpec{bytes, 4096, 0});
+      request.n = static_cast<int>(bytes / 4);
+      ml.backend().reset();
+      launcher::Measurement m = ml.measure(*kernel, request, protocol);
+      // The kernel's %eax induction counts points (scaled by unroll), so
+      // the measurement is already cycles per stencil point.
+      perPoint[column++] = m.cyclesPerIteration.min;
+    }
+    std::printf("%-8d %-14.2f %.2f   cycles/point\n",
+                program.kernel.unrollFactor, perPoint[0], perPoint[1]);
+  }
+  std::printf("\nthe stencil is load-port bound (~3 taps/point on a "
+              "single-load-port Nehalem),\nso unrolling cannot help the way "
+              "it helps pure streams - and the two addss per\npoint are "
+              "completely hidden behind the loads (the paper's 'how many "
+              "arithmetic\ninstructions are hidden by the latencies' "
+              "study).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// §3.5 "Current Uses": detecting the effect of strides. The description
+// lists candidate strides for the pointer induction; MicroCreator's
+// StrideSelection pass fans out one program per stride, and the launcher
+// exposes where the hardware prefetcher stops helping (unit stride streams;
+// large strides touch a new cache line every iteration and defeat it).
+
+#include <cstdio>
+
+#include "creator/creator.hpp"
+#include "launcher/launcher.hpp"
+#include "launcher/sim_backend.hpp"
+
+using namespace microtools;
+
+int main() {
+  const char* xml = R"(
+<description>
+  <benchmark_name>stride</benchmark_name>
+  <kernel>
+    <instruction>
+      <operation>movss</operation>
+      <memory><register><name>r1</name></register><offset>0</offset></memory>
+      <register><phyName>%xmm0</phyName></register>
+    </instruction>
+    <unrolling><min>1</min><max>1</max></unrolling>
+    <induction>
+      <register><name>r1</name></register>
+      <increment>4</increment><increment>16</increment>
+      <increment>64</increment><increment>256</increment>
+      <increment>1024</increment>
+      <offset>0</offset>
+    </induction>
+    <induction>
+      <register><name>r0</name></register>
+      <increment>-1</increment>
+      <last_induction/>
+    </induction>
+    <branch_information><label>L5</label><test>jge</test>
+    </branch_information>
+  </kernel>
+</description>)";
+
+  creator::MicroCreator mc;
+  auto programs = mc.generateFromText(xml);
+  std::printf("StrideSelection produced %zu variants\n\n", programs.size());
+
+  launcher::MicroLauncher ml(
+      std::make_unique<launcher::SimBackend>(sim::nehalemX5650DualSocket()));
+  launcher::ProtocolOptions protocol;
+  protocol.innerRepetitions = 1;
+  protocol.outerRepetitions = 2;
+  protocol.warmup = false;  // cold traversals expose the prefetcher
+
+  std::printf("%-28s %-8s %s\n", "variant", "stride", "cycles/access (cold)");
+  for (const auto& program : programs) {
+    std::int64_t stride = program.kernel.inductions[0].effectiveIncrement();
+    // Each variant touches 4096 elements over a stride-proportional span.
+    int n = 4096;
+    auto kernel = ml.load(program);
+    launcher::KernelRequest request;
+    request.arrays.push_back(launcher::ArraySpec{
+        static_cast<std::uint64_t>(stride) * (n + 1), 4096, 0});
+    request.n = n;
+    ml.backend().reset();
+    launcher::Measurement m = ml.measure(*kernel, request, protocol);
+    std::printf("%-28s %-8lld %8.2f\n", program.name.c_str(),
+                static_cast<long long>(stride), m.cyclesPerIteration.min);
+  }
+  std::printf("\nunit strides stream (the prefetcher hides DRAM); once the "
+              "stride reaches a\ncache line (64B) every access is a fresh "
+              "line and past 4KiB the stream\ndetector never arms.\n");
+  return 0;
+}

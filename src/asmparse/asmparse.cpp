@@ -1,0 +1,260 @@
+#include "asmparse/asmparse.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::asmparse {
+
+namespace {
+using strings::trim;
+}
+
+DecodedOperand DecodedOperand::makeReg(isa::PhysReg r) {
+  DecodedOperand op;
+  op.kind = Kind::Reg;
+  op.reg = r;
+  return op;
+}
+
+DecodedOperand DecodedOperand::makeMem(DecodedMem m) {
+  DecodedOperand op;
+  op.kind = Kind::Mem;
+  op.mem = m;
+  return op;
+}
+
+DecodedOperand DecodedOperand::makeImm(std::int64_t v) {
+  DecodedOperand op;
+  op.kind = Kind::Imm;
+  op.imm = v;
+  return op;
+}
+
+DecodedOperand DecodedOperand::makeLabel(std::string l) {
+  DecodedOperand op;
+  op.kind = Kind::Label;
+  op.label = std::move(l);
+  return op;
+}
+
+bool DecodedInsn::readsMemory() const {
+  if (operands.size() < 2) return false;
+  for (std::size_t i = 0; i + 1 < operands.size(); ++i) {
+    if (operands[i].kind == DecodedOperand::Kind::Mem) return true;
+  }
+  return false;
+}
+
+bool DecodedInsn::writesMemory() const {
+  if (desc->kind == isa::InstrKind::Compare) return false;
+  return !operands.empty() &&
+         operands.back().kind == DecodedOperand::Kind::Mem;
+}
+
+int DecodedInsn::accessBytes() const {
+  if (desc->memBytes > 0) return desc->memBytes;
+  // GPR instruction: width from the register operand or the size suffix.
+  for (const DecodedOperand& op : operands) {
+    if (op.kind == DecodedOperand::Kind::Reg &&
+        op.reg.cls == isa::RegClass::Gpr) {
+      return op.reg.widthBits / 8;
+    }
+  }
+  if (!mnemonic.empty()) {
+    switch (mnemonic.back()) {
+      case 'b': return 1;
+      case 'w': return 2;
+      case 'l': return 4;
+      case 'q': return 8;
+      default: break;
+    }
+  }
+  return 8;
+}
+
+std::size_t Program::labelTarget(const std::string& label) const {
+  auto it = labels.find(label);
+  if (it == labels.end()) {
+    throw ParseError("unknown branch target label '" + label + "'");
+  }
+  return it->second;
+}
+
+namespace {
+
+/// Splits an operand list on commas that are outside parentheses.
+std::vector<std::string> splitOperands(std::string_view text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == ',' && depth == 0)) {
+      auto piece = trim(text.substr(start, i - start));
+      if (!piece.empty()) out.emplace_back(piece);
+      start = i + 1;
+    } else if (text[i] == '(') {
+      ++depth;
+    } else if (text[i] == ')') {
+      --depth;
+    }
+  }
+  return out;
+}
+
+std::int64_t parseImmediateValue(std::string_view text, std::size_t line) {
+  auto v = strings::parseInt(text);
+  if (!v) {
+    throw ParseError("invalid immediate '" + std::string(text) + "'", line);
+  }
+  return *v;
+}
+
+DecodedMem parseMemOperand(std::string_view text, std::size_t line) {
+  DecodedMem mem;
+  std::size_t open = text.find('(');
+  if (open == std::string_view::npos) {
+    // Absolute address.
+    mem.disp = parseImmediateValue(text, line);
+    return mem;
+  }
+  auto dispText = trim(text.substr(0, open));
+  if (!dispText.empty()) {
+    mem.disp = parseImmediateValue(dispText, line);
+  }
+  std::size_t close = text.rfind(')');
+  if (close == std::string_view::npos || close < open) {
+    throw ParseError("unbalanced parentheses in memory operand '" +
+                         std::string(text) + "'",
+                     line);
+  }
+  auto inner = text.substr(open + 1, close - open - 1);
+  std::vector<std::string> parts = strings::split(inner, ',');
+  if (parts.empty() || parts.size() > 3) {
+    throw ParseError("malformed memory operand '" + std::string(text) + "'",
+                     line);
+  }
+  auto baseText = trim(parts[0]);
+  if (!baseText.empty()) {
+    auto reg = isa::parseRegister(baseText);
+    if (!reg) {
+      throw ParseError("unknown base register '" + std::string(baseText) +
+                           "'",
+                       line);
+    }
+    mem.base = *reg;
+  }
+  if (parts.size() >= 2) {
+    auto indexText = trim(parts[1]);
+    if (!indexText.empty()) {
+      auto reg = isa::parseRegister(indexText);
+      if (!reg) {
+        throw ParseError("unknown index register '" + std::string(indexText) +
+                             "'",
+                         line);
+      }
+      mem.index = *reg;
+    }
+  }
+  if (parts.size() == 3) {
+    auto scaleText = trim(parts[2]);
+    auto scale = strings::parseInt(scaleText);
+    if (!scale || (*scale != 1 && *scale != 2 && *scale != 4 && *scale != 8)) {
+      throw ParseError("invalid scale '" + std::string(scaleText) + "'",
+                       line);
+    }
+    mem.scale = static_cast<int>(*scale);
+  }
+  return mem;
+}
+
+DecodedOperand parseOperand(std::string_view text, bool branchContext,
+                            std::size_t line) {
+  if (text.empty()) throw ParseError("empty operand", line);
+  if (text.front() == '$') {
+    return DecodedOperand::makeImm(parseImmediateValue(text.substr(1), line));
+  }
+  if (text.front() == '%') {
+    auto reg = isa::parseRegister(text);
+    if (!reg) {
+      throw ParseError("unknown register '" + std::string(text) + "'", line);
+    }
+    return DecodedOperand::makeReg(*reg);
+  }
+  if (branchContext) {
+    // Branch target: strip the local-label leading dot.
+    std::string label(text);
+    if (!label.empty() && label.front() == '.') label.erase(0, 1);
+    return DecodedOperand::makeLabel(std::move(label));
+  }
+  return DecodedOperand::makeMem(parseMemOperand(text, line));
+}
+
+}  // namespace
+
+Program parseAssembly(std::string_view text) {
+  Program program;
+  std::vector<std::string> lines = strings::split(text, '\n');
+  for (std::size_t lineNo = 1; lineNo <= lines.size(); ++lineNo) {
+    std::string_view raw = lines[lineNo - 1];
+    // Strip comments.
+    if (auto hash = raw.find('#'); hash != std::string_view::npos) {
+      raw = raw.substr(0, hash);
+    }
+    std::string_view lineText = trim(raw);
+    if (lineText.empty()) continue;
+
+    // Directives.
+    if (lineText.front() == '.') {
+      auto tokens = strings::splitWhitespace(lineText);
+      if (tokens[0] == ".globl" || tokens[0] == ".global") {
+        if (tokens.size() >= 2 && program.functionName.empty()) {
+          program.functionName = tokens[1];
+        }
+      }
+      // A local label like ".L6:" is not a directive.
+      if (!strings::endsWith(lineText, ":")) continue;
+    }
+
+    // Labels (possibly several on one line are not supported; one per line).
+    if (lineText.back() == ':') {
+      std::string label(lineText.substr(0, lineText.size() - 1));
+      if (!label.empty() && label.front() == '.') label.erase(0, 1);
+      if (program.functionName.empty() && lineText.front() != '.') {
+        program.functionName = label;
+      }
+      if (program.labels.count(label)) {
+        throw ParseError("duplicate label '" + label + "'", lineNo);
+      }
+      program.labels[label] = program.instructions.size();
+      continue;
+    }
+
+    // Instruction.
+    auto firstSpace = lineText.find_first_of(" \t");
+    std::string mnemonic(firstSpace == std::string_view::npos
+                             ? lineText
+                             : lineText.substr(0, firstSpace));
+    const isa::InstrDesc* desc = isa::findInstruction(mnemonic);
+    if (!desc) {
+      throw ParseError("unknown instruction '" + mnemonic + "'", lineNo);
+    }
+    DecodedInsn insn;
+    insn.desc = desc;
+    insn.mnemonic = mnemonic;
+    insn.line = lineNo;
+    bool branchContext = isa::kindIsBranch(desc->kind);
+    if (firstSpace != std::string_view::npos) {
+      for (const std::string& opText :
+           splitOperands(lineText.substr(firstSpace + 1))) {
+        insn.operands.push_back(parseOperand(opText, branchContext, lineNo));
+      }
+    }
+    program.instructions.push_back(std::move(insn));
+  }
+  if (program.instructions.empty()) {
+    throw ParseError("assembly contains no instructions");
+  }
+  return program;
+}
+
+}  // namespace microtools::asmparse

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/instructions.hpp"
+#include "isa/registers.hpp"
+
+namespace microtools::asmparse {
+
+/// Decoded memory operand: disp(base, index, scale).
+struct DecodedMem {
+  std::optional<isa::PhysReg> base;
+  std::optional<isa::PhysReg> index;
+  int scale = 1;
+  std::int64_t disp = 0;
+
+  bool operator==(const DecodedMem&) const = default;
+};
+
+/// One decoded operand of any kind.
+struct DecodedOperand {
+  enum class Kind { Reg, Mem, Imm, Label };
+
+  Kind kind = Kind::Imm;
+  isa::PhysReg reg;       // valid when kind == Reg
+  DecodedMem mem;         // valid when kind == Mem
+  std::int64_t imm = 0;   // valid when kind == Imm
+  std::string label;      // valid when kind == Label
+
+  bool operator==(const DecodedOperand&) const = default;
+
+  static DecodedOperand makeReg(isa::PhysReg r);
+  static DecodedOperand makeMem(DecodedMem m);
+  static DecodedOperand makeImm(std::int64_t v);
+  static DecodedOperand makeLabel(std::string l);
+};
+
+/// One decoded instruction with its static description.
+struct DecodedInsn {
+  const isa::InstrDesc* desc = nullptr;  // never null after parsing
+  std::string mnemonic;                  // as written (with size suffix)
+  std::vector<DecodedOperand> operands;  // AT&T order
+  std::size_t line = 0;                  // 1-based source line
+
+  /// Memory access classification (AT&T order: last operand is the
+  /// destination).
+  bool readsMemory() const;
+  bool writesMemory() const;
+
+  /// Bytes touched per memory access: the descriptor's memBytes, falling
+  /// back to the register operand width for suffixable GPR instructions.
+  int accessBytes() const;
+};
+
+/// A parsed assembly function: instruction list plus label table.
+struct Program {
+  std::string functionName;
+  std::vector<DecodedInsn> instructions;
+  /// Label name (without the leading '.') -> index of the instruction the
+  /// label precedes (== instructions.size() for a trailing label).
+  std::map<std::string, std::size_t> labels;
+
+  /// Index for a label target; throws ParseError when unknown.
+  std::size_t labelTarget(const std::string& label) const;
+};
+
+/// Parses an AT&T assembly translation unit of the subset MicroCreator
+/// emits (and hand-written kernels in the same style). Directives are
+/// skipped; the function name is taken from the .globl directive or the
+/// first non-local label. Throws ParseError with line numbers on anything
+/// unrecognizable.
+Program parseAssembly(std::string_view text);
+
+}  // namespace microtools::asmparse

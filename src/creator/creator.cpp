@@ -1,0 +1,64 @@
+#include "creator/creator.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "creator/plugin.hpp"
+#include "support/error.hpp"
+
+namespace microtools::creator {
+
+MicroCreator::MicroCreator()
+    : passManager_(PassManager::standardPipeline()),
+      pluginLoader_(std::make_unique<PluginLoader>()) {}
+
+void MicroCreator::loadPlugin(const std::string& path) {
+  pluginLoader_->load(path, passManager_);
+}
+
+std::vector<GeneratedProgram> MicroCreator::generate(
+    const Description& description) const {
+  GenerationState state(description);
+  passManager_.run(state);
+  return std::move(state.programs);
+}
+
+std::vector<GeneratedProgram> MicroCreator::generateFromText(
+    const std::string& xmlText) const {
+  return generate(parseDescriptionText(xmlText));
+}
+
+std::vector<GeneratedProgram> MicroCreator::generateFromFile(
+    const std::string& path) const {
+  return generate(parseDescriptionFile(path));
+}
+
+std::vector<std::string> writePrograms(
+    const std::vector<GeneratedProgram>& programs,
+    const std::string& outputDir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(outputDir, ec);
+  if (ec) {
+    throw McError("cannot create output directory '" + outputDir +
+                  "': " + ec.message());
+  }
+  std::vector<std::string> written;
+  auto writeFile = [&](const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw McError("cannot write file: " + path);
+    out << content;
+    written.push_back(path);
+  };
+  for (const GeneratedProgram& program : programs) {
+    writeFile((fs::path(outputDir) / (program.name + ".s")).string(),
+              program.asmText);
+    if (!program.cText.empty()) {
+      writeFile((fs::path(outputDir) / (program.name + ".c")).string(),
+                program.cText);
+    }
+  }
+  return written;
+}
+
+}  // namespace microtools::creator

@@ -1,0 +1,256 @@
+#include "creator/description.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::creator {
+
+namespace {
+
+using xml::Node;
+
+ir::RegOperand parseRegisterSpec(const Node& node) {
+  if (auto name = node.childText("name"); name && !name->empty()) {
+    return ir::RegOperand::logical(*name);
+  }
+  if (auto phy = node.childText("phyName"); phy && !phy->empty()) {
+    auto min = node.childInt("min");
+    auto max = node.childInt("max");
+    if (min || max) {
+      checkDescription(min && max,
+                       "rotating register needs both <min> and <max>");
+      return ir::RegOperand::rotating(*phy, static_cast<int>(*min),
+                                      static_cast<int>(*max));
+    }
+    auto reg = isa::parseRegister(*phy);
+    checkDescription(reg.has_value(), "unknown physical register: " + *phy);
+    return ir::RegOperand::physical(*reg);
+  }
+  throw DescriptionError("<" + node.name() +
+                         "> requires a <name> or <phyName> child");
+}
+
+ir::MemOperand parseMemoryOperand(const Node& node) {
+  ir::MemOperand mem;
+  const Node* base = node.child("register");
+  checkDescription(base != nullptr, "<memory> requires a <register> base");
+  mem.base = parseRegisterSpec(*base);
+  if (auto off = node.childInt("offset")) mem.offset = *off;
+  if (const Node* index = node.child("index")) {
+    mem.index = parseRegisterSpec(*index);
+    mem.scale = static_cast<int>(node.childInt("scale").value_or(1));
+    checkDescription(mem.scale == 1 || mem.scale == 2 || mem.scale == 4 ||
+                         mem.scale == 8,
+                     "memory scale must be 1, 2, 4 or 8");
+  }
+  return mem;
+}
+
+ir::ImmOperand parseImmediateOperand(const Node& node) {
+  ir::ImmOperand imm;
+  auto values = node.childrenNamed("value");
+  if (!values.empty()) {
+    for (const Node* v : values) {
+      auto parsed = strings::parseInt(v->trimmedText());
+      checkDescription(parsed.has_value(),
+                       "<value> is not an integer: " + v->trimmedText());
+      imm.choices.push_back(*parsed);
+    }
+  } else if (node.childInt("min")) {
+    std::int64_t min = node.requiredInt("min");
+    std::int64_t max = node.requiredInt("max");
+    std::int64_t step = node.childInt("step").value_or(1);
+    checkDescription(step > 0, "<immediate> step must be positive");
+    checkDescription(min <= max, "<immediate> requires min <= max");
+    for (std::int64_t v = min; v <= max; v += step) imm.choices.push_back(v);
+  } else {
+    throw DescriptionError("<immediate> requires <value> or <min>/<max>");
+  }
+  checkDescription(!imm.choices.empty(), "<immediate> has no candidates");
+  if (imm.choices.size() == 1) {
+    imm.value = imm.choices.front();
+    imm.choices.clear();
+  }
+  return imm;
+}
+
+ir::MoveSemantics parseMoveSemantics(const Node& node) {
+  ir::MoveSemantics sem;
+  sem.bytes = static_cast<int>(node.requiredInt("bytes"));
+  checkDescription(sem.bytes == 4 || sem.bytes == 8 || sem.bytes == 16,
+                   "<move_semantic> bytes must be 4, 8 or 16");
+  bool aligned = node.hasChild("aligned");
+  bool unaligned = node.hasChild("unaligned");
+  if (aligned || unaligned) {
+    sem.tryAligned = aligned;
+    sem.tryUnaligned = unaligned;
+  }
+  if (node.hasChild("no_double")) sem.allowDouble = false;
+  return sem;
+}
+
+ir::Instruction parseInstruction(const Node& node) {
+  ir::Instruction instr;
+  auto operations = node.childrenNamed("operation");
+  const Node* semantic = node.child("move_semantic");
+  checkDescription(!operations.empty() || semantic != nullptr,
+                   "<instruction> requires <operation> or <move_semantic>");
+  checkDescription(operations.empty() || semantic == nullptr,
+                   "<instruction> cannot mix <operation> and <move_semantic>");
+  if (semantic) {
+    instr.semantics = parseMoveSemantics(*semantic);
+  } else if (operations.size() == 1) {
+    instr.operation = operations.front()->trimmedText();
+  } else {
+    for (const Node* op : operations) {
+      instr.operationChoices.push_back(op->trimmedText());
+    }
+  }
+  instr.chooseRandomly = node.hasChild("random_choice");
+  instr.swapBeforeUnroll = node.hasChild("swap_before_unroll");
+  instr.swapAfterUnroll = node.hasChild("swap_after_unroll");
+  checkDescription(!(instr.swapBeforeUnroll && instr.swapAfterUnroll),
+                   "<instruction> cannot request both swap passes");
+
+  if (const Node* repeat = node.child("repeat")) {
+    instr.repeatMin = static_cast<int>(repeat->requiredInt("min"));
+    instr.repeatMax = static_cast<int>(repeat->requiredInt("max"));
+    checkDescription(instr.repeatMin >= 1 &&
+                         instr.repeatMax >= instr.repeatMin,
+                     "<repeat> requires 1 <= min <= max");
+  }
+
+  // Operand children in document order define the AT&T operand order.
+  for (const auto& child : node.children()) {
+    const std::string& n = child->name();
+    if (n == "memory") {
+      instr.operands.emplace_back(parseMemoryOperand(*child));
+    } else if (n == "register") {
+      instr.operands.emplace_back(parseRegisterSpec(*child));
+    } else if (n == "immediate") {
+      instr.operands.emplace_back(parseImmediateOperand(*child));
+    }
+  }
+  return instr;
+}
+
+ir::InductionVar parseInduction(const Node& node) {
+  ir::InductionVar iv;
+  const Node* reg = node.child("register");
+  checkDescription(reg != nullptr, "<induction> requires a <register>");
+  iv.reg = parseRegisterSpec(*reg);
+  checkDescription(!iv.reg.isRotating(),
+                   "<induction> register cannot be a rotating class");
+
+  auto increments = node.childrenNamed("increment");
+  const Node* stride = node.child("stride");
+  checkDescription(!increments.empty() || stride != nullptr,
+                   "<induction> requires <increment> or <stride>");
+  for (const Node* inc : increments) {
+    auto parsed = strings::parseInt(inc->trimmedText());
+    checkDescription(parsed.has_value(),
+                     "<increment> is not an integer: " + inc->trimmedText());
+    iv.strideChoices.push_back(*parsed);
+  }
+  if (stride) {
+    std::int64_t min = stride->requiredInt("min");
+    std::int64_t max = stride->requiredInt("max");
+    std::int64_t step = stride->childInt("step").value_or(1);
+    checkDescription(step > 0, "<stride> step must be positive");
+    checkDescription(min <= max, "<stride> requires min <= max");
+    for (std::int64_t v = min; v <= max; v += step) {
+      iv.strideChoices.push_back(v);
+    }
+  }
+  checkDescription(!iv.strideChoices.empty(), "<induction> has no strides");
+  if (iv.strideChoices.size() == 1) {
+    iv.increment = iv.strideChoices.front();
+    iv.strideChoices.clear();
+  }
+
+  if (auto off = node.childInt("offset")) iv.offsetStep = *off;
+  if (auto es = node.childInt("element_size")) {
+    checkDescription(*es > 0, "<element_size> must be positive");
+    iv.elementSize = *es;
+  }
+  if (const Node* linked = node.child("linked")) {
+    const Node* linkedReg = linked->child("register");
+    checkDescription(linkedReg != nullptr,
+                     "<linked> requires a <register> child");
+    auto name = linkedReg->childText("name");
+    checkDescription(name.has_value() && !name->empty(),
+                     "<linked> register must be a logical <name>");
+    iv.linkedTo = *name;
+  }
+  iv.lastInduction = node.hasChild("last_induction");
+  iv.notAffectedByUnroll = node.hasChild("not_affected_unroll");
+  return iv;
+}
+
+void parseKernel(const Node& node, ir::Kernel& kernel) {
+  for (const auto& child : node.children()) {
+    const std::string& n = child->name();
+    if (n == "instruction") {
+      kernel.body.push_back(parseInstruction(*child));
+    } else if (n == "induction") {
+      kernel.inductions.push_back(parseInduction(*child));
+    } else if (n == "unrolling") {
+      kernel.unrollMin = static_cast<int>(child->requiredInt("min"));
+      kernel.unrollMax = static_cast<int>(child->requiredInt("max"));
+    } else if (n == "branch_information") {
+      kernel.branch.label = child->requiredText("label");
+      kernel.branch.test = child->requiredText("test");
+    } else if (n == "alignment") {
+      auto parsed = strings::parseInt(child->trimmedText());
+      checkDescription(parsed.has_value() && *parsed > 0,
+                       "<alignment> must be a positive integer");
+      kernel.loopAlignment = static_cast<int>(*parsed);
+    }
+  }
+}
+
+}  // namespace
+
+Description parseDescription(const xml::Document& doc) {
+  Description desc;
+  const Node& root = doc.root();
+  const Node* kernelNode = nullptr;
+  if (root.name() == "kernel") {
+    kernelNode = &root;
+  } else if (root.name() == "description") {
+    if (auto v = root.childText("benchmark_name")) desc.benchmarkName = *v;
+    if (auto v = root.childText("function_name")) desc.functionName = *v;
+    if (auto v = root.childInt("maximum_benchmarks")) {
+      checkDescription(*v > 0, "<maximum_benchmarks> must be positive");
+      desc.maximumBenchmarks = static_cast<std::size_t>(*v);
+    }
+    if (auto v = root.childInt("seed")) {
+      desc.seed = static_cast<std::uint64_t>(*v);
+    }
+    desc.emitC = root.hasChild("emit_c");
+    if (auto v = root.childText("schedule")) {
+      checkDescription(*v == "none" || *v == "interleave",
+                       "<schedule> must be 'none' or 'interleave'");
+      desc.schedule = *v;
+    }
+    kernelNode = root.child("kernel");
+    checkDescription(kernelNode != nullptr,
+                     "<description> requires a <kernel> child");
+  } else {
+    throw DescriptionError("root element must be <description> or <kernel>, "
+                           "got <" + root.name() + ">");
+  }
+  desc.kernel.baseName = desc.benchmarkName;
+  parseKernel(*kernelNode, desc.kernel);
+  return desc;
+}
+
+Description parseDescriptionText(const std::string& xmlText) {
+  return parseDescription(xml::parse(xmlText));
+}
+
+Description parseDescriptionFile(const std::string& path) {
+  return parseDescription(xml::parseFile(path));
+}
+
+}  // namespace microtools::creator

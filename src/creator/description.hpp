@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/kernel.hpp"
+#include "xml/xml.hpp"
+
+namespace microtools::creator {
+
+/// A parsed MicroCreator input file: generation options plus the kernel
+/// template whose unresolved degrees of freedom the pass pipeline fans out
+/// into concrete benchmark programs (§3.1 of the paper).
+struct Description {
+  /// Base name used for every generated variant.
+  std::string benchmarkName = "kernel";
+
+  /// Name of the emitted function (the MicroLauncher entry point, §4.4).
+  std::string functionName = "microkernel";
+
+  /// Upper bound on the number of generated benchmark programs ("The user
+  /// can limit the number of benchmark programs if it is superfluous").
+  std::size_t maximumBenchmarks = 10000;
+
+  /// Seed for the RandomSelection pass.
+  std::uint64_t seed = 1;
+
+  /// Emit C source next to the assembly (§3: "generated programs are either
+  /// in assembly format or in C source code").
+  bool emitC = false;
+
+  /// Scheduling mode requested by <schedule>: "none" (keep program order)
+  /// or "interleave" (alternate loads and stores).
+  std::string schedule = "none";
+
+  /// The kernel template.
+  ir::Kernel kernel;
+};
+
+/// Parses a description from an XML document. Throws DescriptionError /
+/// ParseError with precise messages on invalid input.
+///
+/// Schema (all of §3.1's constructs):
+///
+///   <description>                        (or a bare <kernel> root)
+///     <benchmark_name>..</benchmark_name>
+///     <function_name>..</function_name>
+///     <maximum_benchmarks>..</maximum_benchmarks>
+///     <seed>..</seed>
+///     <emit_c/>
+///     <schedule>none|interleave</schedule>
+///     <kernel>
+///       <instruction>
+///         <operation>movaps</operation>           (repeatable: choice set)
+///         <random_choice/>                        (pick one at random)
+///         <move_semantic>                         (instead of <operation>)
+///           <bytes>16</bytes> <aligned/> <unaligned/> <no_double/>
+///         </move_semantic>
+///         <memory>                                (operand, AT&T order)
+///           <register><name>r1</name></register>
+///           <offset>0</offset>
+///           <index><name>r2</name></index> <scale>8</scale>
+///         </memory>
+///         <register>                              (operand)
+///           <name>r3</name>                       (logical), or
+///           <phyName>%xmm</phyName><min>0</min><max>8</max>  (rotating), or
+///           <phyName>%eax</phyName>               (fixed physical)
+///         </register>
+///         <immediate>                             (operand)
+///           <value>8</value>                      (repeatable: choice set)
+///           <min>0</min><max>32</max><step>8</step>
+///         </immediate>
+///         <swap_before_unroll/> <swap_after_unroll/>
+///         <repeat><min>1</min><max>4</max></repeat>
+///       </instruction>
+///       <unrolling><min>1</min><max>8</max></unrolling>
+///       <induction>
+///         <register><name>r1</name></register>    (or <phyName>%eax</phyName>)
+///         <increment>16</increment>               (repeatable: stride choices)
+///         <stride><min>..</min><max>..</max><step>..</step></stride>
+///         <offset>16</offset>
+///         <element_size>4</element_size>
+///         <linked><register><name>r1</name></register></linked>
+///         <last_induction/> <not_affected_unroll/>
+///       </induction>
+///       <branch_information><label>L6</label><test>jge</test></branch_information>
+///       <alignment>16</alignment>
+///     </kernel>
+///   </description>
+Description parseDescription(const xml::Document& doc);
+
+/// Convenience: parse from XML text / from a file path.
+Description parseDescriptionText(const std::string& xmlText);
+Description parseDescriptionFile(const std::string& path);
+
+}  // namespace microtools::creator

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace microtools::creator {
+
+/// Renders a fully lowered kernel as a complete AT&T assembly translation
+/// unit: function symbol, prologue, aligned loop label, body, induction
+/// maintenance, conditional branch, epilogue (§3.4; Figure 8 shows the loop
+/// portion). The result assembles with `cc -c` and is what MicroLauncher
+/// executes.
+std::string emitAssembly(const ir::Kernel& kernel,
+                         const std::string& functionName);
+
+/// Renders a fully lowered kernel as a C translation unit with the same
+/// memory access pattern (the paper's "assembly format or C source code"
+/// output option). Loads and stores go through volatile-qualified pointers
+/// of the exact access width so an optimizing compiler preserves them.
+/// Supports the move/FP-arithmetic subset; throws DescriptionError on
+/// kernels it cannot express.
+std::string emitCSource(const ir::Kernel& kernel,
+                        const std::string& functionName);
+
+}  // namespace microtools::creator

@@ -1,0 +1,287 @@
+#include <set>
+#include <sstream>
+
+#include "creator/emit.hpp"
+#include "isa/instructions.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::creator {
+
+namespace {
+
+using ir::Instruction;
+using ir::Kernel;
+
+[[noreturn]] void unsupported(const std::string& what) {
+  throw DescriptionError("C emitter: unsupported " + what);
+}
+
+std::string gprVar(const isa::PhysReg& reg) {
+  return "r_" + isa::registerName(isa::gpr(reg.index, 64)).substr(1);
+}
+
+std::string xmmVar(const isa::PhysReg& reg) {
+  return "x" + std::to_string(reg.index);
+}
+
+std::string regVar(const ir::RegOperand& reg) {
+  if (!reg.phys) unsupported("unbound register operand");
+  if (reg.phys->cls == isa::RegClass::Xmm) return xmmVar(*reg.phys);
+  if (reg.phys->cls == isa::RegClass::Gpr) return gprVar(*reg.phys);
+  unsupported("register class");
+}
+
+/// Renders the byte address of a memory operand as a C expression of type
+/// long (register variables hold byte addresses).
+std::string addressExpr(const ir::MemOperand& mem) {
+  std::string out = regVar(mem.base);
+  if (mem.index) {
+    out += " + " + regVar(*mem.index) + " * " + std::to_string(mem.scale);
+  }
+  if (mem.offset != 0) {
+    out += " + (" + std::to_string(mem.offset) + "L)";
+  }
+  return out;
+}
+
+/// Scalar C type for an access width.
+const char* scalarType(int bytes) {
+  switch (bytes) {
+    case 4: return "float";
+    case 8: return "double";
+    default: unsupported("scalar access width");
+  }
+}
+
+void collectRegisters(const Kernel& kernel, std::set<int>& gprs,
+                      std::set<int>& xmms) {
+  auto visitReg = [&](const ir::RegOperand& reg) {
+    if (!reg.phys) unsupported("unbound register");
+    if (reg.phys->cls == isa::RegClass::Xmm) {
+      xmms.insert(reg.phys->index);
+    } else if (reg.phys->cls == isa::RegClass::Gpr) {
+      gprs.insert(reg.phys->index);
+    }
+  };
+  auto visitInstr = [&](const Instruction& instr) {
+    for (const ir::Operand& op : instr.operands) {
+      if (const auto* reg = std::get_if<ir::RegOperand>(&op)) {
+        visitReg(*reg);
+      } else if (const auto* mem = std::get_if<ir::MemOperand>(&op)) {
+        visitReg(mem->base);
+        if (mem->index) visitReg(*mem->index);
+      }
+    }
+  };
+  for (const Instruction& i : kernel.body) visitInstr(i);
+  for (const Instruction& i : kernel.loopMaintenance) visitInstr(i);
+  for (const ir::InductionVar& iv : kernel.inductions) {
+    if (iv.reg.phys) visitReg(iv.reg);
+  }
+}
+
+/// Translates one kernel-body instruction into a C statement.
+std::string translate(const Instruction& instr) {
+  const isa::InstrDesc* desc = isa::findInstruction(instr.operation);
+  if (!desc) unsupported("operation '" + instr.operation + "'");
+  const auto& ops = instr.operands;
+
+  switch (desc->kind) {
+    case isa::InstrKind::Move: {
+      if (ops.size() != 2) unsupported("move operand count");
+      const auto* srcMem = std::get_if<ir::MemOperand>(&ops[0]);
+      const auto* dstMem = std::get_if<ir::MemOperand>(&ops[1]);
+      const auto* srcReg = std::get_if<ir::RegOperand>(&ops[0]);
+      const auto* dstReg = std::get_if<ir::RegOperand>(&ops[1]);
+      const auto* srcImm = std::get_if<ir::ImmOperand>(&ops[0]);
+      if (srcMem && dstReg) {  // load
+        if (desc->memBytes == 16) {
+          return "mc_load16(&" + regVar(*dstReg) + ", (const void*)(" +
+                 addressExpr(*srcMem) + "));";
+        }
+        if (desc->isFp) {
+          const char* ty = scalarType(desc->memBytes);
+          const char* fld = desc->memBytes == 4 ? "f[0]" : "d[0]";
+          return regVar(*dstReg) + "." + fld + " = *(volatile const " + ty +
+                 "*)(" + addressExpr(*srcMem) + ");";
+        }
+        return regVar(*dstReg) + " = *(volatile const long*)(" +
+               addressExpr(*srcMem) + ");";
+      }
+      if (srcReg && dstMem) {  // store
+        if (desc->memBytes == 16) {
+          return "mc_store16((void*)(" + addressExpr(*dstMem) + "), &" +
+                 regVar(*srcReg) + ");";
+        }
+        if (desc->isFp) {
+          const char* ty = scalarType(desc->memBytes);
+          const char* fld = desc->memBytes == 4 ? "f[0]" : "d[0]";
+          return "*(volatile " + std::string(ty) + "*)(" +
+                 addressExpr(*dstMem) + ") = " + regVar(*srcReg) + "." + fld +
+                 ";";
+        }
+        return "*(volatile long*)(" + addressExpr(*dstMem) + ") = " +
+               regVar(*srcReg) + ";";
+      }
+      if (srcReg && dstReg) {
+        if (srcReg->phys->cls != dstReg->phys->cls) {
+          unsupported("cross-class register move");
+        }
+        return regVar(*dstReg) + " = " + regVar(*srcReg) + ";";
+      }
+      if (srcImm && dstReg) {
+        return regVar(*dstReg) + " = " + std::to_string(srcImm->value) + ";";
+      }
+      unsupported("move operand combination");
+    }
+    case isa::InstrKind::IntAlu: {
+      if (ops.size() != 2) unsupported("ALU operand count");
+      const auto* dstReg = std::get_if<ir::RegOperand>(&ops[1]);
+      if (!dstReg) unsupported("ALU destination");
+      std::string src;
+      if (const auto* imm = std::get_if<ir::ImmOperand>(&ops[0])) {
+        src = std::to_string(imm->value) + "L";
+      } else if (const auto* reg = std::get_if<ir::RegOperand>(&ops[0])) {
+        src = regVar(*reg);
+      } else {
+        unsupported("ALU source");
+      }
+      std::string dst = regVar(*dstReg);
+      if (instr.operation.starts_with("add")) return dst + " += " + src + ";";
+      if (instr.operation.starts_with("sub")) return dst + " -= " + src + ";";
+      if (instr.operation.starts_with("and")) return dst + " &= " + src + ";";
+      if (instr.operation.starts_with("or")) return dst + " |= " + src + ";";
+      if (instr.operation.starts_with("xor")) {
+        if (src == dst) return dst + " = 0;";
+        return dst + " ^= " + src + ";";
+      }
+      if (instr.operation.starts_with("shl")) return dst + " <<= " + src + ";";
+      if (instr.operation.starts_with("shr") ||
+          instr.operation.starts_with("sar")) {
+        return dst + " >>= " + src + ";";
+      }
+      unsupported("ALU operation '" + instr.operation + "'");
+    }
+    case isa::InstrKind::Lea: {
+      if (ops.size() != 2) unsupported("lea operand count");
+      const auto* mem = std::get_if<ir::MemOperand>(&ops[0]);
+      const auto* dst = std::get_if<ir::RegOperand>(&ops[1]);
+      if (!mem || !dst) unsupported("lea operands");
+      return regVar(*dst) + " = " + addressExpr(*mem) + ";";
+    }
+    case isa::InstrKind::FpAdd:
+    case isa::InstrKind::FpMul: {
+      if (ops.size() != 2) unsupported("FP operand count");
+      const auto* dst = std::get_if<ir::RegOperand>(&ops[1]);
+      if (!dst || dst->phys->cls != isa::RegClass::Xmm) {
+        unsupported("FP destination");
+      }
+      bool isDouble = strings::endsWith(instr.operation, "sd") ||
+                      strings::endsWith(instr.operation, "pd");
+      const char* fld = isDouble ? "d[0]" : "f[0]";
+      std::string src;
+      if (const auto* mem = std::get_if<ir::MemOperand>(&ops[0])) {
+        src = std::string("*(volatile const ") +
+              (isDouble ? "double" : "float") + "*)(" + addressExpr(*mem) +
+              ")";
+      } else if (const auto* reg = std::get_if<ir::RegOperand>(&ops[0])) {
+        src = regVar(*reg) + "." + fld;
+      } else {
+        unsupported("FP source");
+      }
+      const char* op = desc->kind == isa::InstrKind::FpAdd ? "+=" : "*=";
+      return regVar(*dst) + "." + fld + " " + op + " " + src + ";";
+    }
+    case isa::InstrKind::FpLogic: {
+      if (ops.size() != 2) unsupported("FP logic operand count");
+      const auto* src = std::get_if<ir::RegOperand>(&ops[0]);
+      const auto* dst = std::get_if<ir::RegOperand>(&ops[1]);
+      if (!src || !dst) unsupported("FP logic operands");
+      std::string d = regVar(*dst), s = regVar(*src);
+      if (d == s) return d + ".q[0] = 0; " + d + ".q[1] = 0;";
+      return d + ".q[0] ^= " + s + ".q[0]; " + d + ".q[1] ^= " + s + ".q[1];";
+    }
+    case isa::InstrKind::Nop:
+      return ";";
+    default:
+      unsupported("instruction kind of '" + instr.operation + "'");
+  }
+}
+
+/// Maps the loop branch mnemonic to the C continuation condition on the
+/// counter variable (flags come from the final sub/add on the counter).
+std::string loopCondition(const std::string& test, const std::string& var) {
+  if (test == "jge" || test == "jns") return var + " >= 0";
+  if (test == "jg") return var + " > 0";
+  if (test == "jle") return var + " <= 0";
+  if (test == "jl" || test == "js") return var + " < 0";
+  if (test == "jne" || test == "jnz") return var + " != 0";
+  if (test == "je" || test == "jz") return var + " == 0";
+  if (test == "ja") return "(unsigned long)" + var + " > 0";
+  if (test == "jae") return "1";  // unsigned >= 0 is always true
+  unsupported("loop branch '" + test + "'");
+}
+
+}  // namespace
+
+std::string emitCSource(const Kernel& kernel,
+                        const std::string& functionName) {
+  const ir::InductionVar* last = kernel.lastInduction();
+  checkDescription(last != nullptr, "C emitter requires a loop counter");
+  if (!last->reg.phys) unsupported("unbound loop counter");
+  std::string counterVar = regVar(last->reg);
+
+  std::set<int> gprs, xmms;
+  collectRegisters(kernel, gprs, xmms);
+
+  std::ostringstream out;
+  out << "/* Generated by MicroCreator (C output) */\n";
+  out << "/* variant: " << kernel.variantName() << " */\n";
+  out << "typedef float mc_v4sf __attribute__((vector_size(16)));\n";
+  out << "typedef union { float f[4]; double d[2]; unsigned long long q[2]; "
+         "mc_v4sf v; } mc_xmm;\n";
+  out << "static inline void mc_load16(mc_xmm* x, const void* p) "
+         "{ x->v = *(volatile const mc_v4sf*)p; }\n";
+  out << "static inline void mc_store16(void* p, const mc_xmm* x) "
+         "{ *(volatile mc_v4sf*)p = x->v; }\n\n";
+
+  out << "int " << functionName << "(int n";
+  for (int i = 0; i < kernel.arrayCount; ++i) {
+    out << ", void* a" << i;
+  }
+  out << ")\n{\n";
+
+  // Register variables. Array pointer registers are initialized from the
+  // arguments following the allocation order (%rsi, %rdx, %rcx, %r8, %r9).
+  for (int g : gprs) {
+    std::string var = gprVar(isa::gpr(g, 64));
+    std::string init = "0";
+    if (g == isa::kRdi) init = "n";
+    if (g == isa::kRax) init = "0";
+    for (int arg = 1; arg < isa::kNumArgumentRegisters; ++arg) {
+      if (isa::argumentRegister(arg).index == g && arg - 1 < kernel.arrayCount) {
+        init = "(long)a" + std::to_string(arg - 1);
+      }
+    }
+    out << "  long " << var << " = " << init << ";\n";
+  }
+  for (int x : xmms) {
+    out << "  mc_xmm x" << x << " = {{0, 0, 0, 0}};\n";
+  }
+
+  out << "  do {\n";
+  for (const Instruction& instr : kernel.body) {
+    out << "    " << translate(instr) << "\n";
+  }
+  for (const Instruction& instr : kernel.loopMaintenance) {
+    out << "    " << translate(instr) << "\n";
+  }
+  out << "  } while (" << loopCondition(kernel.branch.test, counterVar)
+      << ");\n";
+  out << "  return (int)r_rax;\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace microtools::creator

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+
+#include "creator/pass.hpp"
+
+namespace microtools::creator::passes {
+
+/// Factories for the nineteen standard passes (§3.2), in pipeline order.
+/// PassManager::standardPipeline() assembles them; plugins may construct
+/// individual passes to re-insert after removal or replacement.
+
+std::unique_ptr<Pass> makeValidateDescription();     // 1
+std::unique_ptr<Pass> makeInstructionRepetition();   // 2
+std::unique_ptr<Pass> makeRandomSelection();         // 3
+std::unique_ptr<Pass> makeMoveSemanticExpansion();   // 4
+std::unique_ptr<Pass> makeImmediateSelection();      // 5
+std::unique_ptr<Pass> makeStrideSelection();         // 6
+std::unique_ptr<Pass> makeOperandSwapBeforeUnroll(); // 7
+std::unique_ptr<Pass> makeUnrolling();               // 8
+std::unique_ptr<Pass> makeOperandSwapAfterUnroll();  // 9
+std::unique_ptr<Pass> makeRegisterRotation();        // 10
+std::unique_ptr<Pass> makeRegisterAllocation();      // 11
+std::unique_ptr<Pass> makeLoopCounterSetup();        // 12
+std::unique_ptr<Pass> makeInductionLinking();        // 13
+std::unique_ptr<Pass> makeInductionInsertion();      // 14
+std::unique_ptr<Pass> makeAlignmentDirectives();     // 15
+std::unique_ptr<Pass> makePrologueEpilogue();        // 16
+std::unique_ptr<Pass> makeScheduling();              // 17
+std::unique_ptr<Pass> makePeephole();                // 18
+std::unique_ptr<Pass> makeCodeEmission();            // 19
+
+}  // namespace microtools::creator::passes

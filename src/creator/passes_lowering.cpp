@@ -1,0 +1,404 @@
+// Passes 11-18: lowering to executable form — register allocation, the
+// iteration-count contract with MicroLauncher (§4.4), induction scaling and
+// materialization, alignment, ABI prologue/epilogue, optional scheduling and
+// a small peephole cleanup.
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "creator/passes.hpp"
+#include "isa/instructions.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::creator::passes {
+
+namespace {
+
+using ir::Instruction;
+using ir::Kernel;
+
+// ---------------------------------------------------------------------------
+// 11. RegisterAllocation
+// ---------------------------------------------------------------------------
+
+class RegisterAllocation final : public Pass {
+ public:
+  RegisterAllocation() : Pass("RegisterAllocation") {}
+
+  void run(GenerationState& state) override {
+    for (Kernel& kernel : state.kernels) allocate(kernel);
+  }
+
+ private:
+  static void allocate(Kernel& kernel) {
+    std::vector<std::pair<std::string, isa::PhysReg>> bindings;
+    auto bound = [&bindings](const std::string& name) -> const isa::PhysReg* {
+      for (const auto& [n, r] : bindings) {
+        if (n == name) return &r;
+      }
+      return nullptr;
+    };
+
+    // The loop counter is the trip-count argument: bind it to %rdi.
+    for (ir::InductionVar& iv : kernel.inductions) {
+      if (iv.lastInduction && !iv.reg.logicalName.empty()) {
+        bindings.emplace_back(iv.reg.logicalName, isa::gpr(isa::kRdi, 64));
+      }
+    }
+
+    // Memory base/index registers are array pointers: bind them to the
+    // SysV argument registers after the trip count, in appearance order.
+    int nextArg = 1;
+    auto bindPointer = [&](const ir::RegOperand& reg) {
+      if (reg.logicalName.empty() || bound(reg.logicalName)) return;
+      checkDescription(nextArg < isa::kNumArgumentRegisters,
+                       "too many distinct array pointer registers (max " +
+                           std::to_string(isa::kNumArgumentRegisters - 1) +
+                           ")");
+      bindings.emplace_back(reg.logicalName,
+                            isa::argumentRegister(nextArg++));
+    };
+    for (const Instruction& instr : kernel.body) {
+      for (const ir::Operand& op : instr.operands) {
+        if (const auto* mem = std::get_if<ir::MemOperand>(&op)) {
+          bindPointer(mem->base);
+          if (mem->index) bindPointer(*mem->index);
+        }
+      }
+    }
+    kernel.arrayCount = nextArg - 1;
+
+    // Any remaining logical registers get caller-saved scratch registers.
+    int nextScratch = 0;
+    auto bindScratch = [&](const ir::RegOperand& reg) {
+      if (reg.logicalName.empty() || bound(reg.logicalName)) return;
+      checkDescription(nextScratch < isa::kNumScratchRegisters,
+                       "too many distinct logical registers; no scratch "
+                       "registers left");
+      bindings.emplace_back(reg.logicalName,
+                            isa::scratchRegister(nextScratch++));
+    };
+    for (const Instruction& instr : kernel.body) {
+      for (const ir::Operand& op : instr.operands) {
+        if (const auto* reg = std::get_if<ir::RegOperand>(&op)) {
+          bindScratch(*reg);
+        }
+      }
+    }
+    for (const ir::InductionVar& iv : kernel.inductions) {
+      bindScratch(iv.reg);
+    }
+
+    // Apply the binding everywhere.
+    auto apply = [&bound](ir::RegOperand& reg) {
+      if (reg.logicalName.empty() || reg.isBound()) return;
+      const isa::PhysReg* phys = bound(reg.logicalName);
+      checkDescription(phys != nullptr, "logical register '" +
+                                            reg.logicalName +
+                                            "' was never allocated");
+      reg.phys = *phys;
+    };
+    for (Instruction& instr : kernel.body) {
+      for (ir::Operand& op : instr.operands) {
+        if (auto* reg = std::get_if<ir::RegOperand>(&op)) {
+          apply(*reg);
+        } else if (auto* mem = std::get_if<ir::MemOperand>(&op)) {
+          apply(mem->base);
+          if (mem->index) apply(*mem->index);
+        }
+      }
+    }
+    for (ir::InductionVar& iv : kernel.inductions) apply(iv.reg);
+    kernel.regMap = std::move(bindings);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 12. LoopCounterSetup
+// ---------------------------------------------------------------------------
+
+class LoopCounterSetup final : public Pass {
+ public:
+  LoopCounterSetup() : Pass("LoopCounterSetup") {}
+
+  void run(GenerationState& state) override {
+    for (Kernel& kernel : state.kernels) {
+      bool hasEaxCounter = false;
+      for (const ir::InductionVar& iv : kernel.inductions) {
+        if (iv.reg.phys && iv.reg.phys->cls == isa::RegClass::Gpr &&
+            iv.reg.phys->index == isa::kRax) {
+          hasEaxCounter = true;
+        }
+      }
+      // §4.4: the kernel must return the executed iteration count in %eax.
+      // When the description did not set up the Figure 9 counter itself,
+      // synthesize it.
+      if (!hasEaxCounter) {
+        ir::InductionVar counter;
+        counter.reg = ir::RegOperand::physical(isa::gpr(isa::kRax, 32));
+        counter.increment = 1;
+        counter.notAffectedByUnroll = true;
+        kernel.inductions.push_back(std::move(counter));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 13. InductionLinking
+// ---------------------------------------------------------------------------
+
+class InductionLinking final : public Pass {
+ public:
+  InductionLinking() : Pass("InductionLinking") {}
+
+  void run(GenerationState& state) override {
+    for (Kernel& kernel : state.kernels) {
+      for (ir::InductionVar& iv : kernel.inductions) {
+        std::int64_t scaled = iv.increment;
+        if (!iv.notAffectedByUnroll) scaled *= kernel.unrollFactor;
+        if (iv.linkedTo) {
+          const ir::InductionVar* linked = kernel.inductionFor(*iv.linkedTo);
+          checkDescription(linked != nullptr,
+                           "linked induction '" + *iv.linkedTo +
+                               "' not found");
+          if (linked->offsetStep != 0) {
+            checkDescription(linked->offsetStep % iv.elementSize == 0,
+                             "linked induction offset is not a multiple of "
+                             "the element size");
+            scaled *= linked->offsetStep / iv.elementSize;
+          }
+        }
+        iv.scaledIncrement = scaled;
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 14. InductionInsertion
+// ---------------------------------------------------------------------------
+
+class InductionInsertion final : public Pass {
+ public:
+  InductionInsertion() : Pass("InductionInsertion") {}
+
+  void run(GenerationState& state) override {
+    for (Kernel& kernel : state.kernels) {
+      kernel.loopMaintenance.clear();
+      // Non-exit inductions first, the loop counter last so the branch
+      // tests its flags (Figure 8: add $48,%rsi / sub $12,%rdi / jge).
+      for (const ir::InductionVar& iv : kernel.inductions) {
+        if (!iv.lastInduction) emit(kernel, iv);
+      }
+      const ir::InductionVar* last = kernel.lastInduction();
+      checkDescription(last != nullptr,
+                       "kernel has no loop-exit induction");
+      emit(kernel, *last);
+    }
+  }
+
+ private:
+  static void emit(Kernel& kernel, const ir::InductionVar& iv) {
+    std::int64_t inc = iv.effectiveIncrement();
+    Instruction instr;
+    instr.operation = inc < 0 ? "sub" : "add";
+    ir::ImmOperand imm;
+    imm.value = inc < 0 ? -inc : inc;
+    instr.operands.emplace_back(imm);
+    instr.operands.emplace_back(iv.reg);
+    kernel.loopMaintenance.push_back(std::move(instr));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 15. AlignmentDirectives
+// ---------------------------------------------------------------------------
+
+class AlignmentDirectives final : public Pass {
+ public:
+  AlignmentDirectives() : Pass("AlignmentDirectives") {}
+
+  void run(GenerationState& state) override {
+    for (Kernel& kernel : state.kernels) {
+      unsigned align = static_cast<unsigned>(std::max(kernel.loopAlignment, 1));
+      kernel.loopAlignment = static_cast<int>(std::bit_ceil(align));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 16. PrologueEpilogue
+// ---------------------------------------------------------------------------
+
+class PrologueEpilogue final : public Pass {
+ public:
+  PrologueEpilogue() : Pass("PrologueEpilogue") {}
+
+  void run(GenerationState& state) override {
+    for (Kernel& kernel : state.kernels) build(kernel);
+  }
+
+ private:
+  static void build(Kernel& kernel) {
+    kernel.prologue.clear();
+    kernel.epilogue.clear();
+
+    // Sign-extend the int trip count when the loop counter lives in %rdi
+    // (the SysV first argument is 32-bit %edi).
+    const ir::InductionVar* last = kernel.lastInduction();
+    if (last && last->reg.phys &&
+        last->reg.phys->cls == isa::RegClass::Gpr &&
+        last->reg.phys->index == isa::kRdi &&
+        last->reg.phys->widthBits == 64) {
+      Instruction ext;
+      ext.operation = "movslq";
+      ext.operands.emplace_back(
+          ir::RegOperand::physical(isa::gpr(isa::kRdi, 32)));
+      ext.operands.emplace_back(
+          ir::RegOperand::physical(isa::gpr(isa::kRdi, 64)));
+      kernel.prologue.push_back(std::move(ext));
+    }
+
+    // Zero the %eax iteration counter when one exists.
+    for (const ir::InductionVar& iv : kernel.inductions) {
+      if (iv.reg.phys && iv.reg.phys->cls == isa::RegClass::Gpr &&
+          iv.reg.phys->index == isa::kRax) {
+        Instruction zero;
+        zero.operation = "xor";
+        zero.operands.emplace_back(
+            ir::RegOperand::physical(isa::gpr(isa::kRax, 32)));
+        zero.operands.emplace_back(
+            ir::RegOperand::physical(isa::gpr(isa::kRax, 32)));
+        kernel.prologue.push_back(std::move(zero));
+        break;
+      }
+    }
+
+    Instruction ret;
+    ret.operation = "ret";
+    kernel.epilogue.push_back(std::move(ret));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 17. Scheduling
+// ---------------------------------------------------------------------------
+
+class Scheduling final : public Pass {
+ public:
+  Scheduling() : Pass("Scheduling") {}
+
+  void run(GenerationState& state) override {
+    if (state.description.schedule != "interleave") return;
+    for (Kernel& kernel : state.kernels) interleave(kernel);
+  }
+
+ private:
+  // Alternates loads and stores while preserving relative order inside each
+  // group. Only safe for move-only kernels (no cross-instruction register
+  // dependencies beyond the rotation scheme); bail out otherwise.
+  static void interleave(Kernel& kernel) {
+    for (const Instruction& instr : kernel.body) {
+      const isa::InstrDesc* desc = isa::findInstruction(instr.operation);
+      if (!desc || desc->kind != isa::InstrKind::Move) {
+        log::warn("Scheduling: kernel '" + kernel.variantName() +
+                  "' contains non-move instructions; keeping program order");
+        return;
+      }
+    }
+    std::vector<Instruction> loads, stores, rest;
+    for (Instruction& instr : kernel.body) {
+      if (instr.isLoad()) {
+        loads.push_back(std::move(instr));
+      } else if (instr.isStore()) {
+        stores.push_back(std::move(instr));
+      } else {
+        rest.push_back(std::move(instr));
+      }
+    }
+    std::vector<Instruction> result;
+    std::size_t li = 0, si = 0;
+    while (li < loads.size() || si < stores.size()) {
+      if (li < loads.size()) result.push_back(std::move(loads[li++]));
+      if (si < stores.size()) result.push_back(std::move(stores[si++]));
+    }
+    for (Instruction& instr : rest) result.push_back(std::move(instr));
+    kernel.body = std::move(result);
+    kernel.tag("sched_il");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 18. Peephole
+// ---------------------------------------------------------------------------
+
+class Peephole final : public Pass {
+ public:
+  Peephole() : Pass("Peephole") {}
+
+  void run(GenerationState& state) override {
+    for (Kernel& kernel : state.kernels) {
+      clean(kernel.body);
+      clean(kernel.loopMaintenance);
+    }
+  }
+
+ private:
+  static bool isNoop(const Instruction& instr) {
+    // add/sub of immediate zero.
+    if ((instr.operation == "add" || instr.operation == "sub") &&
+        instr.operands.size() == 2) {
+      if (const auto* imm =
+              std::get_if<ir::ImmOperand>(&instr.operands[0])) {
+        if (imm->choices.empty() && imm->value == 0) return true;
+      }
+    }
+    // Register-to-itself moves.
+    if (instr.operation == "mov" && instr.operands.size() == 2) {
+      const auto* src = std::get_if<ir::RegOperand>(&instr.operands[0]);
+      const auto* dst = std::get_if<ir::RegOperand>(&instr.operands[1]);
+      if (src && dst && src->phys && dst->phys && *src->phys == *dst->phys) {
+        return true;
+      }
+    }
+    if (instr.operation == "nop") return true;
+    return false;
+  }
+
+  static void clean(std::vector<Instruction>& body) {
+    body.erase(std::remove_if(body.begin(), body.end(), isNoop), body.end());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> makeRegisterAllocation() {
+  return std::make_unique<RegisterAllocation>();
+}
+std::unique_ptr<Pass> makeLoopCounterSetup() {
+  return std::make_unique<LoopCounterSetup>();
+}
+std::unique_ptr<Pass> makeInductionLinking() {
+  return std::make_unique<InductionLinking>();
+}
+std::unique_ptr<Pass> makeInductionInsertion() {
+  return std::make_unique<InductionInsertion>();
+}
+std::unique_ptr<Pass> makeAlignmentDirectives() {
+  return std::make_unique<AlignmentDirectives>();
+}
+std::unique_ptr<Pass> makePrologueEpilogue() {
+  return std::make_unique<PrologueEpilogue>();
+}
+std::unique_ptr<Pass> makeScheduling() {
+  return std::make_unique<Scheduling>();
+}
+std::unique_ptr<Pass> makePeephole() {
+  return std::make_unique<Peephole>();
+}
+
+}  // namespace microtools::creator::passes

@@ -1,0 +1,35 @@
+#include "creator/plugin.hpp"
+
+#include <dlfcn.h>
+
+#include "support/error.hpp"
+
+namespace microtools::creator {
+
+PluginLoader::~PluginLoader() {
+  // Intentionally keep libraries loaded until process exit: PassManager
+  // objects may outlive the loader and still hold plugin-defined passes.
+  // dlclose here would leave dangling vtables.
+}
+
+void PluginLoader::load(const std::string& path, PassManager& pm) {
+  void* handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) {
+    const char* err = dlerror();
+    throw McError("cannot load plugin '" + path + "': " +
+                  (err ? err : "unknown dlopen error"));
+  }
+  dlerror();  // clear any stale error
+  void* sym = dlsym(handle, kPluginInitSymbol);
+  const char* err = dlerror();
+  if (err || !sym) {
+    dlclose(handle);
+    throw McError("plugin '" + path + "' does not export " +
+                  std::string(kPluginInitSymbol));
+  }
+  handles_.push_back(handle);
+  paths_.push_back(path);
+  reinterpret_cast<PluginInitFn>(sym)(pm);
+}
+
+}  // namespace microtools::creator

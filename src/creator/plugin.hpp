@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "creator/pass_manager.hpp"
+
+namespace microtools::creator {
+
+/// MicroCreator's plugin system (§3.3), modeled on the GCC plugin technique:
+/// users provide a dynamic library exporting
+///
+///   extern "C" void pluginInit(microtools::creator::PassManager& pm);
+///
+/// which may add, remove or replace passes and override pass gates through
+/// the fully exposed PassManager API — without recompiling the tool.
+class PluginLoader {
+ public:
+  PluginLoader() = default;
+  ~PluginLoader();
+
+  PluginLoader(const PluginLoader&) = delete;
+  PluginLoader& operator=(const PluginLoader&) = delete;
+
+  /// Loads the shared library at `path` and invokes its pluginInit against
+  /// `pm`. Throws McError when the library cannot be loaded or lacks the
+  /// entry point. The library stays loaded for the loader's lifetime
+  /// (plugin-registered passes may reference its code).
+  void load(const std::string& path, PassManager& pm);
+
+  /// Paths of all loaded plugins, in load order.
+  const std::vector<std::string>& loadedPlugins() const { return paths_; }
+
+ private:
+  std::vector<void*> handles_;
+  std::vector<std::string> paths_;
+};
+
+/// Signature of the plugin entry point.
+using PluginInitFn = void (*)(PassManager&);
+
+/// Name of the entry point symbol each plugin must export.
+inline constexpr const char* kPluginInitSymbol = "pluginInit";
+
+}  // namespace microtools::creator

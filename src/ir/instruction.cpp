@@ -1,0 +1,60 @@
+#include "ir/instruction.hpp"
+
+#include "support/error.hpp"
+
+namespace microtools::ir {
+
+bool Instruction::isFullyResolved() const {
+  if (operation.empty() || !operationChoices.empty() || semantics) return false;
+  if (repeatMin != 1 || repeatMax != 1) return false;
+  for (const Operand& op : operands) {
+    if (const auto* reg = std::get_if<RegOperand>(&op)) {
+      if (!reg->isBound()) return false;
+    } else if (const auto* mem = std::get_if<MemOperand>(&op)) {
+      if (!mem->base.isBound()) return false;
+      if (mem->index && !mem->index->isBound()) return false;
+    } else if (const auto* imm = std::get_if<ImmOperand>(&op)) {
+      if (!imm->choices.empty()) return false;
+    }
+  }
+  return true;
+}
+
+bool Instruction::isLoad() const {
+  if (operands.size() < 2) return false;
+  for (std::size_t i = 0; i + 1 < operands.size(); ++i) {
+    if (isMemory(operands[i])) return true;
+  }
+  return false;
+}
+
+bool Instruction::isStore() const {
+  return !operands.empty() && isMemory(operands.back());
+}
+
+std::string Instruction::render() const {
+  if (operation.empty()) {
+    throw McError("instruction rendered before its operation was resolved");
+  }
+  std::string out = operation;
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    out += (i == 0) ? " " : ", ";
+    out += renderOperand(operands[i]);
+  }
+  return out;
+}
+
+Instruction swappedOperands(const Instruction& instr) {
+  if (instr.operands.size() < 2) {
+    throw DescriptionError(
+        "operand swap requires at least two operands on '" +
+        (instr.operation.empty() ? std::string("<unresolved>")
+                                 : instr.operation) +
+        "'");
+  }
+  Instruction out = instr;
+  std::swap(out.operands[0], out.operands[1]);
+  return out;
+}
+
+}  // namespace microtools::ir

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/operand.hpp"
+
+namespace microtools::ir {
+
+/// "Move semantics" (§3.1): the description asks for a transfer of N bytes
+/// without naming the instruction; the MoveSemanticExpansion pass fans the
+/// request out into concrete mnemonics (aligned vs unaligned, ps vs pd).
+struct MoveSemantics {
+  int bytes = 0;               // 4, 8 or 16
+  bool tryAligned = true;      // consider movaps/movapd for 16-byte moves
+  bool tryUnaligned = false;   // consider movups/movupd for 16-byte moves
+  bool allowDouble = true;     // include the pd/sd spellings
+
+  bool operator==(const MoveSemantics&) const = default;
+};
+
+/// One instruction of a kernel template. Until the generation pipeline has
+/// finished, an instruction may still carry unresolved degrees of freedom
+/// (operation choices, move semantics, immediate choices, swap requests,
+/// repetition ranges) — each fan-out pass removes one kind of freedom.
+struct Instruction {
+  /// Resolved mnemonic; empty while `operationChoices` or `semantics` are
+  /// still pending.
+  std::string operation;
+
+  /// Candidate mnemonics the InstructionRepetition/RandomSelection passes
+  /// choose from; empty once resolved.
+  std::vector<std::string> operationChoices;
+
+  /// Pending move-semantics request; nullopt once expanded.
+  std::optional<MoveSemantics> semantics;
+
+  /// Operands in AT&T order (source first, destination last).
+  std::vector<Operand> operands;
+
+  /// Operand-swap requests (§3.2: two swap passes, before and after
+  /// unrolling, to generate load<->store variant sets).
+  bool swapBeforeUnroll = false;
+  bool swapAfterUnroll = false;
+
+  /// Repetition range: the InstructionRepetition pass clones this
+  /// instruction min..max times (one variant per count).
+  int repeatMin = 1;
+  int repeatMax = 1;
+
+  /// When several operationChoices exist and this is set, RandomSelection
+  /// picks one at random instead of fanning out every choice.
+  bool chooseRandomly = false;
+
+  /// Which unrolled copy this instruction belongs to (set by the Unrolling
+  /// pass; used by RegisterRotation and the per-copy operand swap).
+  int unrollCopy = 0;
+
+  bool operator==(const Instruction&) const = default;
+
+  /// True when every degree of freedom has been resolved and all register
+  /// operands are bound to physical registers.
+  bool isFullyResolved() const;
+
+  /// True when the instruction reads from memory (memory operand in source
+  /// position, i.e. not the last operand) / writes memory (memory operand in
+  /// destination position). Valid on resolved instructions.
+  bool isLoad() const;
+  bool isStore() const;
+
+  /// Renders the instruction in AT&T syntax ("op src, dst").
+  std::string render() const;
+};
+
+/// Swaps the first two operands (the load<->store flip of §3.2). Throws
+/// DescriptionError when the instruction has fewer than two operands.
+Instruction swappedOperands(const Instruction& instr);
+
+}  // namespace microtools::ir

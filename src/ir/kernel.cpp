@@ -1,0 +1,49 @@
+#include "ir/kernel.hpp"
+
+#include "support/strings.hpp"
+
+namespace microtools::ir {
+
+std::string Kernel::variantName() const {
+  std::string out = baseName;
+  for (const std::string& t : tags) {
+    out += '_';
+    out += t;
+  }
+  return out;
+}
+
+const InductionVar* Kernel::inductionFor(const std::string& logicalName) const {
+  for (const InductionVar& iv : inductions) {
+    if (iv.reg.logicalName == logicalName) return &iv;
+  }
+  return nullptr;
+}
+
+InductionVar* Kernel::inductionFor(const std::string& logicalName) {
+  for (InductionVar& iv : inductions) {
+    if (iv.reg.logicalName == logicalName) return &iv;
+  }
+  return nullptr;
+}
+
+const InductionVar* Kernel::lastInduction() const {
+  for (const InductionVar& iv : inductions) {
+    if (iv.lastInduction) return &iv;
+  }
+  return nullptr;
+}
+
+int Kernel::loadCount() const {
+  int n = 0;
+  for (const Instruction& instr : body) n += instr.isLoad() ? 1 : 0;
+  return n;
+}
+
+int Kernel::storeCount() const {
+  int n = 0;
+  for (const Instruction& instr : body) n += instr.isStore() ? 1 : 0;
+  return n;
+}
+
+}  // namespace microtools::ir

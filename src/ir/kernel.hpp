@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace microtools::ir {
+
+/// An induction variable of the kernel loop (§3.1).
+///
+/// Semantics implemented here (documented because Figure 8 of the paper only
+/// shows one worked example):
+///  * `increment`  — advance per original (pre-unroll) loop iteration.
+///  * `offsetStep` — address offset added per unrolled copy to memory
+///    operands based on this register (16 in Figure 6: copy k accesses
+///    16k(%rsi)).
+///  * After unrolling by factor u the loop-level increment becomes
+///    increment * u, except when `notAffectedByUnroll` is set (Figure 9's
+///    iteration counter).
+///  * A `linkedTo` induction additionally scales by the *elements consumed
+///    per unroll step* of the linked register, elementsPerStep =
+///    linked.offsetStep / elementSize. Figure 6/8: r0 has increment -1
+///    linked to r1 (offsetStep 16, elementSize 4) and unroll 3 gives
+///    -1 * 3 * (16/4) = -12, matching `sub $12, %rdi`.
+struct InductionVar {
+  RegOperand reg;
+  std::int64_t increment = 0;
+  std::vector<std::int64_t> strideChoices;  // StrideSelection candidates
+  std::int64_t offsetStep = 0;
+  std::optional<std::string> linkedTo;  // logical name of linked register
+  bool lastInduction = false;       // drives the loop-exit test
+  bool notAffectedByUnroll = false; // e.g. the %eax iteration counter
+  std::int64_t elementSize = 4;     // bytes per counted element for links
+
+  /// Per-loop-iteration increment after unroll/link scaling; set by the
+  /// InductionLinking pass (nullopt until then).
+  std::optional<std::int64_t> scaledIncrement;
+
+  /// The increment InductionInsertion must materialize.
+  std::int64_t effectiveIncrement() const {
+    return scaledIncrement.value_or(increment);
+  }
+
+  bool operator==(const InductionVar&) const = default;
+};
+
+/// Loop branch description (label + conditional jump mnemonic).
+struct BranchInfo {
+  std::string label = "L1";
+  std::string test = "jge";
+
+  bool operator==(const BranchInfo&) const = default;
+};
+
+/// A kernel: the unit the whole MicroCreator pipeline transforms.
+///
+/// Passes consume and produce vectors of kernels; variant-producing passes
+/// return several output kernels per input (the paper's "thousands of
+/// variations from a single file"). `tags` records every decision taken so
+/// each generated benchmark has a self-describing name.
+struct Kernel {
+  std::string baseName = "kernel";
+
+  /// Loop body (the instructions between the label and the branch).
+  std::vector<Instruction> body;
+
+  /// Loop-maintenance instructions appended by InductionInsertion.
+  std::vector<Instruction> loopMaintenance;
+
+  /// Function prologue/epilogue built by the PrologueEpilogue pass.
+  std::vector<Instruction> prologue;
+  std::vector<Instruction> epilogue;
+
+  /// Logical-to-physical register bindings chosen by RegisterAllocation,
+  /// in allocation order.
+  std::vector<std::pair<std::string, isa::PhysReg>> regMap;
+
+  /// Number of array pointer arguments the generated function expects after
+  /// the trip count (MicroLauncher's --nbvectors, §4.4).
+  int arrayCount = 0;
+
+  std::vector<InductionVar> inductions;
+  BranchInfo branch;
+
+  /// Unroll bounds requested by the description; the Unrolling pass fans
+  /// out one kernel per factor in [unrollMin, unrollMax].
+  int unrollMin = 1;
+  int unrollMax = 1;
+
+  /// Factor actually applied (1 until the Unrolling pass runs).
+  int unrollFactor = 1;
+
+  /// Requested code alignment for the loop label (bytes, power of two).
+  int loopAlignment = 16;
+
+  /// Decision log: "unroll=3", "op0=store", "imm1=8", ...
+  std::vector<std::string> tags;
+
+  /// Adds a decision tag.
+  void tag(const std::string& t) { tags.push_back(t); }
+
+  /// Variant name: baseName plus all tags joined with '_'.
+  std::string variantName() const;
+
+  /// Finds the induction variable driving a logical register; nullptr when
+  /// absent.
+  const InductionVar* inductionFor(const std::string& logicalName) const;
+  InductionVar* inductionFor(const std::string& logicalName);
+
+  /// The induction flagged `last_induction` (the loop counter); nullptr
+  /// when the description did not flag one.
+  const InductionVar* lastInduction() const;
+
+  /// Number of memory-reading / memory-writing instructions in the body.
+  int loadCount() const;
+  int storeCount() const;
+};
+
+}  // namespace microtools::ir

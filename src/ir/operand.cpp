@@ -1,0 +1,80 @@
+#include "ir/operand.hpp"
+
+#include "support/error.hpp"
+
+namespace microtools::ir {
+
+RegOperand RegOperand::logical(std::string name) {
+  RegOperand op;
+  op.logicalName = std::move(name);
+  return op;
+}
+
+RegOperand RegOperand::physical(isa::PhysReg reg) {
+  RegOperand op;
+  op.phys = reg;
+  return op;
+}
+
+RegOperand RegOperand::rotating(std::string prefix, int min, int max) {
+  if (min < 0 || max <= min) {
+    throw DescriptionError("rotating register range must satisfy 0 <= min < max");
+  }
+  RegOperand op;
+  op.rotatePrefix = std::move(prefix);
+  op.rotateMin = min;
+  op.rotateMax = max;
+  return op;
+}
+
+std::string RegOperand::render() const {
+  if (phys) return isa::registerName(*phys);
+  if (isRotating()) {
+    throw McError("rotating register operand '" + rotatePrefix +
+                  "' rendered before RegisterRotation ran");
+  }
+  throw McError("logical register '" + logicalName +
+                "' rendered before RegisterAllocation ran");
+}
+
+std::string MemOperand::render() const {
+  std::string out;
+  if (offset != 0) out += std::to_string(offset);
+  out += '(';
+  out += base.render();
+  if (index) {
+    out += ',';
+    out += index->render();
+    out += ',';
+    out += std::to_string(scale);
+  }
+  out += ')';
+  return out;
+}
+
+std::string ImmOperand::render() const {
+  if (!choices.empty()) {
+    throw McError("immediate with unresolved choices rendered before "
+                  "ImmediateSelection ran");
+  }
+  return "$" + std::to_string(value);
+}
+
+std::string renderOperand(const Operand& op) {
+  return std::visit([](const auto& o) { return o.render(); }, op);
+}
+
+bool isRegister(const Operand& op) {
+  return std::holds_alternative<RegOperand>(op);
+}
+bool isMemory(const Operand& op) {
+  return std::holds_alternative<MemOperand>(op);
+}
+bool isImmediate(const Operand& op) {
+  return std::holds_alternative<ImmOperand>(op);
+}
+bool isLabel(const Operand& op) {
+  return std::holds_alternative<LabelOperand>(op);
+}
+
+}  // namespace microtools::ir

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "isa/registers.hpp"
+
+namespace microtools::ir {
+
+/// A register operand.
+///
+/// MicroCreator works on *logical* registers ("r0", "r1", ... in the XML of
+/// §3.1) that the RegisterAllocation pass later binds to physical registers
+/// following the SysV ABI. An operand may alternatively name a physical
+/// register directly (`<phyName>%eax</phyName>`, Figure 9), or a *rotating*
+/// physical register class (`<phyName>%xmm</phyName>` with min/max, §3.1)
+/// that the RegisterRotation pass resolves to a distinct register per
+/// unrolled copy to reduce register dependencies.
+struct RegOperand {
+  /// Logical name from the description ("r0", "r1"); empty when the operand
+  /// was given physically.
+  std::string logicalName;
+
+  /// Bound physical register (set directly by the description, or by
+  /// RegisterRotation / RegisterAllocation).
+  std::optional<isa::PhysReg> phys;
+
+  /// Rotating register class: prefix such as "%xmm" plus [min, max) range.
+  std::string rotatePrefix;
+  int rotateMin = 0;
+  int rotateMax = 0;
+
+  bool isRotating() const { return !rotatePrefix.empty(); }
+  bool isBound() const { return phys.has_value(); }
+
+  bool operator==(const RegOperand&) const = default;
+
+  /// Renders the operand in AT&T syntax; throws McError when still unbound.
+  std::string render() const;
+
+  static RegOperand logical(std::string name);
+  static RegOperand physical(isa::PhysReg reg);
+  static RegOperand rotating(std::string prefix, int min, int max);
+};
+
+/// A memory operand `offset(base, index, scale)` in AT&T syntax.
+struct MemOperand {
+  RegOperand base;
+  std::optional<RegOperand> index;
+  int scale = 1;
+  std::int64_t offset = 0;
+
+  bool operator==(const MemOperand&) const = default;
+
+  std::string render() const;
+};
+
+/// An immediate operand; may carry several candidate values that the
+/// ImmediateSelection pass fans out into separate benchmark variants.
+struct ImmOperand {
+  std::int64_t value = 0;
+  std::vector<std::int64_t> choices;  // empty = fixed value
+
+  bool operator==(const ImmOperand&) const = default;
+
+  std::string render() const;
+};
+
+/// A branch target label.
+struct LabelOperand {
+  std::string label;
+
+  bool operator==(const LabelOperand&) const = default;
+
+  std::string render() const { return label; }
+};
+
+using Operand = std::variant<RegOperand, MemOperand, ImmOperand, LabelOperand>;
+
+/// Renders any operand in AT&T syntax.
+std::string renderOperand(const Operand& op);
+
+/// Type queries used throughout the pass pipeline.
+bool isRegister(const Operand& op);
+bool isMemory(const Operand& op);
+bool isImmediate(const Operand& op);
+bool isLabel(const Operand& op);
+
+}  // namespace microtools::ir

@@ -1,0 +1,101 @@
+#include "isa/registers.hpp"
+
+#include <array>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::isa {
+
+namespace {
+
+// Canonical GPR names by index, per width.
+constexpr std::array<const char*, 16> kNames64 = {
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15"};
+constexpr std::array<const char*, 16> kNames32 = {
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d"};
+constexpr std::array<const char*, 16> kNames16 = {
+    "ax",  "cx",  "dx",  "bx",  "sp",  "bp",  "si",  "di",
+    "r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w"};
+constexpr std::array<const char*, 16> kNames8 = {
+    "al",  "cl",  "dl",  "bl",  "spl", "bpl", "sil", "dil",
+    "r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b"};
+
+std::optional<PhysReg> lookupGpr(std::string_view name) {
+  for (int i = 0; i < 16; ++i) {
+    if (name == kNames64[static_cast<std::size_t>(i)]) return gpr(i, 64);
+    if (name == kNames32[static_cast<std::size_t>(i)]) return gpr(i, 32);
+    if (name == kNames16[static_cast<std::size_t>(i)]) return gpr(i, 16);
+    if (name == kNames8[static_cast<std::size_t>(i)]) return gpr(i, 8);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<PhysReg> parseRegister(std::string_view token) {
+  if (!token.empty() && token.front() == '%') token.remove_prefix(1);
+  if (token.empty()) return std::nullopt;
+  if (token == "rip") return PhysReg{RegClass::Rip, 0, 64};
+  if (strings::startsWith(token, "xmm")) {
+    auto idx = strings::parseInt(token.substr(3));
+    if (!idx || *idx < 0 || *idx > 15) return std::nullopt;
+    return xmm(static_cast<int>(*idx));
+  }
+  return lookupGpr(token);
+}
+
+std::string registerName(const PhysReg& reg) {
+  if (reg.cls == RegClass::Rip) return "%rip";
+  if (reg.cls == RegClass::Xmm) return "%xmm" + std::to_string(reg.index);
+  if (reg.index < 0 || reg.index > 15) {
+    throw McError("GPR index out of range: " + std::to_string(reg.index));
+  }
+  auto i = static_cast<std::size_t>(reg.index);
+  switch (reg.widthBits) {
+    case 64: return std::string("%") + kNames64[i];
+    case 32: return std::string("%") + kNames32[i];
+    case 16: return std::string("%") + kNames16[i];
+    case 8: return std::string("%") + kNames8[i];
+    default:
+      throw McError("unsupported GPR width: " +
+                    std::to_string(reg.widthBits));
+  }
+}
+
+PhysReg gpr(int index, int widthBits) {
+  if (index < 0 || index > 15) {
+    throw McError("GPR index out of range: " + std::to_string(index));
+  }
+  return PhysReg{RegClass::Gpr, index, widthBits};
+}
+
+PhysReg xmm(int index) {
+  if (index < 0 || index > 15) {
+    throw McError("XMM index out of range: " + std::to_string(index));
+  }
+  return PhysReg{RegClass::Xmm, index, 128};
+}
+
+PhysReg argumentRegister(int argIndex) {
+  static constexpr std::array<int, 6> kArgOrder = {kRdi, kRsi, kRdx,
+                                                   kRcx, kR8,  kR9};
+  if (argIndex < 0 || argIndex >= kNumArgumentRegisters) {
+    throw McError("argument register index out of range: " +
+                  std::to_string(argIndex));
+  }
+  return gpr(kArgOrder[static_cast<std::size_t>(argIndex)], 64);
+}
+
+PhysReg scratchRegister(int scratchIndex) {
+  static constexpr std::array<int, 2> kScratchOrder = {kR10, kR11};
+  if (scratchIndex < 0 || scratchIndex >= kNumScratchRegisters) {
+    throw McError("scratch register index out of range: " +
+                  std::to_string(scratchIndex));
+  }
+  return gpr(kScratchOrder[static_cast<std::size_t>(scratchIndex)], 64);
+}
+
+}  // namespace microtools::isa

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace microtools::isa {
+
+/// Register classes of the x86-64 subset MicroTools generates.
+enum class RegClass : std::uint8_t {
+  Gpr,  ///< general purpose (%rax ... %r15 and their sub-views)
+  Xmm,  ///< SSE vector registers (%xmm0 ... %xmm15)
+  Rip,  ///< instruction pointer (only as a memory base)
+};
+
+/// A physical register reference: class, index, and access width in bits.
+///
+/// The same architectural register is identified by (cls, index) regardless
+/// of width, so %eax and %rax compare equal for dependency tracking through
+/// sameArchReg().
+struct PhysReg {
+  RegClass cls = RegClass::Gpr;
+  int index = 0;       // 0..15
+  int widthBits = 64;  // 8, 16, 32, 64 for GPR; 128 for XMM
+
+  bool operator==(const PhysReg&) const = default;
+
+  /// True when `other` names the same architectural register (ignoring
+  /// width), i.e. writes to one clobber the other.
+  bool sameArchReg(const PhysReg& other) const {
+    return cls == other.cls && index == other.index;
+  }
+};
+
+/// Parses an AT&T register token such as "%rax", "%r10d" or "%xmm3".
+/// The leading '%' is optional. Returns nullopt for unknown names.
+std::optional<PhysReg> parseRegister(std::string_view token);
+
+/// Renders a PhysReg back to its canonical AT&T name (with leading '%').
+std::string registerName(const PhysReg& reg);
+
+/// GPR index constants following the SysV AMD64 numbering used by the
+/// instruction encoder (rax=0, rcx=1, rdx=2, rbx=3, rsp=4, rbp=5, rsi=6,
+/// rdi=7, r8..r15 = 8..15).
+inline constexpr int kRax = 0, kRcx = 1, kRdx = 2, kRbx = 3, kRsp = 4,
+                     kRbp = 5, kRsi = 6, kRdi = 7, kR8 = 8, kR9 = 9,
+                     kR10 = 10, kR11 = 11, kR12 = 12, kR13 = 13, kR14 = 14,
+                     kR15 = 15;
+
+/// Constructs a GPR of the given width.
+PhysReg gpr(int index, int widthBits = 64);
+
+/// Constructs an XMM register.
+PhysReg xmm(int index);
+
+/// SysV AMD64 integer argument registers in call order
+/// (%rdi, %rsi, %rdx, %rcx, %r8, %r9).
+PhysReg argumentRegister(int argIndex);
+
+/// Number of integer argument registers in the SysV calling convention.
+inline constexpr int kNumArgumentRegisters = 6;
+
+/// Caller-saved scratch GPRs that MicroCreator's register allocator may hand
+/// out beyond the argument registers, in preference order. %rax is excluded
+/// (reserved for the iteration-count return value, §4.4) and callee-saved
+/// registers are excluded so generated kernels never need a stack frame.
+PhysReg scratchRegister(int scratchIndex);
+inline constexpr int kNumScratchRegisters = 2;  // %r10, %r11
+
+}  // namespace microtools::isa

@@ -1,0 +1,226 @@
+#include "kernels/matmul.hpp"
+
+#include <sstream>
+
+#include "asmparse/asmparse.hpp"
+#include "sim/core.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::kernels {
+
+void naiveMatmul(int n, const double* b, const double* c, double* a) {
+  for (int i = 0; i < n; ++i) {
+    const double* second = b + static_cast<std::ptrdiff_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      double* res = a + static_cast<std::ptrdiff_t>(i) * n + j;
+      *res = 0;
+      for (int k = 0; k < n; ++k) {
+        const double* third = c + static_cast<std::ptrdiff_t>(k) * n;
+        *res += second[k] * third[j];
+      }
+    }
+  }
+}
+
+std::string naiveMatmulCSource() {
+  // Figure 1, with the paper's pointer style kept intact.
+  return R"(/* Naive matrix multiply (paper Figure 1) */
+int multiplySingle(int iter, void* va, void* vb, void* vc)
+{
+  double* A = (double*)va;
+  double* B = (double*)vb;
+  double* C = (double*)vc;
+  int i, j, k;
+  for (i = 0; i < iter; i++) {
+    double* first = A + i * iter;
+    double* second = B + i * iter;
+    for (j = 0; j < iter; j++) {
+      double* res = first + j;
+      *res = 0;
+      for (k = 0; k < iter; k++) {
+        double* third = C + k * iter;
+        *res += second[k] * third[j];
+      }
+    }
+  }
+  return iter;
+}
+)";
+}
+
+std::string matmulInnerKernelAsm(int unroll, std::int64_t cStrideBytes) {
+  if (unroll < 1 || unroll > 7) {
+    throw McError("matmul kernel unroll must be in [1, 7] (one accumulator "
+                  "register per copy, xmm1..xmm7)");
+  }
+  std::ostringstream out;
+  out << "# Figure-2 style matmul inner kernel, unroll " << unroll << "\n";
+  out << "\t.text\n";
+  out << "\t.globl matmul_kernel\n";
+  out << "\t.type matmul_kernel, @function\n";
+  out << "matmul_kernel:\n";
+  out << "\tmovslq %edi, %rdi\n";
+  out << "\txor %eax, %eax\n";
+  for (int u = 0; u < unroll; ++u) {
+    out << "\txorps %xmm" << (1 + u) << ", %xmm" << (1 + u) << "\n";
+  }
+  out << "\t.p2align 4\n";
+  out << ".L3:\n";
+  for (int u = 0; u < unroll; ++u) {
+    int acc = 1 + u;
+    out << "\tmovsd " << (8 * u) << "(%rsi), %xmm0\n";
+    out << "\tmulsd " << (cStrideBytes * u) << "(%rdx), %xmm0\n";
+    out << "\taddsd %xmm0, %xmm" << acc << "\n";
+    out << "\tmovsd %xmm" << acc << ", (%rcx)\n";
+  }
+  out << "\tadd $" << (8 * unroll) << ", %rsi\n";
+  out << "\tadd $" << (cStrideBytes * unroll) << ", %rdx\n";
+  out << "\tadd $" << unroll << ", %eax\n";
+  out << "\tsub $" << unroll << ", %rdi\n";
+  out << "\tjg .L3\n";
+  out << "\tret\n";
+  out << "\t.size matmul_kernel, .-matmul_kernel\n";
+  out << "\t.section .note.GNU-stack,\"\",@progbits\n";
+  return out.str();
+}
+
+std::string matmulInnerKernelXml(int unrollMin, int unrollMax,
+                                 std::int64_t cStrideBytes) {
+  // The MicroCreator abstraction of the same kernel: load, multiply with a
+  // memory operand, accumulate into a rotated register, store.
+  return strings::format(R"(<description>
+  <benchmark_name>matmul_kernel</benchmark_name>
+  <function_name>matmul_kernel</function_name>
+  <kernel>
+    <instruction>
+      <operation>movsd</operation>
+      <memory><register><name>r1</name></register><offset>0</offset></memory>
+      <register><phyName>%%xmm</phyName><min>0</min><max>1</max></register>
+    </instruction>
+    <instruction>
+      <operation>mulsd</operation>
+      <memory><register><name>r2</name></register><offset>0</offset></memory>
+      <register><phyName>%%xmm</phyName><min>0</min><max>1</max></register>
+    </instruction>
+    <instruction>
+      <operation>addsd</operation>
+      <register><phyName>%%xmm</phyName><min>0</min><max>1</max></register>
+      <register><phyName>%%xmm</phyName><min>1</min><max>8</max></register>
+    </instruction>
+    <instruction>
+      <operation>movsd</operation>
+      <register><phyName>%%xmm</phyName><min>1</min><max>8</max></register>
+      <memory><register><name>r3</name></register><offset>0</offset></memory>
+    </instruction>
+    <unrolling><min>%d</min><max>%d</max></unrolling>
+    <induction>
+      <register><name>r1</name></register>
+      <increment>8</increment><offset>8</offset>
+    </induction>
+    <induction>
+      <register><name>r2</name></register>
+      <increment>%lld</increment><offset>%lld</offset>
+    </induction>
+    <induction>
+      <register><name>r3</name></register>
+      <increment>0</increment><offset>0</offset>
+    </induction>
+    <induction>
+      <register><phyName>%%eax</phyName></register>
+      <increment>1</increment>
+    </induction>
+    <induction>
+      <register><name>r0</name></register>
+      <increment>-1</increment>
+      <linked><register><name>r1</name></register></linked>
+      <element_size>8</element_size>
+      <last_induction/>
+    </induction>
+    <branch_information><label>L3</label><test>jg</test></branch_information>
+  </kernel>
+</description>
+)",
+                         unrollMin, unrollMax,
+                         static_cast<long long>(cStrideBytes),
+                         static_cast<long long>(cStrideBytes));
+}
+
+MatmulStudyResult runMatmulStudy(const sim::MachineConfig& config,
+                                 const MatmulStudyOptions& options) {
+  const int n = options.n;
+  if (n < 8) throw McError("matmul study requires n >= 8");
+  const std::uint64_t aBase = options.bases[0];
+  const std::uint64_t bBase = options.bases[1];
+  const std::uint64_t cBase = options.bases[2];
+  const std::uint64_t rowBytes = static_cast<std::uint64_t>(n) * 8;
+
+  sim::MemorySystem memsys(config);
+  std::uint64_t clock = 0;
+
+  // Functional warm pass: the access stream of `warmRows` full i-rows.
+  for (int i = 0; i < options.warmRows; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::uint64_t res = aBase + (static_cast<std::uint64_t>(i) * n + j) * 8;
+      for (int k = 0; k < n; ++k) {
+        memsys.load(0, bBase + (static_cast<std::uint64_t>(i) * n + k) * 8, 8,
+                    clock);
+        memsys.load(0, cBase + (static_cast<std::uint64_t>(k) * n + j) * 8, 8,
+                    clock);
+        memsys.store(0, res, 8, clock);
+        clock += 3;
+      }
+    }
+  }
+
+  // Timed pass: the Figure-2 kernel (or a caller-provided equivalent) on
+  // the core model, sampled (i, j).
+  asmparse::Program ownProgram;
+  const asmparse::Program* program = options.programOverride;
+  if (!program) {
+    ownProgram = asmparse::parseAssembly(
+        matmulInnerKernelAsm(options.unroll, static_cast<std::int64_t>(rowBytes)));
+    program = &ownProgram;
+  }
+
+  MatmulStudyResult out;
+  std::uint64_t l1Before = memsys.levelCount(sim::MemLevel::L1);
+  std::uint64_t l2Before = memsys.levelCount(sim::MemLevel::L2);
+  std::uint64_t l3Before = memsys.levelCount(sim::MemLevel::L3);
+  std::uint64_t ramBefore = memsys.levelCount(sim::MemLevel::Ram);
+
+  std::uint64_t measuredCycles = 0;
+  int blocks = std::max(1, options.jBlocks);
+  int blockSize = std::max(1, options.jBlockSize);
+  for (int row = 0; row < options.sampleRows; ++row) {
+    int i = options.warmRows + row;
+    for (int block = 0; block < blocks; ++block) {
+      int jStart = static_cast<int>(
+          static_cast<std::int64_t>(block) * n / blocks);
+      for (int dj = 0; dj < blockSize && jStart + dj < n; ++dj) {
+        int j = jStart + dj;
+        std::uint64_t bRow = bBase + static_cast<std::uint64_t>(i) * rowBytes;
+        std::uint64_t cCol = cBase + static_cast<std::uint64_t>(j) * 8;
+        std::uint64_t res =
+            aBase + (static_cast<std::uint64_t>(i) * n + j) * 8;
+        sim::CoreSim core(config, memsys, 0);
+        sim::RunResult r = core.run(*program, n, {bRow, cCol, res}, clock);
+        clock += r.coreCycles;
+        measuredCycles += r.coreCycles;
+        out.measuredIterations += r.iterations;
+      }
+    }
+  }
+  if (out.measuredIterations == 0) {
+    throw McError("matmul study measured no iterations");
+  }
+  out.cyclesPerKIteration = static_cast<double>(measuredCycles) /
+                            static_cast<double>(out.measuredIterations);
+  out.l1 = memsys.levelCount(sim::MemLevel::L1) - l1Before;
+  out.l2 = memsys.levelCount(sim::MemLevel::L2) - l2Before;
+  out.l3 = memsys.levelCount(sim::MemLevel::L3) - l3Before;
+  out.ram = memsys.levelCount(sim::MemLevel::Ram) - ramBefore;
+  return out;
+}
+
+}  // namespace microtools::kernels

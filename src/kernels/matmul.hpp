@@ -1,0 +1,74 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asmparse/asmparse.hpp"
+#include "sim/arch.hpp"
+#include "sim/memsys.hpp"
+
+namespace microtools::kernels {
+
+/// Reference implementation of the paper's Figure 1 naive matrix multiply:
+/// A[i][j] = sum_k B[i][k] * C[k][j], all three as single n*n arrays.
+/// Used by the native examples and to validate the assembly replicas.
+void naiveMatmul(int n, const double* b, const double* c, double* a);
+
+/// C source of the naive matmul (Figure 1), compilable by the native
+/// backend; entry point `multiplySingle(int n, void* a, void* b, void* c)`.
+std::string naiveMatmulCSource();
+
+/// AT&T assembly replica of Figure 2's inner (k-loop) kernel:
+///
+///   int matmul_kernel(int n, void* bRow, void* cCol, void* res)
+///
+/// per iteration: load B[k], multiply by C[k][j] (memory operand, row
+/// stride `cStrideBytes`), accumulate, store the running sum to *res —
+/// exactly the load / mul+load / add / store structure GCC -O3 produced in
+/// the paper. `unroll` replicates the body with rotated accumulator
+/// registers (xmm1..xmm7) to break the addsd dependency chain.
+std::string matmulInnerKernelAsm(int unroll, std::int64_t cStrideBytes);
+
+/// MicroCreator XML description of the same kernel (the "MicroTools
+/// version" series of Figure 5), with unrolling bounds to fan out.
+std::string matmulInnerKernelXml(int unrollMin, int unrollMax,
+                                 std::int64_t cStrideBytes);
+
+/// Options for the simulated matrix-multiply study (Figures 3-5).
+struct MatmulStudyOptions {
+  int n = 200;           ///< matrix dimension
+  int unroll = 1;        ///< k-loop unroll factor
+  /// Base addresses of A (result), B, C in the simulated address space;
+  /// varied by the Figure-4 alignment study.
+  std::array<std::uint64_t, 3> bases = {0x100000000ull, 0x140000000ull,
+                                        0x180000000ull};
+  int warmRows = 1;      ///< i-rows executed functionally to warm caches
+  int sampleRows = 1;    ///< i-rows measured with the core model
+  int jBlocks = 16;      ///< sampled contiguous j-blocks per measured row
+  int jBlockSize = 32;   ///< j values per block
+
+  /// When set, this kernel is executed instead of the built-in Figure-2
+  /// replica (it must follow the same f(n, bRow, cCol, res) contract) —
+  /// used by the Figure-5 bench to run the MicroCreator-generated
+  /// equivalent through the identical study.
+  const asmparse::Program* programOverride = nullptr;
+};
+
+/// Result of a matmul study run.
+struct MatmulStudyResult {
+  double cyclesPerKIteration = 0.0;  ///< average over all measured k-iters
+  std::uint64_t measuredIterations = 0;
+  std::uint64_t l1 = 0, l2 = 0, l3 = 0, ram = 0;  ///< demand access counts
+};
+
+/// Runs the sampled matmul study on the simulator: caches are warmed with a
+/// functional pass over `warmRows` rows, then the Figure-2 kernel is
+/// executed on the core model for sampled (i, j) positions with a
+/// monotonically advancing clock. Sampling keeps Figure 3's size sweep
+/// tractable while preserving the cache-residency behaviour that drives it.
+MatmulStudyResult runMatmulStudy(const sim::MachineConfig& config,
+                                 const MatmulStudyOptions& options);
+
+}  // namespace microtools::kernels

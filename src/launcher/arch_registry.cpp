@@ -1,0 +1,32 @@
+#include "launcher/arch_registry.hpp"
+
+#include "support/error.hpp"
+
+namespace microtools::launcher {
+
+const std::vector<ArchEntry>& table1() {
+  static const std::vector<ArchEntry> entries = [] {
+    std::vector<ArchEntry> v;
+    v.push_back({sim::sandyBridgeE31240(),
+                 "Sandy Bridge, Intel Xeon E31240 - 3.30 GHz, "
+                 "(1 x 4GB) + (2 x 2GB)",
+                 {17, 18}});
+    v.push_back({sim::nehalemX5650DualSocket(),
+                 "Dual-Socket Nehalem, Intel Xeon X5650 - 2.67 GHz, 8 GB",
+                 {2, 3, 4, 5, 11, 12, 13, 14}});
+    v.push_back({sim::nehalemX7550QuadSocket(),
+                 "Quad-Socket Nehalem, Intel Xeon X7550, 128 GB",
+                 {15, 16}});
+    return v;
+  }();
+  return entries;
+}
+
+const ArchEntry& archByName(const std::string& name) {
+  for (const ArchEntry& entry : table1()) {
+    if (entry.config.name == name) return entry;
+  }
+  throw McError("unknown architecture '" + name + "'");
+}
+
+}  // namespace microtools::launcher

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/arch.hpp"
+
+namespace microtools::launcher {
+
+/// One row of the paper's Table 1: a target architecture, its human
+/// description, and the figures evaluated on it.
+struct ArchEntry {
+  sim::MachineConfig config;
+  std::string description;
+  std::vector<int> figures;
+};
+
+/// The architecture registry reproducing Table 1.
+const std::vector<ArchEntry>& table1();
+
+/// Entry lookup by registry name; throws McError when unknown.
+const ArchEntry& archByName(const std::string& name);
+
+}  // namespace microtools::launcher

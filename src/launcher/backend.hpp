@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "creator/pass.hpp"
+
+namespace microtools::launcher {
+
+/// How one kernel array is materialized: size plus alignment request.
+/// MicroLauncher sweeps `offset` to study alignment effects (§4 and §5.2.2):
+/// the array base is placed at (a multiple of `alignment`) + `offset`.
+struct ArraySpec {
+  std::uint64_t bytes = 0;
+  std::uint64_t alignment = 4096;
+  std::uint64_t offset = 0;
+};
+
+/// One kernel invocation request.
+struct KernelRequest {
+  int n = 0;                      ///< trip-count argument
+  std::vector<ArraySpec> arrays;  ///< pointer arguments after n
+  int core = 0;                   ///< pinning target (§4: CPU pinning)
+
+  /// Bytes the kernel advances per counted iteration — used to split arrays
+  /// across OpenMP threads (4 = the movss/float convention). The simulator
+  /// backend derives the exact value from the kernel's induction code.
+  std::uint64_t chunkStrideBytes = 4;
+};
+
+/// Timing sample for one or more kernel calls.
+struct InvokeResult {
+  double tscCycles = 0.0;         ///< elapsed invariant-TSC cycles
+  std::uint64_t iterations = 0;   ///< iteration count the kernel returned
+};
+
+/// Pinning policy for fork-mode runs.
+enum class PinPolicy { Compact, Scatter };
+
+/// Opaque loaded-kernel handle; concrete backends subclass it.
+class KernelHandle {
+ public:
+  virtual ~KernelHandle() = default;
+};
+
+/// Execution backend abstraction.
+///
+/// The paper's MicroLauncher runs on bare hardware; this reproduction offers
+/// two interchangeable backends: `native` (compile + dlopen + rdtsc — the
+/// faithful tool) and `sim` (the deterministic Nehalem-class simulator that
+/// regenerates the paper's figures; see DESIGN.md's substitution note).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Loads a kernel from its assembly text; `functionName` is the entry
+  /// point (§4.1: "a command-line parameter provides the function name").
+  virtual std::unique_ptr<KernelHandle> load(
+      const std::string& asmText, const std::string& functionName) = 0;
+
+  /// Convenience for MicroCreator output.
+  std::unique_ptr<KernelHandle> load(const creator::GeneratedProgram& p) {
+    return load(p.asmText, p.functionName);
+  }
+
+  /// One timed kernel call.
+  virtual InvokeResult invoke(KernelHandle& kernel,
+                              const KernelRequest& request) = 0;
+
+  /// Timer read-read overhead to subtract (Figure 10's "overhead
+  /// calculation removes the function call cost").
+  virtual double timerOverheadCycles() const = 0;
+
+  /// Fork mode (§4.6): `processes` copies of the kernel, each pinned to its
+  /// own core per `policy`, synchronized, then run `calls` times
+  /// back-to-back. Returns one aggregate per process.
+  virtual std::vector<InvokeResult> invokeFork(KernelHandle& kernel,
+                                               const KernelRequest& request,
+                                               int processes, int calls,
+                                               PinPolicy policy) = 0;
+
+  /// OpenMP mode (§5.2.3): `repetitions` parallel-for regions over the trip
+  /// count with `threads` threads; returns the aggregate region timing.
+  virtual InvokeResult invokeOpenMp(KernelHandle& kernel,
+                                    const KernelRequest& request, int threads,
+                                    int repetitions) = 0;
+
+  /// Drops warm state between experiments where the backend can (simulator
+  /// caches; a no-op natively).
+  virtual void reset() {}
+};
+
+}  // namespace microtools::launcher

@@ -1,0 +1,146 @@
+#include "launcher/options.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::launcher {
+
+int LauncherOptions::effectiveTripCount() const {
+  if (tripCount) return *tripCount;
+  std::uint64_t bytes = arrayBytesPerVector.empty()
+                            ? arrayBytes
+                            : arrayBytesPerVector.front();
+  std::uint64_t elements = bytes / 4;
+  if (elements == 0 || elements > 0x7fffffffull) {
+    throw McError("array size yields an invalid trip count");
+  }
+  return static_cast<int>(elements);
+}
+
+KernelRequest LauncherOptions::toRequest() const {
+  KernelRequest request;
+  request.n = effectiveTripCount();
+  request.core = pinCore;
+  for (int i = 0; i < nbVectors; ++i) {
+    ArraySpec spec;
+    spec.bytes = static_cast<std::size_t>(i) < arrayBytesPerVector.size()
+                     ? arrayBytesPerVector[static_cast<std::size_t>(i)]
+                     : arrayBytes;
+    spec.alignment = alignment;
+    spec.offset = alignOffset;
+    request.arrays.push_back(spec);
+  }
+  return request;
+}
+
+ProtocolOptions LauncherOptions::toProtocol() const {
+  ProtocolOptions p;
+  p.innerRepetitions = innerRepetitions;
+  p.outerRepetitions = outerRepetitions;
+  p.warmup = !noWarmup;
+  p.subtractOverhead = !noOverheadSubtraction;
+  return p;
+}
+
+cli::Parser makeLauncherParser() {
+  cli::Parser parser(
+      "microlauncher",
+      "Executes microbenchmark kernels in a stable, controlled environment "
+      "and reports cycles per iteration as CSV.");
+  parser.addString("input", "Kernel file (assembly, C, or shared object)");
+  parser.addString("input-kind", "Input kind: auto|asm|c|so", "auto");
+  parser.addString("function", "Kernel entry-point symbol", "microkernel");
+  parser.addString("standalone", "Fork and time a stand-alone program");
+  parser.addInt("nbvectors", "Number of arrays passed to the kernel", 1);
+  parser.addInt("array-bytes", "Size of each array in bytes", 1 << 20);
+  parser.addRepeated("array-bytes-n", "Per-array size override (repeatable)");
+  parser.addInt("alignment", "Array base alignment in bytes", 4096);
+  parser.addInt("align-offset", "Extra offset added to each array base", 0);
+  parser.addFlag("sweep-alignment", "Sweep array alignment offsets");
+  parser.addInt("align-min", "Sweep: first offset", 0);
+  parser.addInt("align-max", "Sweep: last offset (exclusive)", 4096);
+  parser.addInt("align-step", "Sweep: offset step", 64);
+  parser.addInt("max-align-configs", "Sweep: configuration cap", 2500);
+  parser.addInt("n", "Kernel trip count (default: first array's elements)");
+  parser.addInt("inner", "Inner repetitions per timed experiment", 8);
+  parser.addInt("outer", "Outer (stability) repetitions", 10);
+  parser.addFlag("no-warmup", "Skip the cache warm-up call");
+  parser.addFlag("no-overhead", "Do not subtract timer overhead");
+  parser.addFlag("full-time", "Report full kernel time, not cycles/iteration");
+  parser.addInt("pin", "Core to pin the kernel to", 0);
+  parser.addInt("cores", "Fork mode: number of processes/cores", 1);
+  parser.addString("pin-policy", "Fork pinning: scatter|compact", "scatter");
+  parser.addInt("fork-calls", "Fork mode: kernel calls per process", 4);
+  parser.addFlag("openmp", "Run the kernel as an OpenMP parallel-for");
+  parser.addInt("threads", "OpenMP threads", 4);
+  parser.addInt("omp-repetitions", "OpenMP parallel regions to time", 10);
+  parser.addString("backend", "Execution backend: sim|native", "sim");
+  parser.addString("arch", "Simulated machine (see --list-arch)",
+                   "nehalem_x5650_2s");
+  parser.addDouble("core-ghz", "Override the core frequency (DVFS study)");
+  parser.addInt("seed", "Deterministic seed", 1);
+  parser.addString("csv", "Write CSV to this file instead of stdout");
+  parser.addFlag("verbose", "Enable info logging");
+  parser.addFlag("list-arch", "List the Table-1 architectures and exit");
+  return parser;
+}
+
+LauncherOptions optionsFromParser(const cli::Parser& parser) {
+  LauncherOptions o;
+  if (parser.has("input")) o.inputFile = parser.getString("input");
+  o.inputKind = parser.getString("input-kind");
+  o.function = parser.getString("function");
+  if (parser.has("standalone")) {
+    o.standaloneProgram = parser.getString("standalone");
+  }
+  o.nbVectors = static_cast<int>(parser.getInt("nbvectors"));
+  o.arrayBytes = static_cast<std::uint64_t>(parser.getInt("array-bytes"));
+  for (const std::string& v : parser.getRepeated("array-bytes-n")) {
+    auto parsed = strings::parseInt(v);
+    if (!parsed || *parsed <= 0) {
+      throw ParseError("--array-bytes-n expects a positive integer");
+    }
+    o.arrayBytesPerVector.push_back(static_cast<std::uint64_t>(*parsed));
+  }
+  o.alignment = static_cast<std::uint64_t>(parser.getInt("alignment"));
+  o.alignOffset = static_cast<std::uint64_t>(parser.getInt("align-offset"));
+  o.sweepAlignment = parser.getFlag("sweep-alignment");
+  o.alignMin = static_cast<std::uint64_t>(parser.getInt("align-min"));
+  o.alignMax = static_cast<std::uint64_t>(parser.getInt("align-max"));
+  o.alignStep = static_cast<std::uint64_t>(parser.getInt("align-step"));
+  o.maxAlignConfigs =
+      static_cast<std::uint64_t>(parser.getInt("max-align-configs"));
+  if (parser.has("n")) o.tripCount = static_cast<int>(parser.getInt("n"));
+  o.innerRepetitions = static_cast<int>(parser.getInt("inner"));
+  o.outerRepetitions = static_cast<int>(parser.getInt("outer"));
+  o.noWarmup = parser.getFlag("no-warmup");
+  o.noOverheadSubtraction = parser.getFlag("no-overhead");
+  o.reportFullKernelTime = parser.getFlag("full-time");
+  o.pinCore = static_cast<int>(parser.getInt("pin"));
+  o.processes = static_cast<int>(parser.getInt("cores"));
+  o.pinPolicy = parser.getString("pin-policy");
+  o.forkCalls = static_cast<int>(parser.getInt("fork-calls"));
+  o.useOpenMp = parser.getFlag("openmp");
+  o.threads = static_cast<int>(parser.getInt("threads"));
+  o.ompRepetitions = static_cast<int>(parser.getInt("omp-repetitions"));
+  o.backend = parser.getString("backend");
+  o.arch = parser.getString("arch");
+  if (parser.has("core-ghz")) o.coreGHz = parser.getDouble("core-ghz");
+  o.seed = static_cast<std::uint64_t>(parser.getInt("seed"));
+  if (parser.has("csv")) o.csvOutput = parser.getString("csv");
+  o.verbose = parser.getFlag("verbose");
+  o.listArch = parser.getFlag("list-arch");
+
+  if (o.nbVectors < 0 || o.nbVectors > 5) {
+    throw ParseError("--nbvectors must be between 0 and 5");
+  }
+  if (o.pinPolicy != "scatter" && o.pinPolicy != "compact") {
+    throw ParseError("--pin-policy must be scatter or compact");
+  }
+  if (o.backend != "sim" && o.backend != "native") {
+    throw ParseError("--backend must be sim or native");
+  }
+  return o;
+}
+
+}  // namespace microtools::launcher

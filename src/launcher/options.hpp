@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "launcher/backend.hpp"
+#include "launcher/protocol.hpp"
+#include "support/cli.hpp"
+
+namespace microtools::launcher {
+
+/// Execution mode of the microlauncher tool.
+enum class LaunchMode { Single, AlignmentSweep, Fork, OpenMp, Standalone };
+
+/// The launcher's full option surface (§4.2: "more than thirty options in
+/// the MicroLauncher tool for behavior tweaking").
+struct LauncherOptions {
+  // -- input -----------------------------------------------------------------
+  std::string inputFile;             ///< assembly/C/shared-object kernel
+  std::string inputKind = "auto";    ///< auto|asm|c|so|exec (§4.1)
+  std::string function = "microkernel";  ///< kernel entry point
+  std::string standaloneProgram;     ///< fork-and-time a whole program
+
+  // -- arrays (--nbvectors & friends, §4.4) -----------------------------------
+  int nbVectors = 1;
+  std::uint64_t arrayBytes = 1 << 20;
+  std::vector<std::uint64_t> arrayBytesPerVector;  ///< overrides per array
+  std::uint64_t alignment = 4096;
+  std::uint64_t alignOffset = 0;
+
+  // -- alignment sweep ---------------------------------------------------------
+  bool sweepAlignment = false;
+  std::uint64_t alignMin = 0;
+  std::uint64_t alignMax = 4096;
+  std::uint64_t alignStep = 64;
+  std::uint64_t maxAlignConfigs = 2500;
+
+  // -- protocol ---------------------------------------------------------------
+  std::optional<int> tripCount;  ///< kernel n; default from array size
+  int innerRepetitions = 8;
+  int outerRepetitions = 10;
+  bool noWarmup = false;
+  bool noOverheadSubtraction = false;
+  bool reportFullKernelTime = false;  ///< §4.3 "full kernel execution" option
+
+  // -- placement ----------------------------------------------------------------
+  int pinCore = 0;
+  int processes = 1;            ///< fork mode core count (§4.6)
+  std::string pinPolicy = "scatter";  ///< scatter|compact
+  int forkCalls = 4;
+
+  // -- OpenMP -------------------------------------------------------------------
+  bool useOpenMp = false;
+  int threads = 4;
+  int ompRepetitions = 10;
+
+  // -- backend / machine ---------------------------------------------------------
+  std::string backend = "sim";   ///< sim|native
+  std::string arch = "nehalem_x5650_2s";
+  std::optional<double> coreGHz;  ///< DVFS override (Figure 13)
+  std::uint64_t seed = 1;
+
+  // -- output -------------------------------------------------------------------
+  std::string csvOutput;  ///< path; empty = stdout
+  bool verbose = false;
+  bool listArch = false;
+
+  /// Derives the trip count: explicit --n, else elements that fit the first
+  /// array (element size 4, the movss convention).
+  int effectiveTripCount() const;
+
+  /// Builds the KernelRequest implied by these options.
+  KernelRequest toRequest() const;
+
+  /// Protocol options implied by these options.
+  ProtocolOptions toProtocol() const;
+};
+
+/// Registers every option on a CLI parser (also serves as the --help page).
+cli::Parser makeLauncherParser();
+
+/// Extracts LauncherOptions from a parsed command line; throws ParseError
+/// on invalid combinations.
+LauncherOptions optionsFromParser(const cli::Parser& parser);
+
+}  // namespace microtools::launcher

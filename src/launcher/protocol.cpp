@@ -1,0 +1,55 @@
+#include "launcher/protocol.hpp"
+
+#include "support/error.hpp"
+
+namespace microtools::launcher {
+
+Measurement measureKernel(Backend& backend, KernelHandle& kernel,
+                          const KernelRequest& request,
+                          const ProtocolOptions& options) {
+  if (options.innerRepetitions < 1 || options.outerRepetitions < 1) {
+    throw McError("protocol repetitions must be >= 1");
+  }
+
+  // Figure 10: "the instruction and data caches are filled with the
+  // kernel's data by calling the benchmark function once".
+  std::uint64_t iterationsPerCall = 0;
+  if (options.warmup) {
+    iterationsPerCall = backend.invoke(kernel, request).iterations;
+  }
+
+  double overhead =
+      options.subtractOverhead ? backend.timerOverheadCycles() : 0.0;
+
+  std::vector<double> samples;
+  double totalCycles = 0.0;
+  for (int outer = 0; outer < options.outerRepetitions; ++outer) {
+    double elapsed = 0.0;
+    std::uint64_t iterations = 0;
+    for (int inner = 0; inner < options.innerRepetitions; ++inner) {
+      InvokeResult r = backend.invoke(kernel, request);
+      elapsed += r.tscCycles;
+      iterations += r.iterations;
+    }
+    if (iterations == 0) {
+      throw ExecutionError(
+          "kernel returned zero iterations; cannot normalize (is the %eax "
+          "iteration-count contract satisfied?)");
+    }
+    iterationsPerCall = iterations /
+                        static_cast<std::uint64_t>(options.innerRepetitions);
+    double sample =
+        (elapsed - overhead * options.innerRepetitions) /
+        static_cast<double>(iterations);
+    samples.push_back(sample);
+    totalCycles += elapsed;
+  }
+
+  Measurement m;
+  m.cyclesPerIteration = stats::summarize(samples);
+  m.iterationsPerCall = iterationsPerCall;
+  m.totalCycles = totalCycles;
+  return m;
+}
+
+}  // namespace microtools::launcher

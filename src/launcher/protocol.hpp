@@ -1,0 +1,43 @@
+#pragma once
+
+#include "launcher/backend.hpp"
+#include "support/stats.hpp"
+
+namespace microtools::launcher {
+
+/// Knobs of the Figure-10 measurement protocol.
+struct ProtocolOptions {
+  int innerRepetitions = 8;   ///< kernel calls per timed experiment
+  int outerRepetitions = 10;  ///< timed experiments (stability check, §4.5)
+  bool warmup = true;         ///< heat I/D caches with one untimed call
+  bool subtractOverhead = true;
+};
+
+/// Result of one measured kernel configuration.
+struct Measurement {
+  /// Cycles per kernel iteration, summarized over the outer experiments
+  /// (min is what the paper plots; min/max spread demonstrates stability).
+  stats::Summary cyclesPerIteration;
+
+  /// Iterations one kernel call executes (from the %eax contract, §4.4).
+  std::uint64_t iterationsPerCall = 0;
+
+  /// Raw cycles of the full measured phase.
+  double totalCycles = 0.0;
+};
+
+/// Runs the paper's timing pseudo-algorithm (Figure 10) against a backend:
+///
+///   call the benchmark once              // load I/D caches
+///   for outer in 1..O:
+///     t0 = timer()
+///     for inner in 1..I: call kernel
+///     t1 = timer()
+///     sample = (t1 - t0 - overhead) / (I * iterations)
+///
+/// and summarizes the outer samples.
+Measurement measureKernel(Backend& backend, KernelHandle& kernel,
+                          const KernelRequest& request,
+                          const ProtocolOptions& options);
+
+}  // namespace microtools::launcher

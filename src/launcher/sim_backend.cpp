@@ -1,0 +1,152 @@
+#include "launcher/sim_backend.hpp"
+
+#include "sim/core.hpp"
+#include "support/error.hpp"
+
+namespace microtools::launcher {
+
+namespace {
+
+constexpr std::uint64_t kRegionBase = 0x100000000ull;   // 4 GiB
+constexpr std::uint64_t kProcessStride = 0x400000000ull;  // 16 GiB apart
+constexpr std::uint64_t kArrayPadding = 2ull * 1024 * 1024;
+
+std::uint64_t alignUp(std::uint64_t v, std::uint64_t a) {
+  if (a == 0) a = 1;
+  return (v + a - 1) / a * a;
+}
+
+/// Derives the byte distance the kernel advances per counted iteration by
+/// comparing the pointer increment with the counter decrement in the loop
+/// maintenance code (e.g. `add $48, %rsi` + `sub $12, %rdi` -> 4 bytes per
+/// counted element). Falls back to 4 when the pattern is not found.
+std::uint64_t analyzeChunkStride(const asmparse::Program& program) {
+  std::int64_t pointerStep = 0;
+  std::int64_t counterStep = 0;
+  for (const asmparse::DecodedInsn& insn : program.instructions) {
+    if (insn.desc->kind != isa::InstrKind::IntAlu) continue;
+    if (insn.operands.size() != 2) continue;
+    if (insn.operands[0].kind != asmparse::DecodedOperand::Kind::Imm) continue;
+    if (insn.operands[1].kind != asmparse::DecodedOperand::Kind::Reg) continue;
+    const isa::PhysReg& reg = insn.operands[1].reg;
+    if (reg.cls != isa::RegClass::Gpr) continue;
+    bool isAdd = insn.desc->mnemonic == "add";
+    bool isSub = insn.desc->mnemonic == "sub";
+    if (!isAdd && !isSub) continue;
+    std::int64_t step = insn.operands[0].imm * (isSub ? -1 : 1);
+    if (reg.index == isa::kRdi) {
+      counterStep = step;
+    } else if (reg.index == isa::argumentRegister(1).index) {
+      pointerStep = step;
+    }
+  }
+  if (pointerStep > 0 && counterStep < 0 &&
+      pointerStep % (-counterStep) == 0) {
+    return static_cast<std::uint64_t>(pointerStep / (-counterStep));
+  }
+  return 4;
+}
+
+}  // namespace
+
+SimBackend::SimBackend(sim::MachineConfig config)
+    : config_(std::move(config)),
+      memsys_(std::make_unique<sim::MemorySystem>(config_)) {}
+
+void SimBackend::setMachine(sim::MachineConfig config) {
+  config_ = std::move(config);
+  memsys_ = std::make_unique<sim::MemorySystem>(config_);
+  clock_ = 0;
+}
+
+std::unique_ptr<KernelHandle> SimBackend::load(
+    const std::string& asmText, const std::string& functionName) {
+  auto handle = std::make_unique<SimKernel>();
+  handle->program = asmparse::parseAssembly(asmText);
+  if (!functionName.empty()) handle->program.functionName = functionName;
+  return handle;
+}
+
+std::vector<std::uint64_t> SimBackend::planAddresses(
+    const KernelRequest& request, int processIndex) {
+  std::vector<std::uint64_t> addrs;
+  std::uint64_t cursor =
+      kRegionBase + static_cast<std::uint64_t>(processIndex) * kProcessStride;
+  for (const ArraySpec& spec : request.arrays) {
+    std::uint64_t base = alignUp(cursor, spec.alignment) + spec.offset;
+    addrs.push_back(base);
+    cursor = base + spec.bytes + kArrayPadding;
+  }
+  return addrs;
+}
+
+InvokeResult SimBackend::invoke(KernelHandle& kernel,
+                                const KernelRequest& request) {
+  auto& handle = dynamic_cast<SimKernel&>(kernel);
+  std::vector<std::uint64_t> addrs = planAddresses(request, 0);
+  sim::CoreSim core(config_, *memsys_, request.core);
+  sim::RunResult r = core.run(handle.program, request.n, addrs, clock_);
+  clock_ += r.coreCycles + static_cast<std::uint64_t>(kCallOverhead);
+  InvokeResult out;
+  out.tscCycles = r.tscCycles + kCallOverhead + kTimerOverhead;
+  out.iterations = r.iterations;
+  return out;
+}
+
+std::vector<InvokeResult> SimBackend::invokeFork(KernelHandle& kernel,
+                                                 const KernelRequest& request,
+                                                 int processes, int calls,
+                                                 PinPolicy policy) {
+  auto& handle = dynamic_cast<SimKernel&>(kernel);
+  if (processes < 1) throw McError("fork mode requires processes >= 1");
+  if (processes > config_.totalCores()) {
+    throw McError("more forked processes than cores");
+  }
+  // Fresh processes, fresh machine state: a dedicated runner (its own
+  // MemorySystem) models the post-fork, post-synchronization start.
+  sim::MultiCoreRunner runner(config_);
+  std::vector<sim::CoreWork> work(static_cast<std::size_t>(processes));
+  for (int p = 0; p < processes; ++p) {
+    sim::CoreWork& w = work[static_cast<std::size_t>(p)];
+    w.program = &handle.program;
+    w.n = request.n;
+    w.arrayAddrs = planAddresses(request, p);
+    w.physicalCore = policy == PinPolicy::Scatter
+                         ? sim::MultiCoreRunner::scatterPin(config_, p)
+                         : sim::MultiCoreRunner::compactPin(config_, p);
+    w.calls = calls;
+    // First-touch allocation: each process's arrays live on its socket.
+    std::uint64_t regionBase =
+        kRegionBase + static_cast<std::uint64_t>(p) * kProcessStride;
+    runner.memory().setHomeSocket(regionBase, kProcessStride,
+                                  runner.memory().socketOfCore(w.physicalCore));
+  }
+  std::vector<sim::RunResult> results = runner.run(work);
+  std::vector<InvokeResult> out;
+  out.reserve(results.size());
+  for (const sim::RunResult& r : results) {
+    out.push_back(InvokeResult{r.tscCycles, r.iterations});
+  }
+  return out;
+}
+
+InvokeResult SimBackend::invokeOpenMp(KernelHandle& kernel,
+                                      const KernelRequest& request,
+                                      int threads, int repetitions) {
+  auto& handle = dynamic_cast<SimKernel&>(kernel);
+  sim::OpenMpModel model(config_);
+  std::vector<std::uint64_t> addrs = planAddresses(request, 0);
+  std::uint64_t stride = analyzeChunkStride(handle.program);
+  sim::OmpRegionResult region = model.runRepeated(
+      handle.program, request.n, addrs, stride, threads, repetitions);
+  InvokeResult out;
+  out.tscCycles = region.regionTscCycles;
+  out.iterations = region.totalIterations;
+  return out;
+}
+
+void SimBackend::reset() {
+  memsys_->clearCaches();
+}
+
+}  // namespace microtools::launcher

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+
+#include "asmparse/asmparse.hpp"
+#include "launcher/backend.hpp"
+#include "sim/machine.hpp"
+#include "sim/memsys.hpp"
+
+namespace microtools::launcher {
+
+/// Simulator-backed execution: kernels run on the micro-architecture model
+/// of `src/sim`, against one persistent MemorySystem whose clock only moves
+/// forward — so the warm-up + repetition protocol behaves exactly like on
+/// hardware (first call cold, later calls warm).
+class SimBackend final : public Backend {
+ public:
+  explicit SimBackend(sim::MachineConfig config);
+
+  std::string name() const override { return "sim:" + config_.name; }
+
+  const sim::MachineConfig& machine() const { return config_; }
+
+  /// Re-parameterizes the simulated machine (e.g. the frequency sweep of
+  /// Figure 13). Resets all warm state.
+  void setMachine(sim::MachineConfig config);
+
+  std::unique_ptr<KernelHandle> load(const std::string& asmText,
+                                     const std::string& functionName) override;
+  using Backend::load;
+
+  InvokeResult invoke(KernelHandle& kernel,
+                      const KernelRequest& request) override;
+
+  double timerOverheadCycles() const override { return kTimerOverhead; }
+
+  std::vector<InvokeResult> invokeFork(KernelHandle& kernel,
+                                       const KernelRequest& request,
+                                       int processes, int calls,
+                                       PinPolicy policy) override;
+
+  InvokeResult invokeOpenMp(KernelHandle& kernel,
+                            const KernelRequest& request, int threads,
+                            int repetitions) override;
+
+  void reset() override;
+
+  /// Access to the shared memory system (tests and cache-statistics
+  /// benches).
+  sim::MemorySystem& memory() { return *memsys_; }
+
+  /// Simulated cost constants, exposed for tests of the protocol's
+  /// overhead subtraction.
+  static constexpr double kCallOverhead = 40.0;   // call/ret + launcher glue
+  static constexpr double kTimerOverhead = 24.0;  // rdtsc read-read
+
+ private:
+  struct SimKernel final : public KernelHandle {
+    asmparse::Program program;
+  };
+
+  /// Lays out the request's arrays in the simulated address space (stable
+  /// per (arrays, process) so repeated invocations hit the same addresses).
+  std::vector<std::uint64_t> planAddresses(const KernelRequest& request,
+                                           int processIndex);
+
+  sim::MachineConfig config_;
+  std::unique_ptr<sim::MemorySystem> memsys_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace microtools::launcher

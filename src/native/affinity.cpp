@@ -1,0 +1,20 @@
+#include "native/affinity.hpp"
+
+#include <sched.h>
+#include <unistd.h>
+
+namespace microtools::native {
+
+bool pinToCore(int core) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % CPU_SETSIZE, &set);
+  return sched_setaffinity(0, sizeof set, &set) == 0;
+}
+
+int availableCores() {
+  long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+}  // namespace microtools::native

@@ -1,0 +1,14 @@
+#pragma once
+
+namespace microtools::native {
+
+/// Pins the calling thread to `core` (sched_setaffinity). Returns false when
+/// the kernel refuses (e.g. restricted cpusets in containers) — callers
+/// proceed unpinned with a warning rather than failing, because timing
+/// without pinning is degraded, not wrong.
+bool pinToCore(int core);
+
+/// Number of CPUs available to this process.
+int availableCores();
+
+}  // namespace microtools::native

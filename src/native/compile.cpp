@@ -1,0 +1,132 @@
+#include "native/compile.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::native {
+
+namespace {
+
+std::string makeTempPath(const std::string& suffix) {
+  static int counter = 0;
+  const char* tmpdir = std::getenv("TMPDIR");
+  if (!tmpdir) tmpdir = "/tmp";
+  return strings::format("%s/microtools_%d_%d%s", tmpdir,
+                         static_cast<int>(getpid()), counter++,
+                         suffix.c_str());
+}
+
+void runCommand(const std::string& command) {
+  std::string full = command + " 2>&1";
+  FILE* pipe = popen(full.c_str(), "r");
+  if (!pipe) throw ExecutionError("cannot run compiler: " + command);
+  std::string output;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, pipe)) output += buf;
+  int status = pclose(pipe);
+  if (status != 0) {
+    throw ExecutionError("compiler failed (" + command + "):\n" + output);
+  }
+}
+
+}  // namespace
+
+CompiledKernel::CompiledKernel(const std::string& sourceText,
+                               const std::string& language,
+                               const std::string& functionName) {
+  std::string suffix;
+  if (language == "asm") {
+    suffix = ".s";
+  } else if (language == "c") {
+    suffix = ".c";
+  } else {
+    throw ExecutionError("unsupported kernel language: " + language);
+  }
+  std::string srcPath = makeTempPath(suffix);
+  {
+    std::ofstream out(srcPath, std::ios::binary);
+    if (!out) throw ExecutionError("cannot write " + srcPath);
+    out << sourceText;
+  }
+  soPath_ = makeTempPath(".so");
+  ownsFile_ = true;
+  const char* cc = std::getenv("CC");
+  if (!cc) cc = "cc";
+  runCommand(strings::format("%s -O2 -shared -fPIC -o %s %s", cc,
+                             soPath_.c_str(), srcPath.c_str()));
+  std::remove(srcPath.c_str());
+  resolve(functionName);
+}
+
+CompiledKernel CompiledKernel::fromSharedObject(
+    const std::string& path, const std::string& functionName) {
+  CompiledKernel k;
+  k.soPath_ = path;
+  k.ownsFile_ = false;
+  k.resolve(functionName);
+  return k;
+}
+
+void CompiledKernel::resolve(const std::string& functionName) {
+  handle_ = dlopen(soPath_.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle_) {
+    const char* err = dlerror();
+    throw ExecutionError("dlopen failed: " +
+                         std::string(err ? err : "unknown"));
+  }
+  dlerror();
+  fn_ = dlsym(handle_, functionName.c_str());
+  const char* err = dlerror();
+  if (err || !fn_) {
+    throw ExecutionError("kernel function '" + functionName +
+                         "' not found in " + soPath_);
+  }
+}
+
+CompiledKernel::~CompiledKernel() {
+  if (handle_) dlclose(handle_);
+  if (ownsFile_ && !soPath_.empty()) std::remove(soPath_.c_str());
+}
+
+CompiledKernel::CompiledKernel(CompiledKernel&& other) noexcept
+    : handle_(other.handle_),
+      fn_(other.fn_),
+      soPath_(std::move(other.soPath_)),
+      ownsFile_(other.ownsFile_) {
+  other.handle_ = nullptr;
+  other.fn_ = nullptr;
+  other.ownsFile_ = false;
+}
+
+int CompiledKernel::call(int n, void* const* arrays, int arrayCount) const {
+  switch (arrayCount) {
+    case 0:
+      return reinterpret_cast<int (*)(int)>(fn_)(n);
+    case 1:
+      return reinterpret_cast<int (*)(int, void*)>(fn_)(n, arrays[0]);
+    case 2:
+      return reinterpret_cast<int (*)(int, void*, void*)>(fn_)(n, arrays[0],
+                                                               arrays[1]);
+    case 3:
+      return reinterpret_cast<int (*)(int, void*, void*, void*)>(fn_)(
+          n, arrays[0], arrays[1], arrays[2]);
+    case 4:
+      return reinterpret_cast<int (*)(int, void*, void*, void*, void*)>(fn_)(
+          n, arrays[0], arrays[1], arrays[2], arrays[3]);
+    case 5:
+      return reinterpret_cast<int (*)(int, void*, void*, void*, void*,
+                                      void*)>(fn_)(
+          n, arrays[0], arrays[1], arrays[2], arrays[3], arrays[4]);
+    default:
+      throw ExecutionError("kernels support at most five arrays");
+  }
+}
+
+}  // namespace microtools::native

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+namespace microtools::native {
+
+/// Kernel function pointer type: int f(int n, void* a0, ..., void* a4)
+/// (§4.4's prototype, up to five arrays). Callers use callKernel() to invoke
+/// with the right arity.
+using KernelFn = int (*)(...);
+
+/// A kernel compiled to a shared object and loaded with dlopen — exactly
+/// MicroLauncher's run-time path (§4.1: "the launcher compiles the kernel
+/// code, if necessary, into a dynamic library loaded at run-time").
+class CompiledKernel {
+ public:
+  /// Compiles `sourceText` (assembly when `language` == "asm", C when "c")
+  /// with the system compiler into a temporary shared object, loads it and
+  /// resolves `functionName`. Throws ExecutionError with the compiler
+  /// diagnostics on failure.
+  CompiledKernel(const std::string& sourceText, const std::string& language,
+                 const std::string& functionName);
+
+  /// Loads an existing shared object directly.
+  static CompiledKernel fromSharedObject(const std::string& path,
+                                         const std::string& functionName);
+
+  ~CompiledKernel();
+  CompiledKernel(CompiledKernel&& other) noexcept;
+  CompiledKernel& operator=(CompiledKernel&&) = delete;
+  CompiledKernel(const CompiledKernel&) = delete;
+  CompiledKernel& operator=(const CompiledKernel&) = delete;
+
+  /// Invokes the kernel with `arrayCount` pointers from `arrays`.
+  int call(int n, void* const* arrays, int arrayCount) const;
+
+  const std::string& sharedObjectPath() const { return soPath_; }
+
+ private:
+  CompiledKernel() = default;
+  void resolve(const std::string& functionName);
+
+  void* handle_ = nullptr;
+  void* fn_ = nullptr;
+  std::string soPath_;
+  bool ownsFile_ = false;
+};
+
+}  // namespace microtools::native

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+
+#include "launcher/backend.hpp"
+#include "native/compile.hpp"
+
+namespace microtools::native {
+
+/// Hardware-backed execution: the faithful MicroLauncher path. Kernels are
+/// compiled to shared objects at run time, pinned with sched_setaffinity and
+/// timed with a serialized rdtsc; fork mode synchronizes child processes
+/// through a pipe barrier before any child starts timing (§4.6); OpenMP mode
+/// splits the trip count across an `omp parallel` region.
+///
+/// Absolute numbers reflect the host this runs on, not the paper's 2010-era
+/// Nehalems — use the sim backend to regenerate the paper's figures.
+class NativeBackend final : public launcher::Backend {
+ public:
+  NativeBackend();
+
+  std::string name() const override { return "native"; }
+
+  std::unique_ptr<launcher::KernelHandle> load(
+      const std::string& asmText, const std::string& functionName) override;
+  using Backend::load;
+
+  /// Loads a kernel from C source instead of assembly.
+  std::unique_ptr<launcher::KernelHandle> loadCSource(
+      const std::string& cText, const std::string& functionName);
+
+  /// Loads a pre-built shared object.
+  std::unique_ptr<launcher::KernelHandle> loadSharedObject(
+      const std::string& path, const std::string& functionName);
+
+  launcher::InvokeResult invoke(launcher::KernelHandle& kernel,
+                                const launcher::KernelRequest& request) override;
+
+  double timerOverheadCycles() const override;
+
+  std::vector<launcher::InvokeResult> invokeFork(
+      launcher::KernelHandle& kernel, const launcher::KernelRequest& request,
+      int processes, int calls, launcher::PinPolicy policy) override;
+
+  launcher::InvokeResult invokeOpenMp(launcher::KernelHandle& kernel,
+                                      const launcher::KernelRequest& request,
+                                      int threads, int repetitions) override;
+
+ private:
+  struct NativeKernel;
+  static NativeKernel& unwrap(launcher::KernelHandle& kernel);
+};
+
+}  // namespace microtools::native

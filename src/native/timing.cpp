@@ -1,0 +1,53 @@
+#include "native/timing.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#else
+#include <ctime>
+#endif
+
+namespace microtools::native {
+
+bool hasHardwareTsc() {
+#if defined(__x86_64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::uint64_t readTsc() {
+#if defined(__x86_64__)
+  _mm_lfence();
+  std::uint64_t t = __rdtsc();
+  _mm_lfence();
+  return t;
+#else
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC_RAW, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+}
+
+double tscOverheadCycles() {
+  static const double cached = [] {
+    constexpr int kSamples = 257;
+    std::vector<std::uint64_t> deltas;
+    deltas.reserve(kSamples);
+    for (int i = 0; i < kSamples; ++i) {
+      std::uint64_t a = readTsc();
+      std::uint64_t b = readTsc();
+      deltas.push_back(b - a);
+    }
+    std::nth_element(deltas.begin(), deltas.begin() + kSamples / 2,
+                     deltas.end());
+    return static_cast<double>(deltas[kSamples / 2]);
+  }();
+  return cached;
+}
+
+}  // namespace microtools::native

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+namespace microtools::native {
+
+/// Serialized rdtsc read (lfence-fenced on x86-64; a clock_gettime fallback
+/// scaled to ~cycles elsewhere). This is the default evaluation library the
+/// paper mentions in §4.2 ("the default rdtsc register").
+std::uint64_t readTsc();
+
+/// Measured rdtsc read-to-read overhead in cycles (median of many
+/// back-to-back pairs; cached after the first call).
+double tscOverheadCycles();
+
+/// True when the build target has a real rdtsc.
+bool hasHardwareTsc();
+
+}  // namespace microtools::native

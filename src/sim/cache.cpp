@@ -1,0 +1,104 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+
+#include "support/error.hpp"
+
+namespace microtools::sim {
+
+CacheLevel::CacheLevel(std::uint64_t sizeBytes, int ways, int lineBytes)
+    : sizeBytes_(sizeBytes), ways_(ways), lineBytes_(lineBytes) {
+  if (ways <= 0 || lineBytes <= 0 ||
+      !std::has_single_bit(static_cast<unsigned>(lineBytes))) {
+    throw McError("cache requires positive ways and power-of-two line size");
+  }
+  std::uint64_t lines = sizeBytes / static_cast<std::uint64_t>(lineBytes);
+  if (lines == 0 || lines % static_cast<std::uint64_t>(ways) != 0) {
+    throw McError("cache size must be a multiple of ways * lineBytes");
+  }
+  sets_ = lines / static_cast<std::uint64_t>(ways);
+  ways_storage_.resize(sets_ * static_cast<std::uint64_t>(ways));
+}
+
+bool CacheLevel::lookup(std::uint64_t lineAddr) {
+  ++clock_;
+  std::uint64_t set = setIndex(lineAddr);
+  std::uint64_t tag = tagOf(lineAddr);
+  Way* base = &ways_storage_[set * static_cast<std::uint64_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lastUse = clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+bool CacheLevel::contains(std::uint64_t lineAddr) const {
+  std::uint64_t set = setIndex(lineAddr);
+  std::uint64_t tag = tagOf(lineAddr);
+  const Way* base = &ways_storage_[set * static_cast<std::uint64_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+std::uint64_t CacheLevel::insert(std::uint64_t lineAddr) {
+  ++clock_;
+  std::uint64_t set = setIndex(lineAddr);
+  std::uint64_t tag = tagOf(lineAddr);
+  Way* base = &ways_storage_[set * static_cast<std::uint64_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lastUse = clock_;  // already present: refresh
+      return kNoEviction;
+    }
+  }
+  // Prefer an invalid way; otherwise evict the LRU valid way.
+  int victim = -1;
+  for (int w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      break;
+    }
+  }
+  if (victim == -1) {
+    victim = 0;
+    for (int w = 1; w < ways_; ++w) {
+      if (base[w].lastUse < base[victim].lastUse) victim = w;
+    }
+  }
+  std::uint64_t evicted = kNoEviction;
+  if (base[victim].valid) {
+    evicted = base[victim].tag;
+  }
+  base[victim].tag = tag;
+  base[victim].valid = true;
+  base[victim].lastUse = clock_;
+  return evicted;
+}
+
+bool CacheLevel::invalidate(std::uint64_t lineAddr) {
+  std::uint64_t set = setIndex(lineAddr);
+  std::uint64_t tag = tagOf(lineAddr);
+  Way* base = &ways_storage_[set * static_cast<std::uint64_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].valid = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CacheLevel::clear() {
+  for (Way& w : ways_storage_) w.valid = false;
+  clock_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace microtools::sim

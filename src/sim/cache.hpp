@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace microtools::sim {
+
+/// A set-associative cache with true-LRU replacement, operating on line
+/// addresses (byte address >> log2(lineBytes)).
+///
+/// The simulator uses this for L1/L2 (per core) and L3 (per socket). Only
+/// presence is tracked — data values never matter for timing.
+class CacheLevel {
+ public:
+  /// sizeBytes must be a multiple of ways*lineBytes; throws McError
+  /// otherwise. The set count may be any positive integer (real LLCs are
+  /// frequently non-power-of-two); indexing is modulo the set count.
+  CacheLevel(std::uint64_t sizeBytes, int ways, int lineBytes);
+
+  /// Looks up a line and updates LRU on hit. Returns true on hit.
+  /// Does NOT insert on miss (the memory system decides when the fill
+  /// arrives).
+  bool lookup(std::uint64_t lineAddr);
+
+  /// True when present, without touching LRU state.
+  bool contains(std::uint64_t lineAddr) const;
+
+  /// Inserts a line, evicting the LRU way if the set is full.
+  /// Returns the evicted line address, or kNoEviction when a free way was
+  /// available or the line was already present.
+  std::uint64_t insert(std::uint64_t lineAddr);
+
+  /// Removes a line if present; returns whether it was.
+  bool invalidate(std::uint64_t lineAddr);
+
+  /// Drops all content.
+  void clear();
+
+  std::uint64_t sizeBytes() const { return sizeBytes_; }
+  int ways() const { return ways_; }
+  int lineBytes() const { return lineBytes_; }
+  std::uint64_t sets() const { return sets_; }
+
+  /// Statistics (cumulative since construction/clear).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  static constexpr std::uint64_t kNoEviction = ~0ull;
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lastUse = 0;
+    bool valid = false;
+  };
+
+  std::uint64_t setIndex(std::uint64_t lineAddr) const {
+    return lineAddr % sets_;
+  }
+  // The full line address is stored as the tag, so evicted-line reporting
+  // needs no reconstruction.
+  static std::uint64_t tagOf(std::uint64_t lineAddr) { return lineAddr; }
+
+  std::uint64_t sizeBytes_;
+  int ways_;
+  int lineBytes_;
+  std::uint64_t sets_;
+  std::vector<Way> ways_storage_;  // sets_ * ways_ entries
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace microtools::sim

@@ -1,0 +1,181 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace microtools::sim {
+
+namespace {
+constexpr std::uint64_t kFar = std::numeric_limits<std::uint64_t>::max();
+}
+
+MultiCoreRunner::MultiCoreRunner(const MachineConfig& config)
+    : config_(config), memsys_(std::make_unique<MemorySystem>(config)) {}
+
+int MultiCoreRunner::compactPin(const MachineConfig& config,
+                                int processIndex) {
+  return processIndex % config.totalCores();
+}
+
+int MultiCoreRunner::scatterPin(const MachineConfig& config,
+                                int processIndex) {
+  int total = config.totalCores();
+  int i = processIndex % total;
+  int socket = i % config.sockets;
+  int slot = i / config.sockets;
+  return socket * config.coresPerSocket + slot;
+}
+
+std::vector<RunResult> MultiCoreRunner::run(const std::vector<CoreWork>& work,
+                                            std::uint64_t startCycle) {
+  if (work.empty()) return {};
+  struct Slot {
+    std::unique_ptr<CoreSim> core;
+    const CoreWork* work = nullptr;
+    int callsLeft = 0;
+    std::uint64_t callStart = 0;
+    RunResult aggregate;
+    bool done = false;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(work.size());
+  for (const CoreWork& w : work) {
+    if (!w.program) throw McError("CoreWork without a program");
+    if (w.calls < 1) throw McError("CoreWork requires calls >= 1");
+    Slot slot;
+    slot.core = std::make_unique<CoreSim>(config_, *memsys_, w.physicalCore);
+    slot.work = &w;
+    slot.callsLeft = w.calls;
+    slot.callStart = startCycle;
+    slot.core->start(*w.program, w.n, w.arrayAddrs, startCycle);
+    slots.push_back(std::move(slot));
+  }
+
+  std::uint64_t cycle = startCycle;
+  for (;;) {
+    bool anyRunning = false;
+    std::uint64_t next = kFar;
+    for (Slot& slot : slots) {
+      if (slot.done) continue;
+      slot.core->tick(cycle);
+      while (slot.core->finished()) {
+        RunResult r = slot.core->result();
+        slot.aggregate.coreCycles += r.coreCycles;
+        slot.aggregate.instructions += r.instructions;
+        slot.aggregate.uops += r.uops;
+        slot.aggregate.iterations += r.iterations;
+        if (--slot.callsLeft == 0) {
+          slot.done = true;
+          break;
+        }
+        // Next back-to-back call begins where the previous one ended.
+        slot.callStart += r.coreCycles;
+        slot.core->start(*slot.work->program, slot.work->n,
+                         slot.work->arrayAddrs, slot.callStart);
+        slot.core->tick(cycle);
+      }
+      if (!slot.done) {
+        anyRunning = true;
+        next = std::min(next, slot.core->nextEvent());
+      }
+    }
+    if (!anyRunning) break;
+    cycle = std::max(cycle + 1, next);
+  }
+
+  std::vector<RunResult> results;
+  results.reserve(slots.size());
+  for (Slot& slot : slots) {
+    slot.aggregate.tscCycles = config_.coreCyclesToTsc(
+        static_cast<double>(slot.aggregate.coreCycles));
+    results.push_back(slot.aggregate);
+  }
+  return results;
+}
+
+OpenMpModel::OpenMpModel(const MachineConfig& config)
+    : config_(config), memsys_(std::make_unique<MemorySystem>(config)) {}
+
+OmpRegionResult OpenMpModel::runParallelFor(
+    const asmparse::Program& program, int n,
+    const std::vector<std::uint64_t>& arrayAddrs,
+    std::uint64_t chunkStrideBytes, int threads, std::uint64_t startCycle) {
+  if (threads <= 0) throw McError("OpenMP model requires threads >= 1");
+  if (threads > config_.totalCores()) {
+    throw McError("more OpenMP threads than cores");
+  }
+
+  // Static schedule: contiguous chunks. Thread t handles chunk sizes that
+  // differ by at most one iteration.
+  std::vector<std::unique_ptr<CoreSim>> cores;
+  int base = n / threads;
+  int extra = n % threads;
+  std::uint64_t forkCycles = config_.nsToCoreCycles(
+      config_.ompForkJoinNs + config_.ompPerThreadNs * threads);
+  std::uint64_t workStart = startCycle + forkCycles / 2;
+
+  int offsetIters = 0;
+  for (int t = 0; t < threads; ++t) {
+    int chunk = base + (t < extra ? 1 : 0);
+    std::vector<std::uint64_t> addrs = arrayAddrs;
+    for (std::uint64_t& a : addrs) {
+      a += static_cast<std::uint64_t>(offsetIters) * chunkStrideBytes;
+    }
+    auto core = std::make_unique<CoreSim>(config_, *memsys_, t);
+    core->start(program, chunk, addrs, workStart);
+    cores.push_back(std::move(core));
+    offsetIters += chunk;
+  }
+
+  std::uint64_t cycle = workStart;
+  for (;;) {
+    bool anyRunning = false;
+    std::uint64_t next = kFar;
+    for (auto& core : cores) {
+      if (core->finished()) continue;
+      core->tick(cycle);
+      if (!core->finished()) {
+        anyRunning = true;
+        next = std::min(next, core->nextEvent());
+      }
+    }
+    if (!anyRunning) break;
+    cycle = std::max(cycle + 1, next);
+  }
+
+  OmpRegionResult out;
+  std::uint64_t lastEnd = workStart;
+  for (auto& core : cores) {
+    RunResult r = core->result();
+    lastEnd = std::max(lastEnd, workStart + r.coreCycles);
+    out.totalIterations += r.iterations;
+    out.threads.push_back(r);
+  }
+  out.regionCoreCycles = (lastEnd - startCycle) + (forkCycles - forkCycles / 2);
+  out.regionTscCycles =
+      config_.coreCyclesToTsc(static_cast<double>(out.regionCoreCycles));
+  return out;
+}
+
+OmpRegionResult OpenMpModel::runRepeated(
+    const asmparse::Program& program, int n,
+    const std::vector<std::uint64_t>& arrayAddrs,
+    std::uint64_t chunkStrideBytes, int threads, int repetitions) {
+  if (repetitions < 1) throw McError("OpenMP model requires repetitions >= 1");
+  OmpRegionResult total;
+  for (int r = 0; r < repetitions; ++r) {
+    OmpRegionResult one = runParallelFor(program, n, arrayAddrs,
+                                         chunkStrideBytes, threads, clock_);
+    clock_ += one.regionCoreCycles;
+    total.regionCoreCycles += one.regionCoreCycles;
+    total.totalIterations += one.totalIterations;
+    total.threads = std::move(one.threads);
+  }
+  total.regionTscCycles =
+      config_.coreCyclesToTsc(static_cast<double>(total.regionCoreCycles));
+  return total;
+}
+
+}  // namespace microtools::sim

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/core.hpp"
+
+namespace microtools::sim {
+
+/// One per-core workload for a multi-core simulation.
+struct CoreWork {
+  const asmparse::Program* program = nullptr;
+  int n = 0;                               ///< trip-count argument
+  std::vector<std::uint64_t> arrayAddrs;   ///< pointer arguments
+  int physicalCore = 0;                    ///< pinning target
+  int calls = 1;                           ///< back-to-back invocations
+};
+
+/// Runs several cores in cycle-lockstep against one shared MemorySystem:
+/// the fork-based multi-core mode of §4.6 ("forks its execution into
+/// multiple launchers, pins each to a separate core; after synchronization,
+/// it records the time taken"). All cores start at the same cycle (the
+/// post-synchronization point) and interact through the shared L3s and
+/// memory channels.
+class MultiCoreRunner {
+ public:
+  explicit MultiCoreRunner(const MachineConfig& config);
+
+  MemorySystem& memory() { return *memsys_; }
+  const MachineConfig& config() const { return config_; }
+
+  /// Runs every workload to completion; returns one result per workload in
+  /// input order (cycles and iterations aggregated over all `calls`).
+  /// Deterministic: cores tick in input order within each cycle, and idle
+  /// stretches are fast-forwarded.
+  std::vector<RunResult> run(const std::vector<CoreWork>& work,
+                             std::uint64_t startCycle = 0);
+
+  /// Pinning helpers for the launcher: physical core for the i-th process.
+  /// "compact" fills a socket before moving on; "scatter" round-robins
+  /// across sockets (what MicroLauncher does for fork mode, spreading
+  /// memory pressure).
+  static int compactPin(const MachineConfig& config, int processIndex);
+  static int scatterPin(const MachineConfig& config, int processIndex);
+
+ private:
+  MachineConfig config_;
+  std::unique_ptr<MemorySystem> memsys_;
+};
+
+/// Static-schedule OpenMP model (§5.2.3): an `omp parallel for` over the
+/// kernel's trip count. Each thread executes the kernel over its contiguous
+/// chunk (array base shifted, counter reduced); the region pays the
+/// fork/join overhead of the machine config. Returns the region wall time
+/// in core cycles plus per-thread results.
+struct OmpRegionResult {
+  std::uint64_t regionCoreCycles = 0;  ///< including fork/join overhead
+  double regionTscCycles = 0.0;
+  std::uint64_t totalIterations = 0;
+  std::vector<RunResult> threads;
+};
+
+class OpenMpModel {
+ public:
+  explicit OpenMpModel(const MachineConfig& config);
+
+  MemorySystem& memory() { return *memsys_; }
+
+  /// Runs the kernel as `omp parallel for` with `threads` threads over a
+  /// total trip count `n` on the arrays at `arrayAddrs` (each of
+  /// `arrayBytes` bytes). chunkStride is the byte distance the kernel
+  /// advances per counted iteration (used to split arrays).
+  OmpRegionResult runParallelFor(const asmparse::Program& program, int n,
+                                 const std::vector<std::uint64_t>& arrayAddrs,
+                                 std::uint64_t chunkStrideBytes, int threads,
+                                 std::uint64_t startCycle = 0);
+
+  /// Runs `repetitions` back-to-back parallel regions (caches stay warm
+  /// across regions; each pays the fork/join overhead) and returns the
+  /// aggregate, with iterations summed over all regions.
+  OmpRegionResult runRepeated(const asmparse::Program& program, int n,
+                              const std::vector<std::uint64_t>& arrayAddrs,
+                              std::uint64_t chunkStrideBytes, int threads,
+                              int repetitions);
+
+ private:
+  std::uint64_t clock_ = 0;
+  MachineConfig config_;
+  std::unique_ptr<MemorySystem> memsys_;
+};
+
+}  // namespace microtools::sim

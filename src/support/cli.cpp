@@ -1,0 +1,202 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::cli {
+
+Parser::Parser(std::string programName, std::string description)
+    : programName_(std::move(programName)),
+      description_(std::move(description)) {
+  addFlag("help", "Show this help message");
+}
+
+Parser::Option& Parser::registerOption(const std::string& name, Kind kind,
+                                       const std::string& help,
+                                       std::optional<std::string> def) {
+  if (options_.count(name)) {
+    throw McError("duplicate option registration: --" + name);
+  }
+  order_.push_back(name);
+  Option& opt = options_[name];
+  opt.kind = kind;
+  opt.help = help;
+  opt.defaultValue = std::move(def);
+  return opt;
+}
+
+Parser& Parser::addString(const std::string& name, const std::string& help,
+                          std::optional<std::string> defaultValue) {
+  registerOption(name, Kind::String, help, std::move(defaultValue));
+  return *this;
+}
+
+Parser& Parser::addInt(const std::string& name, const std::string& help,
+                       std::optional<std::int64_t> defaultValue) {
+  std::optional<std::string> def;
+  if (defaultValue) def = std::to_string(*defaultValue);
+  registerOption(name, Kind::Int, help, std::move(def));
+  return *this;
+}
+
+Parser& Parser::addDouble(const std::string& name, const std::string& help,
+                          std::optional<double> defaultValue) {
+  std::optional<std::string> def;
+  if (defaultValue) def = strings::format("%g", *defaultValue);
+  registerOption(name, Kind::Double, help, std::move(def));
+  return *this;
+}
+
+Parser& Parser::addFlag(const std::string& name, const std::string& help) {
+  registerOption(name, Kind::Flag, help, std::nullopt);
+  return *this;
+}
+
+Parser& Parser::addRepeated(const std::string& name, const std::string& help) {
+  registerOption(name, Kind::Repeated, help, std::nullopt);
+  return *this;
+}
+
+bool Parser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+bool Parser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!strings::startsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inlineValue;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      inlineValue = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) throw ParseError("unknown option --" + name);
+    Option& opt = it->second;
+    if (opt.kind == Kind::Flag) {
+      if (inlineValue) throw ParseError("flag --" + name + " takes no value");
+      opt.seen = true;
+      continue;
+    }
+    std::string value;
+    if (inlineValue) {
+      value = *inlineValue;
+    } else {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option --" + name + " requires a value");
+      }
+      value = args[++i];
+    }
+    if (opt.kind == Kind::Int && !strings::parseInt(value)) {
+      throw ParseError("option --" + name + " expects an integer, got '" +
+                       value + "'");
+    }
+    if (opt.kind == Kind::Double && !strings::parseDouble(value)) {
+      throw ParseError("option --" + name + " expects a number, got '" +
+                       value + "'");
+    }
+    if (opt.kind == Kind::Repeated) {
+      opt.values.push_back(value);
+    } else {
+      opt.value = value;
+    }
+    opt.seen = true;
+  }
+  if (getFlag("help")) {
+    std::fputs(helpText().c_str(), stdout);
+    return false;
+  }
+  return true;
+}
+
+bool Parser::has(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) throw McError("unregistered option --" + name);
+  return it->second.seen || it->second.defaultValue.has_value();
+}
+
+const Parser::Option& Parser::find(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) throw McError("unregistered option --" + name);
+  if (it->second.kind != kind) {
+    throw McError("option --" + name + " accessed with the wrong type");
+  }
+  return it->second;
+}
+
+std::string Parser::getString(const std::string& name) const {
+  const Option& opt = find(name, Kind::String);
+  if (opt.seen) return opt.value;
+  if (opt.defaultValue) return *opt.defaultValue;
+  throw McError("option --" + name + " was not provided");
+}
+
+std::int64_t Parser::getInt(const std::string& name) const {
+  const Option& opt = find(name, Kind::Int);
+  const std::string* raw = nullptr;
+  if (opt.seen) {
+    raw = &opt.value;
+  } else if (opt.defaultValue) {
+    raw = &*opt.defaultValue;
+  } else {
+    throw McError("option --" + name + " was not provided");
+  }
+  return *strings::parseInt(*raw);
+}
+
+double Parser::getDouble(const std::string& name) const {
+  const Option& opt = find(name, Kind::Double);
+  const std::string* raw = nullptr;
+  if (opt.seen) {
+    raw = &opt.value;
+  } else if (opt.defaultValue) {
+    raw = &*opt.defaultValue;
+  } else {
+    throw McError("option --" + name + " was not provided");
+  }
+  return *strings::parseDouble(*raw);
+}
+
+bool Parser::getFlag(const std::string& name) const {
+  return find(name, Kind::Flag).seen;
+}
+
+const std::vector<std::string>& Parser::getRepeated(
+    const std::string& name) const {
+  return find(name, Kind::Repeated).values;
+}
+
+std::string Parser::helpText() const {
+  std::ostringstream oss;
+  oss << "Usage: " << programName_ << " [options]\n";
+  if (!description_.empty()) oss << "\n" << description_ << "\n";
+  oss << "\nOptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    std::string left = "  --" + name;
+    switch (opt.kind) {
+      case Kind::String: left += " <string>"; break;
+      case Kind::Int: left += " <int>"; break;
+      case Kind::Double: left += " <number>"; break;
+      case Kind::Repeated: left += " <string> (repeatable)"; break;
+      case Kind::Flag: break;
+    }
+    oss << left;
+    if (left.size() < 34) oss << std::string(34 - left.size(), ' ');
+    oss << opt.help;
+    if (opt.defaultValue) oss << " [default: " << *opt.defaultValue << "]";
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace microtools::cli

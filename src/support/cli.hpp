@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace microtools::cli {
+
+/// Declarative command-line parser used by the microcreator / microlauncher
+/// tools. Supports `--name value`, `--name=value`, boolean flags, repeated
+/// options, and positional arguments, and renders a --help page from the
+/// registered descriptions.
+class Parser {
+ public:
+  explicit Parser(std::string programName, std::string description = "");
+
+  /// Registers a string-valued option; returns *this for chaining.
+  Parser& addString(const std::string& name, const std::string& help,
+                    std::optional<std::string> defaultValue = std::nullopt);
+
+  /// Registers an integer-valued option.
+  Parser& addInt(const std::string& name, const std::string& help,
+                 std::optional<std::int64_t> defaultValue = std::nullopt);
+
+  /// Registers a double-valued option.
+  Parser& addDouble(const std::string& name, const std::string& help,
+                    std::optional<double> defaultValue = std::nullopt);
+
+  /// Registers a boolean flag (no value; present = true).
+  Parser& addFlag(const std::string& name, const std::string& help);
+
+  /// Registers a string option that may be given multiple times.
+  Parser& addRepeated(const std::string& name, const std::string& help);
+
+  /// Parses argv; throws ParseError on unknown options or bad values.
+  /// Returns false when --help was requested (help text printed to stdout).
+  bool parse(int argc, const char* const* argv);
+
+  /// Parses from a pre-split vector (used heavily by tests).
+  bool parse(const std::vector<std::string>& args);
+
+  bool has(const std::string& name) const;
+  std::string getString(const std::string& name) const;
+  std::int64_t getInt(const std::string& name) const;
+  double getDouble(const std::string& name) const;
+  bool getFlag(const std::string& name) const;
+  const std::vector<std::string>& getRepeated(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the help page.
+  std::string helpText() const;
+
+ private:
+  enum class Kind { String, Int, Double, Flag, Repeated };
+
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::optional<std::string> defaultValue;
+    bool seen = false;
+    std::string value;
+    std::vector<std::string> values;
+  };
+
+  Option& registerOption(const std::string& name, Kind kind,
+                         const std::string& help,
+                         std::optional<std::string> defaultValue);
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string programName_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace microtools::cli

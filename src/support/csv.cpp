@@ -1,0 +1,79 @@
+#include "support/csv.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::csv {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw McError("CSV table requires at least one column");
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw McError(strings::format(
+        "CSV row has %zu cells, expected %zu", row.size(), header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+Table::RowBuilder& Table::RowBuilder::add(const std::string& v) {
+  cells_.push_back(v);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::add(const char* v) {
+  cells_.emplace_back(v);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::add(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::add(std::uint64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::add(double v, int precision) {
+  cells_.push_back(strings::format("%.*f", precision, v));
+  return *this;
+}
+
+void Table::RowBuilder::commit() { table_.addRow(std::move(cells_)); }
+
+std::string quoteField(const std::string& field) {
+  bool needsQuote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void Table::write(std::ostream& os) const {
+  auto writeRow = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << quoteField(row[i]);
+    }
+    os << '\n';
+  };
+  writeRow(header_);
+  for (const auto& row : rows_) writeRow(row);
+}
+
+std::string Table::toString() const {
+  std::ostringstream oss;
+  write(oss);
+  return oss.str();
+}
+
+}  // namespace microtools::csv

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace microtools::csv {
+
+/// In-memory CSV table with a fixed header row.
+///
+/// MicroLauncher's primary output format (§4.3 of the paper) is a generic CSV
+/// file; this class builds one and writes it to any std::ostream with RFC
+/// 4180 quoting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t rowCount() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  /// Appends a row; throws McError when the column count does not match.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience row builder accepting heterogeneous cells.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& add(const std::string& v);
+    RowBuilder& add(const char* v);
+    RowBuilder& add(std::int64_t v);
+    RowBuilder& add(std::uint64_t v);
+    RowBuilder& add(int v) { return add(static_cast<std::int64_t>(v)); }
+    RowBuilder& add(unsigned v) { return add(static_cast<std::uint64_t>(v)); }
+    RowBuilder& add(double v, int precision = 4);
+    void commit();
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder beginRow() { return RowBuilder(*this); }
+
+  /// Writes the header and all rows with proper quoting.
+  void write(std::ostream& os) const;
+
+  /// Serializes the table to a string (used by tests and tools).
+  std::string toString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes a single CSV field if it contains separators, quotes or newlines.
+std::string quoteField(const std::string& field);
+
+}  // namespace microtools::csv

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace microtools {
+
+/// Base exception for all MicroTools errors.
+///
+/// Every layer throws a subclass of McError so callers can catch one type at
+/// the tool boundary and still keep rich per-layer context in the message.
+class McError : public std::runtime_error {
+ public:
+  explicit McError(std::string message)
+      : std::runtime_error(message), message_(std::move(message)) {}
+
+  const std::string& message() const noexcept { return message_; }
+
+ private:
+  std::string message_;
+};
+
+/// Error raised while parsing an input artifact (XML, assembly, CLI text).
+/// Carries a 1-based line number when one is known (0 otherwise).
+class ParseError : public McError {
+ public:
+  ParseError(std::string message, std::size_t line = 0)
+      : McError(line ? "line " + std::to_string(line) + ": " + message
+                     : std::move(message)),
+        line_(line) {}
+
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_ = 0;
+};
+
+/// Error raised when a kernel description is well-formed but semantically
+/// invalid (unknown register, contradictory unroll bounds, ...).
+class DescriptionError : public McError {
+ public:
+  using McError::McError;
+};
+
+/// Error raised by the execution layer (backend load/run failures).
+class ExecutionError : public McError {
+ public:
+  using McError::McError;
+};
+
+/// Throws DescriptionError with `message` when `condition` is false.
+inline void checkDescription(bool condition, const std::string& message) {
+  if (!condition) throw DescriptionError(message);
+}
+
+}  // namespace microtools

@@ -1,0 +1,37 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace microtools::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+
+const char* levelName(Level lvl) {
+  switch (lvl) {
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLevel(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level lvl, const std::string& message) {
+  if (lvl < level()) return;
+  std::string line = std::string("[") + levelName(lvl) + "] " + message + "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+void debug(const std::string& message) { emit(Level::Debug, message); }
+void info(const std::string& message) { emit(Level::Info, message); }
+void warn(const std::string& message) { emit(Level::Warn, message); }
+void error(const std::string& message) { emit(Level::Error, message); }
+
+}  // namespace microtools::log

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+namespace microtools::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that is emitted (default: Warn, so library
+/// code stays quiet inside tests and benches unless asked).
+void setLevel(Level level);
+Level level();
+
+/// Emits one line to stderr as "[LEVEL] message" when `lvl` >= the global
+/// threshold. Thread-safe (single write syscall per line).
+void emit(Level lvl, const std::string& message);
+
+void debug(const std::string& message);
+void info(const std::string& message);
+void warn(const std::string& message);
+void error(const std::string& message);
+
+}  // namespace microtools::log

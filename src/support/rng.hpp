@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace microtools {
+
+/// Deterministic xoshiro256** random number generator.
+///
+/// MicroCreator's random-selection pass and MicroLauncher's run-to-run jitter
+/// model both need reproducible randomness: the same seed must generate the
+/// same benchmark set on every host, so neither std::random_device nor
+/// unspecified distribution implementations are acceptable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using rejection sampling; bound > 0.
+  std::uint64_t nextBelow(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace microtools

@@ -1,0 +1,75 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace microtools::stats {
+
+void Accumulator::add(double sample) {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double Accumulator::min() const {
+  if (count_ == 0) throw McError("Accumulator::min on empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  if (count_ == 0) throw McError("Accumulator::max on empty accumulator");
+  return max_;
+}
+
+double Accumulator::mean() const {
+  if (count_ == 0) throw McError("Accumulator::mean on empty accumulator");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::cv() const {
+  if (count_ == 0 || mean_ == 0.0) return 0.0;
+  return stddev() / mean_;
+}
+
+double median(std::vector<double> samples) {
+  if (samples.empty()) throw McError("median of empty sample set");
+  std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + mid, samples.end());
+  double hi = samples[mid];
+  if (samples.size() % 2 == 1) return hi;
+  double lo = *std::max_element(samples.begin(), samples.begin() + mid);
+  return (lo + hi) / 2.0;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  if (samples.empty()) throw McError("summarize of empty sample set");
+  Accumulator acc;
+  for (double s : samples) acc.add(s);
+  Summary out;
+  out.count = acc.count();
+  out.min = acc.min();
+  out.max = acc.max();
+  out.mean = acc.mean();
+  out.median = median(samples);
+  out.stddev = acc.stddev();
+  out.cv = acc.cv();
+  return out;
+}
+
+}  // namespace microtools::stats

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace microtools::stats {
+
+/// Streaming accumulator for min/max/mean/variance over double samples.
+///
+/// MicroLauncher's outer repetition loop (§4.5) exists to verify the
+/// stability of experiments; this accumulator is what the harness uses to
+/// summarise the outer-loop samples.
+class Accumulator {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation (stddev/mean); 0 when mean is 0.
+  double cv() const;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford running sum of squared deviations
+};
+
+/// Computes the median of `samples` (copies; does not reorder the input).
+double median(std::vector<double> samples);
+
+/// Summary of a finished measurement series.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double cv = 0.0;
+};
+
+/// Builds a Summary from raw samples.
+Summary summarize(const std::vector<double>& samples);
+
+}  // namespace microtools::stats

@@ -1,0 +1,397 @@
+#include "xml/xml.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::xml {
+
+std::string Node::trimmedText() const {
+  return std::string(strings::trim(text_));
+}
+
+void Node::setAttribute(const std::string& key, std::string value) {
+  attributes_[key] = std::move(value);
+}
+
+std::optional<std::string> Node::attribute(const std::string& key) const {
+  auto it = attributes_.find(key);
+  if (it == attributes_.end()) return std::nullopt;
+  return it->second;
+}
+
+Node& Node::addChild(std::string childName) {
+  children_.push_back(std::make_unique<Node>(std::move(childName)));
+  return *children_.back();
+}
+
+Node& Node::adoptChild(std::unique_ptr<Node> childNode) {
+  children_.push_back(std::move(childNode));
+  return *children_.back();
+}
+
+const Node* Node::child(std::string_view childName) const {
+  for (const auto& c : children_) {
+    if (c->name() == childName) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Node*> Node::childrenNamed(std::string_view childName) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->name() == childName) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::optional<std::string> Node::childText(std::string_view childName) const {
+  const Node* c = child(childName);
+  if (!c) return std::nullopt;
+  return c->trimmedText();
+}
+
+std::optional<std::int64_t> Node::childInt(std::string_view childName) const {
+  const Node* c = child(childName);
+  if (!c) return std::nullopt;
+  auto v = strings::parseInt(c->trimmedText());
+  if (!v) {
+    throw ParseError("element <" + std::string(childName) +
+                     "> inside <" + name_ + "> is not an integer: '" +
+                     c->trimmedText() + "'");
+  }
+  return v;
+}
+
+std::int64_t Node::requiredInt(std::string_view childName) const {
+  auto v = childInt(childName);
+  if (!v) {
+    throw DescriptionError("element <" + name_ + "> requires a <" +
+                           std::string(childName) + "> child");
+  }
+  return *v;
+}
+
+std::string Node::requiredText(std::string_view childName) const {
+  auto v = childText(childName);
+  if (!v) {
+    throw DescriptionError("element <" + name_ + "> requires a <" +
+                           std::string(childName) + "> child");
+  }
+  return *v;
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Node::toString(int indent) const {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::ostringstream oss;
+  oss << pad << '<' << name_;
+  for (const auto& [k, v] : attributes_) {
+    oss << ' ' << k << "=\"" << escape(v) << '"';
+  }
+  std::string body = trimmedText();
+  if (children_.empty() && body.empty()) {
+    oss << "/>\n";
+    return oss.str();
+  }
+  oss << '>';
+  if (children_.empty()) {
+    oss << escape(body) << "</" << name_ << ">\n";
+    return oss.str();
+  }
+  oss << '\n';
+  if (!body.empty()) {
+    oss << pad << "  " << escape(body) << '\n';
+  }
+  for (const auto& c : children_) oss << c->toString(indent + 1);
+  oss << pad << "</" << name_ << ">\n";
+  return oss.str();
+}
+
+namespace {
+
+/// Recursive-descent XML parser over a string_view with line tracking.
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : text_(text) {}
+
+  Document run() {
+    skipProlog();
+    auto root = parseElement();
+    skipMisc();
+    if (pos_ != text_.size()) {
+      fail("content after document root element");
+    }
+    return Document(std::move(root));
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, line_);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+
+  char peek() const {
+    if (eof()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  char get() {
+    char c = peek();
+    ++pos_;
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool consume(std::string_view token) {
+    if (text_.substr(pos_).substr(0, token.size()) != token) return false;
+    for (std::size_t i = 0; i < token.size(); ++i) get();
+    return true;
+  }
+
+  void expect(std::string_view token) {
+    if (!consume(token)) {
+      fail("expected '" + std::string(token) + "'");
+    }
+  }
+
+  static bool isSpace(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+
+  static bool isNameStart(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  }
+
+  static bool isNameChar(char c) {
+    return isNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+  }
+
+  void skipSpace() {
+    while (!eof() && isSpace(text_[pos_])) get();
+  }
+
+  void skipComment() {
+    // positioned just after "<!--"
+    while (!consume("-->")) {
+      if (eof()) fail("unterminated comment");
+      get();
+    }
+  }
+
+  void skipProcessingInstruction() {
+    // positioned just after "<?"
+    while (!consume("?>")) {
+      if (eof()) fail("unterminated processing instruction");
+      get();
+    }
+  }
+
+  void skipDoctype() {
+    // positioned just after "<!DOCTYPE"; tolerate nested [] internal subset.
+    int depth = 0;
+    for (;;) {
+      if (eof()) fail("unterminated DOCTYPE");
+      char c = get();
+      if (c == '[') ++depth;
+      if (c == ']') --depth;
+      if (c == '>' && depth <= 0) return;
+    }
+  }
+
+  void skipMisc() {
+    for (;;) {
+      skipSpace();
+      if (consume("<!--")) {
+        skipComment();
+      } else if (consume("<?")) {
+        skipProcessingInstruction();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skipProlog() {
+    for (;;) {
+      skipSpace();
+      if (consume("<?")) {
+        skipProcessingInstruction();
+      } else if (consume("<!--")) {
+        skipComment();
+      } else if (consume("<!DOCTYPE")) {
+        skipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string parseName() {
+    if (eof() || !isNameStart(peek())) fail("expected a name");
+    std::string name;
+    name += get();
+    while (!eof() && isNameChar(text_[pos_])) name += get();
+    return name;
+  }
+
+  std::string decodeEntity() {
+    // positioned just after '&'
+    std::string ent;
+    while (!eof() && peek() != ';') {
+      ent += get();
+      if (ent.size() > 10) fail("unterminated entity reference");
+    }
+    expect(";");
+    if (ent == "lt") return "<";
+    if (ent == "gt") return ">";
+    if (ent == "amp") return "&";
+    if (ent == "quot") return "\"";
+    if (ent == "apos") return "'";
+    if (!ent.empty() && ent[0] == '#') {
+      int base = 10;
+      std::string digits = ent.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      char* end = nullptr;
+      unsigned long code = std::strtoul(digits.c_str(), &end, base);
+      if (end != digits.c_str() + digits.size() || code == 0 || code > 0x10ffff) {
+        fail("invalid character reference &" + ent + ";");
+      }
+      // Encode as UTF-8.
+      std::string out;
+      if (code < 0x80) {
+        out += static_cast<char>(code);
+      } else if (code < 0x800) {
+        out += static_cast<char>(0xc0 | (code >> 6));
+        out += static_cast<char>(0x80 | (code & 0x3f));
+      } else if (code < 0x10000) {
+        out += static_cast<char>(0xe0 | (code >> 12));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (code & 0x3f));
+      } else {
+        out += static_cast<char>(0xf0 | (code >> 18));
+        out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (code & 0x3f));
+      }
+      return out;
+    }
+    fail("unknown entity &" + ent + ";");
+  }
+
+  std::string parseAttributeValue() {
+    char quote = get();
+    if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
+    std::string value;
+    for (;;) {
+      if (eof()) fail("unterminated attribute value");
+      char c = get();
+      if (c == quote) break;
+      if (c == '&') {
+        value += decodeEntity();
+      } else {
+        value += c;
+      }
+    }
+    return value;
+  }
+
+  std::unique_ptr<Node> parseElement() {
+    expect("<");
+    auto node = std::make_unique<Node>(parseName());
+    // Attributes.
+    for (;;) {
+      skipSpace();
+      if (consume("/>")) return node;
+      if (consume(">")) break;
+      std::string key = parseName();
+      skipSpace();
+      expect("=");
+      skipSpace();
+      if (node->attribute(key)) fail("duplicate attribute '" + key + "'");
+      node->setAttribute(key, parseAttributeValue());
+    }
+    // Content.
+    for (;;) {
+      if (eof()) fail("unterminated element <" + node->name() + ">");
+      if (consume("<!--")) {
+        skipComment();
+        continue;
+      }
+      if (consume("<![CDATA[")) {
+        std::string data;
+        while (!consume("]]>")) {
+          if (eof()) fail("unterminated CDATA section");
+          data += get();
+        }
+        node->appendText(data);
+        continue;
+      }
+      if (consume("</")) {
+        std::string closing = parseName();
+        if (closing != node->name()) {
+          fail("mismatched closing tag </" + closing + "> for <" +
+               node->name() + ">");
+        }
+        skipSpace();
+        expect(">");
+        return node;
+      }
+      if (consume("<?")) {
+        skipProcessingInstruction();
+        continue;
+      }
+      if (peek() == '<') {
+        node->adoptChild(parseElement());
+        continue;
+      }
+      char c = get();
+      if (c == '&') {
+        node->appendText(decodeEntity());
+      } else {
+        char buf[1] = {c};
+        node->appendText(std::string_view(buf, 1));
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+Document parse(std::string_view text) { return XmlParser(text).run(); }
+
+Document parseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw McError("cannot open XML file: " + path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return parse(oss.str());
+}
+
+}  // namespace microtools::xml

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace microtools::xml {
+
+/// One element of an XML document tree.
+///
+/// MicroCreator's entire input language (§3.1 of the paper) is XML; this is a
+/// small dependency-free DOM holding exactly what the kernel-description
+/// schema needs: element names, attributes, child elements and text content.
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Concatenated character data directly inside this element (entities
+  /// decoded, surrounding whitespace preserved).
+  const std::string& text() const { return text_; }
+  void appendText(std::string_view t) { text_ += t; }
+
+  /// text() with surrounding ASCII whitespace removed.
+  std::string trimmedText() const;
+
+  // -- attributes -----------------------------------------------------------
+  const std::map<std::string, std::string>& attributes() const {
+    return attributes_;
+  }
+  void setAttribute(const std::string& key, std::string value);
+  std::optional<std::string> attribute(const std::string& key) const;
+
+  // -- children -------------------------------------------------------------
+  Node& addChild(std::string childName);
+
+  /// Takes ownership of an already-built subtree.
+  Node& adoptChild(std::unique_ptr<Node> childNode);
+
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+
+  /// First child element with the given name; nullptr when absent.
+  const Node* child(std::string_view childName) const;
+
+  /// All child elements with the given name, in document order.
+  std::vector<const Node*> childrenNamed(std::string_view childName) const;
+
+  /// True when a child element with the given name exists (the paper's
+  /// schema uses empty elements such as <swap_after_unroll/> as flags).
+  bool hasChild(std::string_view childName) const {
+    return child(childName) != nullptr;
+  }
+
+  /// Trimmed text of the named child; nullopt when the child is absent.
+  std::optional<std::string> childText(std::string_view childName) const;
+
+  /// Integer content of the named child; nullopt when absent; throws
+  /// ParseError when present but not an integer.
+  std::optional<std::int64_t> childInt(std::string_view childName) const;
+
+  /// Integer content of a required child; throws DescriptionError when the
+  /// child is missing (message names the parent and child).
+  std::int64_t requiredInt(std::string_view childName) const;
+
+  /// Trimmed text of a required child; throws DescriptionError when missing.
+  std::string requiredText(std::string_view childName) const;
+
+  /// Serializes this subtree as indented XML.
+  std::string toString(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::map<std::string, std::string> attributes_;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// A parsed document: owns the root element.
+class Document {
+ public:
+  explicit Document(std::unique_ptr<Node> root) : root_(std::move(root)) {}
+  const Node& root() const { return *root_; }
+  Node& root() { return *root_; }
+
+ private:
+  std::unique_ptr<Node> root_;
+};
+
+/// Parses an XML document from text. Supports elements, attributes with
+/// single or double quotes, character data, comments, CDATA sections, the
+/// XML declaration, processing instructions (skipped), and the five named
+/// entities plus numeric character references. Throws ParseError with a line
+/// number on malformed input.
+Document parse(std::string_view text);
+
+/// Parses the file at `path`; throws McError when it cannot be read.
+Document parseFile(const std::string& path);
+
+/// Escapes `text` for use as XML character data.
+std::string escape(std::string_view text);
+
+}  // namespace microtools::xml

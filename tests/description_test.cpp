@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "creator/description.hpp"
+#include "support/error.hpp"
+#include "test_helpers.hpp"
+
+namespace microtools::creator {
+namespace {
+
+TEST(Description, ParsesFigureSix) {
+  Description d = parseDescriptionText(testing::figure6Xml());
+  EXPECT_EQ(d.benchmarkName, "loadstore");
+  ASSERT_EQ(d.kernel.body.size(), 1u);
+  const ir::Instruction& instr = d.kernel.body[0];
+  EXPECT_EQ(instr.operation, "movaps");
+  EXPECT_TRUE(instr.swapAfterUnroll);
+  ASSERT_EQ(instr.operands.size(), 2u);
+  EXPECT_TRUE(ir::isMemory(instr.operands[0]));
+  EXPECT_TRUE(ir::isRegister(instr.operands[1]));
+  const auto& reg = std::get<ir::RegOperand>(instr.operands[1]);
+  EXPECT_TRUE(reg.isRotating());
+  EXPECT_EQ(reg.rotateMin, 0);
+  EXPECT_EQ(reg.rotateMax, 8);
+  EXPECT_EQ(d.kernel.unrollMin, 1);
+  EXPECT_EQ(d.kernel.unrollMax, 8);
+  ASSERT_EQ(d.kernel.inductions.size(), 2u);
+  EXPECT_EQ(d.kernel.inductions[0].increment, 16);
+  EXPECT_EQ(d.kernel.inductions[0].offsetStep, 16);
+  EXPECT_EQ(d.kernel.inductions[1].linkedTo, "r1");
+  EXPECT_TRUE(d.kernel.inductions[1].lastInduction);
+  EXPECT_EQ(d.kernel.branch.label, "L6");
+  EXPECT_EQ(d.kernel.branch.test, "jge");
+}
+
+TEST(Description, BareKernelRootAccepted) {
+  Description d = parseDescriptionText(
+      R"(<kernel>
+           <instruction><operation>nop</operation></instruction>
+           <induction><register><name>r0</name></register>
+             <increment>-1</increment><last_induction/></induction>
+           <branch_information><label>L1</label><test>jge</test>
+           </branch_information>
+         </kernel>)");
+  EXPECT_EQ(d.benchmarkName, "kernel");
+  EXPECT_EQ(d.kernel.body.size(), 1u);
+}
+
+TEST(Description, TopLevelOptions) {
+  Description d = parseDescriptionText(
+      R"(<description>
+           <benchmark_name>bn</benchmark_name>
+           <function_name>fn</function_name>
+           <maximum_benchmarks>5</maximum_benchmarks>
+           <seed>99</seed>
+           <emit_c/>
+           <schedule>interleave</schedule>
+           <kernel>
+             <instruction><operation>nop</operation></instruction>
+           </kernel>
+         </description>)");
+  EXPECT_EQ(d.benchmarkName, "bn");
+  EXPECT_EQ(d.functionName, "fn");
+  EXPECT_EQ(d.maximumBenchmarks, 5u);
+  EXPECT_EQ(d.seed, 99u);
+  EXPECT_TRUE(d.emitC);
+  EXPECT_EQ(d.schedule, "interleave");
+}
+
+TEST(Description, OperationChoicesCollected) {
+  Description d = parseDescriptionText(
+      R"(<kernel><instruction>
+           <operation>movss</operation>
+           <operation>movaps</operation>
+           <random_choice/>
+         </instruction></kernel>)");
+  const ir::Instruction& instr = d.kernel.body[0];
+  EXPECT_TRUE(instr.operation.empty());
+  EXPECT_EQ(instr.operationChoices,
+            (std::vector<std::string>{"movss", "movaps"}));
+  EXPECT_TRUE(instr.chooseRandomly);
+}
+
+TEST(Description, MoveSemanticsParsed) {
+  Description d = parseDescriptionText(
+      R"(<kernel><instruction>
+           <move_semantic><bytes>16</bytes><aligned/><unaligned/></move_semantic>
+           <memory><register><name>r1</name></register></memory>
+           <register><phyName>%xmm0</phyName></register>
+         </instruction></kernel>)");
+  const ir::Instruction& instr = d.kernel.body[0];
+  ASSERT_TRUE(instr.semantics);
+  EXPECT_EQ(instr.semantics->bytes, 16);
+  EXPECT_TRUE(instr.semantics->tryAligned);
+  EXPECT_TRUE(instr.semantics->tryUnaligned);
+}
+
+TEST(Description, MoveSemanticsRejectsBadBytes) {
+  EXPECT_THROW(parseDescriptionText(
+                   R"(<kernel><instruction>
+                        <move_semantic><bytes>12</bytes></move_semantic>
+                      </instruction></kernel>)"),
+               DescriptionError);
+}
+
+TEST(Description, OperationAndSemanticsMutuallyExclusive) {
+  EXPECT_THROW(parseDescriptionText(
+                   R"(<kernel><instruction>
+                        <operation>movss</operation>
+                        <move_semantic><bytes>4</bytes></move_semantic>
+                      </instruction></kernel>)"),
+               DescriptionError);
+}
+
+TEST(Description, ImmediateSingleValue) {
+  Description d = parseDescriptionText(
+      R"(<kernel><instruction>
+           <operation>add</operation>
+           <immediate><value>8</value></immediate>
+           <register><name>r1</name></register>
+         </instruction></kernel>)");
+  const auto& imm = std::get<ir::ImmOperand>(d.kernel.body[0].operands[0]);
+  EXPECT_EQ(imm.value, 8);
+  EXPECT_TRUE(imm.choices.empty());
+}
+
+TEST(Description, ImmediateRange) {
+  Description d = parseDescriptionText(
+      R"(<kernel><instruction>
+           <operation>add</operation>
+           <immediate><min>0</min><max>16</max><step>8</step></immediate>
+           <register><name>r1</name></register>
+         </instruction></kernel>)");
+  const auto& imm = std::get<ir::ImmOperand>(d.kernel.body[0].operands[0]);
+  EXPECT_EQ(imm.choices, (std::vector<std::int64_t>{0, 8, 16}));
+}
+
+TEST(Description, ImmediateValueList) {
+  Description d = parseDescriptionText(
+      R"(<kernel><instruction>
+           <operation>add</operation>
+           <immediate><value>1</value><value>4</value></immediate>
+           <register><name>r1</name></register>
+         </instruction></kernel>)");
+  const auto& imm = std::get<ir::ImmOperand>(d.kernel.body[0].operands[0]);
+  EXPECT_EQ(imm.choices, (std::vector<std::int64_t>{1, 4}));
+}
+
+TEST(Description, ImmediateRequiresContent) {
+  EXPECT_THROW(parseDescriptionText(
+                   R"(<kernel><instruction>
+                        <operation>add</operation>
+                        <immediate></immediate>
+                        <register><name>r1</name></register>
+                      </instruction></kernel>)"),
+               DescriptionError);
+}
+
+TEST(Description, MemoryWithIndexScale) {
+  Description d = parseDescriptionText(
+      R"(<kernel><instruction>
+           <operation>movsd</operation>
+           <memory>
+             <register><name>r1</name></register>
+             <index><name>r2</name></index>
+             <scale>8</scale>
+             <offset>-16</offset>
+           </memory>
+           <register><phyName>%xmm0</phyName></register>
+         </instruction></kernel>)");
+  const auto& mem = std::get<ir::MemOperand>(d.kernel.body[0].operands[0]);
+  EXPECT_EQ(mem.offset, -16);
+  ASSERT_TRUE(mem.index);
+  EXPECT_EQ(mem.index->logicalName, "r2");
+  EXPECT_EQ(mem.scale, 8);
+}
+
+TEST(Description, BadScaleRejected) {
+  EXPECT_THROW(parseDescriptionText(
+                   R"(<kernel><instruction>
+                        <operation>movsd</operation>
+                        <memory>
+                          <register><name>r1</name></register>
+                          <index><name>r2</name></index>
+                          <scale>3</scale>
+                        </memory>
+                        <register><phyName>%xmm0</phyName></register>
+                      </instruction></kernel>)"),
+               DescriptionError);
+}
+
+TEST(Description, StrideChoices) {
+  Description d = parseDescriptionText(
+      R"(<kernel>
+           <instruction><operation>nop</operation></instruction>
+           <induction>
+             <register><name>r1</name></register>
+             <increment>4</increment>
+             <increment>8</increment>
+           </induction>
+         </kernel>)");
+  EXPECT_EQ(d.kernel.inductions[0].strideChoices,
+            (std::vector<std::int64_t>{4, 8}));
+}
+
+TEST(Description, StrideRange) {
+  Description d = parseDescriptionText(
+      R"(<kernel>
+           <instruction><operation>nop</operation></instruction>
+           <induction>
+             <register><name>r1</name></register>
+             <stride><min>4</min><max>12</max><step>4</step></stride>
+           </induction>
+         </kernel>)");
+  EXPECT_EQ(d.kernel.inductions[0].strideChoices,
+            (std::vector<std::int64_t>{4, 8, 12}));
+}
+
+TEST(Description, InductionPhysicalRegister) {
+  // Figure 9: the %eax iteration counter.
+  Description d = parseDescriptionText(
+      R"(<kernel>
+           <instruction><operation>nop</operation></instruction>
+           <induction>
+             <register><phyName>%eax</phyName></register>
+             <increment>1</increment>
+             <not_affected_unroll/>
+           </induction>
+         </kernel>)");
+  const ir::InductionVar& iv = d.kernel.inductions[0];
+  ASSERT_TRUE(iv.reg.phys);
+  EXPECT_EQ(iv.reg.phys->index, isa::kRax);
+  EXPECT_TRUE(iv.notAffectedByUnroll);
+}
+
+TEST(Description, ElementSizeParsed) {
+  Description d = parseDescriptionText(
+      R"(<kernel>
+           <instruction><operation>nop</operation></instruction>
+           <induction>
+             <register><name>r0</name></register>
+             <increment>-1</increment>
+             <element_size>8</element_size>
+           </induction>
+         </kernel>)");
+  EXPECT_EQ(d.kernel.inductions[0].elementSize, 8);
+}
+
+TEST(Description, RejectsUnknownRoot) {
+  EXPECT_THROW(parseDescriptionText("<benchmarks/>"), DescriptionError);
+}
+
+TEST(Description, RejectsDescriptionWithoutKernel) {
+  EXPECT_THROW(parseDescriptionText("<description/>"), DescriptionError);
+}
+
+TEST(Description, RejectsInstructionWithoutOperation) {
+  EXPECT_THROW(parseDescriptionText(
+                   "<kernel><instruction/></kernel>"),
+               DescriptionError);
+}
+
+TEST(Description, RejectsInductionWithoutRegister) {
+  EXPECT_THROW(parseDescriptionText(
+                   R"(<kernel>
+                        <instruction><operation>nop</operation></instruction>
+                        <induction><increment>1</increment></induction>
+                      </kernel>)"),
+               DescriptionError);
+}
+
+TEST(Description, RejectsBothSwaps) {
+  EXPECT_THROW(parseDescriptionText(
+                   R"(<kernel><instruction>
+                        <operation>movss</operation>
+                        <memory><register><name>r1</name></register></memory>
+                        <register><phyName>%xmm0</phyName></register>
+                        <swap_before_unroll/><swap_after_unroll/>
+                      </instruction></kernel>)"),
+               DescriptionError);
+}
+
+TEST(Description, RejectsBadRepeat) {
+  EXPECT_THROW(parseDescriptionText(
+                   R"(<kernel><instruction>
+                        <operation>nop</operation>
+                        <repeat><min>3</min><max>2</max></repeat>
+                      </instruction></kernel>)"),
+               DescriptionError);
+}
+
+TEST(Description, RejectsBadSchedule) {
+  EXPECT_THROW(parseDescriptionText(
+                   R"(<description><schedule>random</schedule>
+                      <kernel><instruction><operation>nop</operation>
+                      </instruction></kernel></description>)"),
+               DescriptionError);
+}
+
+TEST(Description, RejectsUnknownPhysicalRegister) {
+  EXPECT_THROW(parseDescriptionText(
+                   R"(<kernel><instruction>
+                        <operation>mov</operation>
+                        <register><phyName>%zmm1</phyName></register>
+                        <register><name>r1</name></register>
+                      </instruction></kernel>)"),
+               DescriptionError);
+}
+
+}  // namespace
+}  // namespace microtools::creator

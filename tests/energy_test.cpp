@@ -1,0 +1,89 @@
+// Tests of the simulator's energy model (§7's "performance or power
+// utilization" axis).
+
+#include <gtest/gtest.h>
+
+#include "asmparse/asmparse.hpp"
+#include "sim/core.hpp"
+#include "test_helpers.hpp"
+
+namespace microtools::sim {
+namespace {
+
+RunResult runKernel(const MachineConfig& machine, int unroll,
+                    std::uint64_t arrayBytes, bool warm = true) {
+  auto programs = microtools::testing::generate(
+      microtools::testing::figure6Xml(unroll, unroll, false));
+  asmparse::Program parsed = asmparse::parseAssembly(programs[0].asmText);
+  MemorySystem memsys(machine);
+  if (warm) memsys.touch(0, 0x100000000ull, arrayBytes + 64);
+  CoreSim core(machine, memsys, 0);
+  return core.run(parsed, static_cast<int>(arrayBytes / 4),
+                  {0x100000000ull});
+}
+
+TEST(Energy, PositiveAndComposedOfParts) {
+  MachineConfig m = nehalemX5650DualSocket();
+  RunResult r = runKernel(m, 4, 16 * 1024);
+  EXPECT_GT(r.energyPj, 0.0);
+  // At minimum the static component must be present.
+  EXPECT_GE(r.energyPj,
+            static_cast<double>(r.coreCycles) * m.staticEnergyPjPerCycle());
+  // And the dynamic uop component.
+  EXPECT_GE(r.energyPj, static_cast<double>(r.uops) * m.uopEnergyPj);
+}
+
+TEST(Energy, RamResidentCostsMoreThanL1) {
+  MachineConfig m = nehalemX5650DualSocket();
+  RunResult l1 = runKernel(m, 8, 16 * 1024);
+  RunResult ram = runKernel(m, 8, 24ull * 1024 * 1024, /*warm=*/false);
+  double l1PerIter = l1.energyPj / static_cast<double>(l1.iterations);
+  double ramPerIter = ram.energyPj / static_cast<double>(ram.iterations);
+  EXPECT_GT(ramPerIter, l1PerIter * 2);
+}
+
+TEST(Energy, UnrollingSavesEnergyPerElement) {
+  // Fewer loop-maintenance uops and fewer leaky cycles per element.
+  MachineConfig m = nehalemX5650DualSocket();
+  RunResult u1 = runKernel(m, 1, 16 * 1024);
+  RunResult u8 = runKernel(m, 8, 16 * 1024);
+  // Normalize per element: iterations count elements via the linked
+  // counter, identical for both kernels over the same array.
+  double perElem1 = u1.energyPj / static_cast<double>(u1.iterations);
+  double perElem8 = u8.energyPj / static_cast<double>(u8.iterations) / 1.0;
+  // u8 iterations are per-trip (counter decrements 32/trip vs 4/trip);
+  // compare per trip-normalized element counts instead.
+  double e1 = u1.energyPj / (static_cast<double>(u1.iterations) * 4);
+  double e8 = u8.energyPj / (static_cast<double>(u8.iterations) * 32);
+  EXPECT_LT(e8, e1);
+  (void)perElem1;
+  (void)perElem8;
+}
+
+TEST(Energy, RaceToIdleForComputeBoundKernels) {
+  // Same work at a lower clock burns more static energy.
+  MachineConfig fast = nehalemX5650DualSocket();
+  MachineConfig slow = nehalemX5650DualSocket();
+  slow.coreGHz = 1.60;
+  RunResult atFast = runKernel(fast, 8, 16 * 1024);
+  RunResult atSlow = runKernel(slow, 8, 16 * 1024);
+  EXPECT_GT(atSlow.energyPj, atFast.energyPj);
+}
+
+TEST(Energy, AverageWattsInPlausibleRange) {
+  MachineConfig m = nehalemX5650DualSocket();
+  RunResult r = runKernel(m, 8, 16 * 1024);
+  double watts = r.averageWatts(m);
+  EXPECT_GT(watts, 0.5);
+  EXPECT_LT(watts, 50.0);
+}
+
+TEST(Energy, StaticEnergyScalesInverselyWithFrequency) {
+  MachineConfig m = nehalemX5650DualSocket();
+  double atNominal = m.staticEnergyPjPerCycle();
+  m.coreGHz = m.nominalGHz / 2;
+  EXPECT_DOUBLE_EQ(m.staticEnergyPjPerCycle(), atNominal * 2);
+}
+
+}  // namespace
+}  // namespace microtools::sim

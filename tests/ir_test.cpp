@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "ir/instruction.hpp"
+#include "ir/kernel.hpp"
+#include "ir/operand.hpp"
+#include "support/error.hpp"
+
+namespace microtools::ir {
+namespace {
+
+Instruction makeLoad() {
+  Instruction instr;
+  instr.operation = "movaps";
+  MemOperand mem;
+  mem.base = RegOperand::physical(isa::gpr(isa::kRsi, 64));
+  mem.offset = 16;
+  instr.operands.emplace_back(mem);
+  instr.operands.emplace_back(RegOperand::physical(isa::xmm(1)));
+  return instr;
+}
+
+// ---------------------------------------------------------------------------
+// operands
+// ---------------------------------------------------------------------------
+
+TEST(Operand, PhysicalRegisterRenders) {
+  EXPECT_EQ(RegOperand::physical(isa::gpr(isa::kRsi, 64)).render(), "%rsi");
+  EXPECT_EQ(RegOperand::physical(isa::xmm(3)).render(), "%xmm3");
+}
+
+TEST(Operand, LogicalRegisterRenderBeforeAllocationThrows) {
+  EXPECT_THROW(RegOperand::logical("r1").render(), McError);
+}
+
+TEST(Operand, RotatingRegisterRenderBeforeRotationThrows) {
+  EXPECT_THROW(RegOperand::rotating("%xmm", 0, 8).render(), McError);
+}
+
+TEST(Operand, RotatingRangeValidated) {
+  EXPECT_THROW(RegOperand::rotating("%xmm", 5, 5), DescriptionError);
+  EXPECT_THROW(RegOperand::rotating("%xmm", -1, 4), DescriptionError);
+  EXPECT_NO_THROW(RegOperand::rotating("%xmm", 0, 1));
+}
+
+TEST(Operand, MemoryRendersAttSyntax) {
+  MemOperand mem;
+  mem.base = RegOperand::physical(isa::gpr(isa::kRsi, 64));
+  EXPECT_EQ(mem.render(), "(%rsi)");
+  mem.offset = 32;
+  EXPECT_EQ(mem.render(), "32(%rsi)");
+  mem.offset = -8;
+  EXPECT_EQ(mem.render(), "-8(%rsi)");
+}
+
+TEST(Operand, MemoryWithIndexAndScale) {
+  MemOperand mem;
+  mem.base = RegOperand::physical(isa::gpr(isa::kRdx, 64));
+  mem.index = RegOperand::physical(isa::gpr(isa::kRax, 64));
+  mem.scale = 8;
+  mem.offset = 4;
+  EXPECT_EQ(mem.render(), "4(%rdx,%rax,8)");
+}
+
+TEST(Operand, ImmediateRenders) {
+  ImmOperand imm;
+  imm.value = 48;
+  EXPECT_EQ(imm.render(), "$48");
+  imm.value = -12;
+  EXPECT_EQ(imm.render(), "$-12");
+}
+
+TEST(Operand, UnresolvedImmediateChoicesThrow) {
+  ImmOperand imm;
+  imm.choices = {1, 2};
+  EXPECT_THROW(imm.render(), McError);
+}
+
+TEST(Operand, TypeQueries) {
+  Operand reg = RegOperand::logical("r1");
+  Operand imm = ImmOperand{4, {}};
+  Operand label = LabelOperand{"L6"};
+  EXPECT_TRUE(isRegister(reg));
+  EXPECT_TRUE(isImmediate(imm));
+  EXPECT_TRUE(isLabel(label));
+  EXPECT_FALSE(isMemory(reg));
+}
+
+// ---------------------------------------------------------------------------
+// instructions
+// ---------------------------------------------------------------------------
+
+TEST(Instruction, RendersLoad) {
+  EXPECT_EQ(makeLoad().render(), "movaps 16(%rsi), %xmm1");
+}
+
+TEST(Instruction, LoadStoreClassification) {
+  Instruction load = makeLoad();
+  EXPECT_TRUE(load.isLoad());
+  EXPECT_FALSE(load.isStore());
+  Instruction store = swappedOperands(load);
+  EXPECT_TRUE(store.isStore());
+  EXPECT_FALSE(store.isLoad());
+}
+
+TEST(Instruction, SwapIsInvolution) {
+  Instruction load = makeLoad();
+  EXPECT_EQ(swappedOperands(swappedOperands(load)), load);
+}
+
+TEST(Instruction, SwapRequiresTwoOperands) {
+  Instruction instr;
+  instr.operation = "ret";
+  EXPECT_THROW(swappedOperands(instr), DescriptionError);
+}
+
+TEST(Instruction, RenderWithoutOperationThrows) {
+  Instruction instr;
+  EXPECT_THROW(instr.render(), McError);
+}
+
+TEST(Instruction, FullyResolvedChecks) {
+  Instruction instr = makeLoad();
+  EXPECT_TRUE(instr.isFullyResolved());
+
+  Instruction pendingRepeat = instr;
+  pendingRepeat.repeatMax = 3;
+  EXPECT_FALSE(pendingRepeat.isFullyResolved());
+
+  Instruction pendingChoice = instr;
+  pendingChoice.operation.clear();
+  pendingChoice.operationChoices = {"movaps", "movups"};
+  EXPECT_FALSE(pendingChoice.isFullyResolved());
+
+  Instruction pendingSemantics = instr;
+  pendingSemantics.semantics = MoveSemantics{16, true, false, true};
+  EXPECT_FALSE(pendingSemantics.isFullyResolved());
+
+  Instruction unbound = instr;
+  unbound.operands[1] = RegOperand::logical("r9");
+  EXPECT_FALSE(unbound.isFullyResolved());
+
+  Instruction pendingImm = instr;
+  pendingImm.operands.emplace_back(ImmOperand{0, {1, 2}});
+  EXPECT_FALSE(pendingImm.isFullyResolved());
+}
+
+// ---------------------------------------------------------------------------
+// kernel
+// ---------------------------------------------------------------------------
+
+Kernel makeKernel() {
+  Kernel kernel;
+  kernel.baseName = "k";
+  kernel.body.push_back(makeLoad());
+  InductionVar pointer;
+  pointer.reg = RegOperand::logical("r1");
+  pointer.increment = 16;
+  pointer.offsetStep = 16;
+  kernel.inductions.push_back(pointer);
+  InductionVar counter;
+  counter.reg = RegOperand::logical("r0");
+  counter.increment = -1;
+  counter.lastInduction = true;
+  kernel.inductions.push_back(counter);
+  return kernel;
+}
+
+TEST(Kernel, VariantNameJoinsTags) {
+  Kernel kernel = makeKernel();
+  EXPECT_EQ(kernel.variantName(), "k");
+  kernel.tag("u3");
+  kernel.tag("seqSLS");
+  EXPECT_EQ(kernel.variantName(), "k_u3_seqSLS");
+}
+
+TEST(Kernel, InductionLookup) {
+  Kernel kernel = makeKernel();
+  ASSERT_NE(kernel.inductionFor("r1"), nullptr);
+  EXPECT_EQ(kernel.inductionFor("r1")->increment, 16);
+  EXPECT_EQ(kernel.inductionFor("rX"), nullptr);
+}
+
+TEST(Kernel, LastInduction) {
+  Kernel kernel = makeKernel();
+  ASSERT_NE(kernel.lastInduction(), nullptr);
+  EXPECT_EQ(kernel.lastInduction()->reg.logicalName, "r0");
+}
+
+TEST(Kernel, LoadStoreCounts) {
+  Kernel kernel = makeKernel();
+  EXPECT_EQ(kernel.loadCount(), 1);
+  EXPECT_EQ(kernel.storeCount(), 0);
+  kernel.body.push_back(swappedOperands(kernel.body[0]));
+  EXPECT_EQ(kernel.loadCount(), 1);
+  EXPECT_EQ(kernel.storeCount(), 1);
+}
+
+TEST(Kernel, EffectiveIncrementPrefersScaled) {
+  InductionVar iv;
+  iv.increment = -1;
+  EXPECT_EQ(iv.effectiveIncrement(), -1);
+  iv.scaledIncrement = -12;
+  EXPECT_EQ(iv.effectiveIncrement(), -12);
+}
+
+}  // namespace
+}  // namespace microtools::ir

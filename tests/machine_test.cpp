@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "asmparse/asmparse.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+#include "test_helpers.hpp"
+
+namespace microtools::sim {
+namespace {
+
+MachineConfig cfg() { return nehalemX5650DualSocket(); }
+
+asmparse::Program loadProgram(int unroll) {
+  static std::map<int, asmparse::Program> cache;
+  auto it = cache.find(unroll);
+  if (it == cache.end()) {
+    auto programs = microtools::testing::generate(
+        microtools::testing::figure6Xml(unroll, unroll, false));
+    it = cache.emplace(unroll,
+                       asmparse::parseAssembly(programs[0].asmText)).first;
+  }
+  return it->second;
+}
+
+TEST(Pinning, CompactFillsSocketFirst) {
+  MachineConfig m = cfg();  // 2 sockets x 6 cores
+  EXPECT_EQ(MultiCoreRunner::compactPin(m, 0), 0);
+  EXPECT_EQ(MultiCoreRunner::compactPin(m, 5), 5);
+  EXPECT_EQ(MultiCoreRunner::compactPin(m, 6), 6);
+}
+
+TEST(Pinning, ScatterAlternatesSockets) {
+  MachineConfig m = cfg();
+  EXPECT_EQ(MultiCoreRunner::scatterPin(m, 0), 0);   // socket 0
+  EXPECT_EQ(MultiCoreRunner::scatterPin(m, 1), 6);   // socket 1
+  EXPECT_EQ(MultiCoreRunner::scatterPin(m, 2), 1);   // socket 0
+  EXPECT_EQ(MultiCoreRunner::scatterPin(m, 3), 7);   // socket 1
+}
+
+TEST(MultiCore, SingleWorkMatchesCoreSim) {
+  asmparse::Program p = loadProgram(4);
+  MultiCoreRunner runner(cfg());
+  CoreWork w;
+  w.program = &p;
+  w.n = 4096;
+  w.arrayAddrs = {0x100000000ull};
+  auto results = runner.run({w});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].iterations, 4096u / 16 + 1);
+  EXPECT_GT(results[0].coreCycles, 0u);
+}
+
+TEST(MultiCore, RequiresProgramAndCalls) {
+  MultiCoreRunner runner(cfg());
+  CoreWork w;
+  EXPECT_THROW(runner.run({w}), McError);
+  asmparse::Program p = loadProgram(1);
+  w.program = &p;
+  w.calls = 0;
+  EXPECT_THROW(runner.run({w}), McError);
+}
+
+TEST(MultiCore, CallsAggregateIterations) {
+  asmparse::Program p = loadProgram(2);
+  MultiCoreRunner runner(cfg());
+  CoreWork w;
+  w.program = &p;
+  w.n = 800;
+  w.arrayAddrs = {0x100000000ull};
+  w.calls = 3;
+  auto results = runner.run({w});
+  EXPECT_EQ(results[0].iterations, 3u * (800 / 8 + 1));
+}
+
+TEST(MultiCore, DistinctCoresRunConcurrently) {
+  // Two cores on L1-resident private arrays take about as long as one, not
+  // twice as long.
+  asmparse::Program p = loadProgram(8);
+  auto runWith = [&p](int cores) {
+    MultiCoreRunner runner(cfg());
+    std::vector<CoreWork> work;
+    for (int c = 0; c < cores; ++c) {
+      CoreWork w;
+      w.program = &p;
+      w.n = 4096;
+      w.arrayAddrs = {0x100000000ull +
+                      static_cast<std::uint64_t>(c) * 0x10000000ull};
+      w.physicalCore = c;
+      w.calls = 2;
+      work.push_back(w);
+    }
+    auto results = runner.run(work);
+    std::uint64_t maxCycles = 0;
+    for (const auto& r : results) maxCycles = std::max(maxCycles, r.coreCycles);
+    return maxCycles;
+  };
+  std::uint64_t one = runWith(1);
+  std::uint64_t two = runWith(2);
+  EXPECT_LT(two, one * 3 / 2);
+}
+
+TEST(MultiCore, SharedMemoryBandwidthDegradesManyCores) {
+  // RAM-resident streams: per-core cycles/iteration at 6 cores on one
+  // socket must exceed the single-core value (channel contention).
+  asmparse::Program p = loadProgram(8);
+  auto perIter = [&p](int cores) {
+    MachineConfig m = cfg();
+    MultiCoreRunner runner(m);
+    std::vector<CoreWork> work;
+    for (int c = 0; c < cores; ++c) {
+      CoreWork w;
+      w.program = &p;
+      w.n = 1 << 20;  // 4 MiB per array pass, cold caches
+      w.arrayAddrs = {0x100000000ull +
+                      static_cast<std::uint64_t>(c) * 0x40000000ull};
+      w.physicalCore = c;  // compact: all on socket 0
+      work.push_back(w);
+    }
+    auto results = runner.run(work);
+    double worst = 0;
+    for (const auto& r : results) {
+      worst = std::max(worst, static_cast<double>(r.coreCycles) /
+                                  static_cast<double>(r.iterations));
+    }
+    return worst;
+  };
+  EXPECT_GT(perIter(6), perIter(1) * 1.5);
+}
+
+TEST(MultiCore, ScatterBeatsCompactForBandwidth) {
+  // Spreading 4 RAM-bound processes over both sockets uses twice the
+  // channels: scatter must be faster than compact.
+  asmparse::Program p = loadProgram(8);
+  auto worstPerIter = [&p](bool scatter) {
+    MachineConfig m = cfg();
+    MultiCoreRunner runner(m);
+    std::vector<CoreWork> work;
+    for (int c = 0; c < 4; ++c) {
+      CoreWork w;
+      w.program = &p;
+      w.n = 1 << 20;
+      std::uint64_t base = 0x100000000ull +
+                           static_cast<std::uint64_t>(c) * 0x40000000ull;
+      w.arrayAddrs = {base};
+      w.physicalCore = scatter ? MultiCoreRunner::scatterPin(m, c)
+                               : MultiCoreRunner::compactPin(m, c);
+      runner.memory().setHomeSocket(
+          base, 0x40000000ull, runner.memory().socketOfCore(w.physicalCore));
+      work.push_back(w);
+    }
+    auto results = runner.run(work);
+    double worst = 0;
+    for (const auto& r : results) {
+      worst = std::max(worst, static_cast<double>(r.coreCycles) /
+                                  static_cast<double>(r.iterations));
+    }
+    return worst;
+  };
+  EXPECT_LT(worstPerIter(true), worstPerIter(false));
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP model
+// ---------------------------------------------------------------------------
+
+TEST(OpenMpModel, SplitsIterationsAcrossThreads) {
+  asmparse::Program p = loadProgram(1);
+  OpenMpModel model(cfg());
+  OmpRegionResult r = model.runParallelFor(p, 40000, {0x100000000ull}, 4, 4);
+  ASSERT_EQ(r.threads.size(), 4u);
+  // Each thread runs ~n/4 elements; iterations counted per thread chunk.
+  std::uint64_t total = 0;
+  for (const auto& t : r.threads) total += t.iterations;
+  EXPECT_EQ(total, r.totalIterations);
+  EXPECT_NEAR(static_cast<double>(r.threads[0].iterations),
+              static_cast<double>(r.threads[3].iterations), 8.0);
+}
+
+TEST(OpenMpModel, RegionIncludesForkJoinOverhead) {
+  asmparse::Program p = loadProgram(1);
+  MachineConfig m = cfg();
+  OpenMpModel model(m);
+  OmpRegionResult r = model.runParallelFor(p, 400, {0x100000000ull}, 4, 4);
+  std::uint64_t overhead =
+      m.nsToCoreCycles(m.ompForkJoinNs + 4 * m.ompPerThreadNs);
+  EXPECT_GE(r.regionCoreCycles, overhead);
+}
+
+TEST(OpenMpModel, MoreThreadsHelpLargeArrays) {
+  asmparse::Program p = loadProgram(8);
+  MachineConfig m = sandyBridgeE31240();
+  auto regionCycles = [&p, &m](int threads) {
+    OpenMpModel model(m);
+    // 6M-element style workload, scaled down: 1M floats.
+    return model
+        .runRepeated(p, 1 << 20, {0x100000000ull}, 4, threads, 2)
+        .regionCoreCycles;
+  };
+  EXPECT_LT(regionCycles(4), regionCycles(1));
+}
+
+TEST(OpenMpModel, OverheadDominatesTinyArrays) {
+  // For a tiny trip count the parallel region is NOT faster than one
+  // thread (the paper's Table-2 observation about OpenMP overhead).
+  asmparse::Program p = loadProgram(1);
+  MachineConfig m = sandyBridgeE31240();
+  auto regionCycles = [&p, &m](int threads) {
+    OpenMpModel model(m);
+    return model.runRepeated(p, 2048, {0x100000000ull}, 4, threads, 3)
+        .regionCoreCycles;
+  };
+  EXPECT_GE(static_cast<double>(regionCycles(4)),
+            0.8 * static_cast<double>(regionCycles(1)));
+}
+
+TEST(OpenMpModel, ValidatesArguments) {
+  asmparse::Program p = loadProgram(1);
+  OpenMpModel model(cfg());
+  EXPECT_THROW(model.runParallelFor(p, 100, {0x1000}, 4, 0), McError);
+  EXPECT_THROW(model.runParallelFor(p, 100, {0x1000}, 4, 99), McError);
+  EXPECT_THROW(model.runRepeated(p, 100, {0x1000}, 4, 2, 0), McError);
+}
+
+}  // namespace
+}  // namespace microtools::sim

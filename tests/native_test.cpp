@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "launcher/protocol.hpp"
+#include "native/affinity.hpp"
+#include "native/compile.hpp"
+#include "native/native_backend.hpp"
+#include "native/timing.hpp"
+#include "support/error.hpp"
+#include "test_helpers.hpp"
+
+namespace microtools::native {
+namespace {
+
+using testing::figure6Xml;
+using testing::generate;
+
+// These tests execute real machine code on the host. Functional assertions
+// only — host timing is asserted merely to be positive/ordered loosely.
+
+TEST(Timing, TscIsMonotonic) {
+  std::uint64_t a = readTsc();
+  std::uint64_t b = readTsc();
+  EXPECT_GE(b, a);
+}
+
+TEST(Timing, OverheadIsSmallAndPositive) {
+  double ov = tscOverheadCycles();
+  EXPECT_GE(ov, 0.0);
+  EXPECT_LT(ov, 10000.0);
+}
+
+TEST(Affinity, AvailableCoresPositive) {
+  EXPECT_GE(availableCores(), 1);
+}
+
+TEST(Affinity, PinToCoreDoesNotCrash) {
+  // May fail in restricted cpusets; either result is acceptable.
+  (void)pinToCore(0);
+  SUCCEED();
+}
+
+TEST(Compile, AssemblyKernelCompilesAndRuns) {
+  auto programs = generate(figure6Xml(4, 4, false));
+  CompiledKernel kernel(programs[0].asmText, "asm", "microkernel");
+  std::vector<char> buffer(1 << 16, 0);
+  void* ptrs[1] = {buffer.data()};
+  int iterations = kernel.call(4096, ptrs, 1);
+  EXPECT_EQ(iterations, 4096 / 16 + 1);
+}
+
+TEST(Compile, CSourceKernelCompilesAndRuns) {
+  const char* src = R"(
+int microkernel(int n, void* a) {
+  volatile float* p = (volatile float*)a;
+  int i;
+  float acc = 0;
+  for (i = 0; i < n; i++) acc += p[i];
+  return n;
+}
+)";
+  CompiledKernel kernel(src, "c", "microkernel");
+  std::vector<float> buffer(1024, 1.0f);
+  void* ptrs[1] = {buffer.data()};
+  EXPECT_EQ(kernel.call(1024, ptrs, 1), 1024);
+}
+
+TEST(Compile, EmittedCSourceMatchesAssemblySemantics) {
+  // The creator's C output must compute the same iteration count as its
+  // assembly output when both run natively.
+  std::string xml = figure6Xml(3, 3, false);
+  xml.insert(xml.find("<kernel>"), "<emit_c/>");
+  auto programs = generate(xml);
+  ASSERT_FALSE(programs[0].cText.empty());
+  CompiledKernel fromAsm(programs[0].asmText, "asm", "microkernel");
+  CompiledKernel fromC(programs[0].cText, "c", "microkernel");
+  std::vector<char> buffer(1 << 16, 0);
+  void* ptrs[1] = {buffer.data()};
+  EXPECT_EQ(fromAsm.call(8192, ptrs, 1), fromC.call(8192, ptrs, 1));
+}
+
+TEST(Compile, BadSourceReportsCompilerOutput) {
+  try {
+    CompiledKernel bad("this is not assembly", "asm", "f");
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    EXPECT_NE(std::string(e.what()).find("compiler failed"),
+              std::string::npos);
+  }
+}
+
+TEST(Compile, MissingSymbolThrows) {
+  auto programs = generate(figure6Xml(1, 1, false));
+  EXPECT_THROW(CompiledKernel(programs[0].asmText, "asm", "wrong_name"),
+               ExecutionError);
+}
+
+TEST(Compile, UnsupportedLanguageThrows) {
+  EXPECT_THROW(CompiledKernel("x", "fortran", "f"), ExecutionError);
+}
+
+TEST(Backend, InvokeReturnsIterationsAndPositiveCycles) {
+  NativeBackend backend;
+  auto programs = generate(figure6Xml(8, 8, false));
+  auto kernel = backend.load(programs[0].asmText, "microkernel");
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{1 << 16, 4096, 0});
+  request.n = (1 << 16) / 4;
+  launcher::InvokeResult r = backend.invoke(*kernel, request);
+  EXPECT_EQ(r.iterations, static_cast<std::uint64_t>((1 << 16) / 4 / 32 + 1));
+  EXPECT_GT(r.tscCycles, 0.0);
+}
+
+TEST(Backend, ProtocolRunsEndToEnd) {
+  NativeBackend backend;
+  auto programs = generate(figure6Xml(4, 4, false));
+  auto kernel = backend.load(programs[0].asmText, "microkernel");
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{1 << 15, 4096, 0});
+  request.n = (1 << 15) / 4;
+  launcher::ProtocolOptions protocol;
+  protocol.innerRepetitions = 4;
+  protocol.outerRepetitions = 3;
+  launcher::Measurement m =
+      launcher::measureKernel(backend, *kernel, request, protocol);
+  EXPECT_GT(m.cyclesPerIteration.min, 0.0);
+  EXPECT_EQ(m.cyclesPerIteration.count, 3u);
+}
+
+TEST(Backend, AlignmentOffsetsHonored) {
+  // The kernel must still run correctly with odd array placements.
+  NativeBackend backend;
+  auto programs = generate(testing::movssLoadXml(2, 2, 2));
+  auto kernel = backend.load(programs[0].asmText, "microkernel");
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{1 << 14, 4096, 48});
+  request.arrays.push_back(launcher::ArraySpec{1 << 14, 4096, 1028});
+  request.n = (1 << 14) / 4;
+  launcher::InvokeResult r = backend.invoke(*kernel, request);
+  EXPECT_GT(r.iterations, 0u);
+}
+
+TEST(Backend, ForkCollectsOneResultPerProcess) {
+  NativeBackend backend;
+  auto programs = generate(figure6Xml(2, 2, false));
+  auto kernel = backend.load(programs[0].asmText, "microkernel");
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{1 << 14, 4096, 0});
+  request.n = (1 << 14) / 4;
+  auto results = backend.invokeFork(*kernel, request, 2, 3,
+                                    launcher::PinPolicy::Compact);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.iterations, 3u * ((1 << 14) / 4 / 8 + 1));
+    EXPECT_GT(r.tscCycles, 0.0);
+  }
+}
+
+TEST(Backend, OpenMpRunsAllIterations) {
+  NativeBackend backend;
+  auto programs = generate(testing::movssLoadXml(1, 1));
+  auto kernel = backend.load(programs[0].asmText, "microkernel");
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{1 << 16, 4096, 0});
+  request.n = (1 << 16) / 4;
+  launcher::InvokeResult r = backend.invokeOpenMp(*kernel, request, 2, 2);
+  EXPECT_GT(r.iterations, 0u);
+  EXPECT_GT(r.tscCycles, 0.0);
+}
+
+TEST(Backend, ValidatesForkAndOmpArguments) {
+  NativeBackend backend;
+  auto programs = generate(figure6Xml(1, 1, false));
+  auto kernel = backend.load(programs[0].asmText, "microkernel");
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{4096, 4096, 0});
+  request.n = 1024;
+  EXPECT_THROW(backend.invokeFork(*kernel, request, 0, 1,
+                                  launcher::PinPolicy::Compact),
+               McError);
+  EXPECT_THROW(backend.invokeOpenMp(*kernel, request, 0, 1), McError);
+  EXPECT_THROW(backend.invokeOpenMp(*kernel, request, 2, 0), McError);
+}
+
+}  // namespace
+}  // namespace microtools::native

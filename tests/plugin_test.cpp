@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "creator/creator.hpp"
+#include "creator/plugin.hpp"
+#include "support/error.hpp"
+#include "test_helpers.hpp"
+
+#ifndef MT_TEST_PLUGIN_PATH
+#error "MT_TEST_PLUGIN_PATH must be defined by the build"
+#endif
+
+namespace microtools::creator {
+namespace {
+
+TEST(Plugin, LoadsAndRegistersPass) {
+  MicroCreator mc;
+  mc.loadPlugin(MT_TEST_PLUGIN_PATH);
+  auto names = mc.passManager().passNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "PluginTagger"),
+            names.end());
+  EXPECT_EQ(mc.passManager().size(), 20u);
+}
+
+TEST(Plugin, PluginPassRunsAndTagsKernels) {
+  MicroCreator mc;
+  mc.loadPlugin(MT_TEST_PLUGIN_PATH);
+  auto programs = mc.generateFromText(testing::figure6Xml(2, 2, false));
+  ASSERT_EQ(programs.size(), 1u);
+  EXPECT_NE(programs[0].name.find("plugged"), std::string::npos);
+}
+
+TEST(Plugin, InsertedAfterUnrolling) {
+  MicroCreator mc;
+  mc.loadPlugin(MT_TEST_PLUGIN_PATH);
+  auto names = mc.passManager().passNames();
+  auto unrolling = std::find(names.begin(), names.end(), "Unrolling");
+  ASSERT_NE(unrolling, names.end());
+  EXPECT_EQ(*(unrolling + 1), "PluginTagger");
+}
+
+TEST(Plugin, MissingLibraryThrows) {
+  MicroCreator mc;
+  EXPECT_THROW(mc.loadPlugin("/nonexistent/plugin.so"), McError);
+}
+
+TEST(Plugin, LibraryWithoutEntryPointThrows) {
+  // libmt_support has no pluginInit; loading it must fail cleanly. Find it
+  // next to the test plugin is fragile, so use the C library instead.
+  PluginLoader loader;
+  PassManager pm = PassManager::standardPipeline();
+  EXPECT_THROW(loader.load("libc.so.6", pm), McError);
+}
+
+TEST(Plugin, LoaderTracksLoadedPaths) {
+  PluginLoader loader;
+  PassManager pm = PassManager::standardPipeline();
+  loader.load(MT_TEST_PLUGIN_PATH, pm);
+  ASSERT_EQ(loader.loadedPlugins().size(), 1u);
+  EXPECT_EQ(loader.loadedPlugins()[0], MT_TEST_PLUGIN_PATH);
+}
+
+TEST(Plugin, RepeatLoadAddsDuplicatePassAndThrows) {
+  // Loading the same plugin twice tries to register PluginTagger again,
+  // which the PassManager rejects — the error must surface, not crash.
+  MicroCreator mc;
+  mc.loadPlugin(MT_TEST_PLUGIN_PATH);
+  EXPECT_THROW(mc.loadPlugin(MT_TEST_PLUGIN_PATH), McError);
+}
+
+}  // namespace
+}  // namespace microtools::creator

@@ -1,0 +1,24 @@
+// A MicroCreator plugin used by plugin_test.cpp: demonstrates the three
+// plugin capabilities of §3.3 — adding a pass, replacing a pass, and
+// overriding a gate — through the exported pluginInit entry point.
+
+#include "creator/pass_manager.hpp"
+
+using microtools::creator::GenerationState;
+using microtools::creator::LambdaPass;
+using microtools::creator::PassManager;
+
+extern "C" void pluginInit(PassManager& pm) {
+  // 1. Add a pass that tags every kernel so tests can observe plugin
+  //    execution order (it runs right after unrolling).
+  pm.addPassAfter("Unrolling",
+                  std::make_unique<LambdaPass>(
+                      "PluginTagger", [](GenerationState& state) {
+                        for (auto& kernel : state.kernels) {
+                          kernel.tag("plugged");
+                        }
+                      }));
+
+  // 2. Gate off the scheduling pass.
+  pm.setGate("Scheduling", [](const GenerationState&) { return false; });
+}

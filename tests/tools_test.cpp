@@ -1,0 +1,222 @@
+// End-to-end tests of the two command-line tools, exercising the same
+// binaries a user runs. Each test shells out to the built executables.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+#include "support/strings.hpp"
+#include "test_helpers.hpp"
+
+#ifndef MT_MICROCREATOR_PATH
+#error "MT_MICROCREATOR_PATH must be defined by the build"
+#endif
+#ifndef MT_MICROLAUNCHER_PATH
+#error "MT_MICROLAUNCHER_PATH must be defined by the build"
+#endif
+
+namespace microtools {
+namespace {
+
+struct CommandResult {
+  int exitCode = -1;
+  std::string output;
+};
+
+CommandResult run(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (!pipe) return result;
+  char buffer[512];
+  while (std::fgets(buffer, sizeof buffer, pipe)) result.output += buffer;
+  int status = pclose(pipe);
+  result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string writeTempXml(const std::string& content, const char* name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    xmlPath_ = writeTempXml(testing::figure6Xml(1, 4), "tools_test.xml");
+    outDir_ = ::testing::TempDir() + "/tools_test_out";
+  }
+
+  std::string xmlPath_;
+  std::string outDir_;
+};
+
+TEST_F(ToolsTest, CreatorGeneratesExpectedCount) {
+  CommandResult r = run(std::string(MT_MICROCREATOR_PATH) + " " + xmlPath_ +
+                        " --output " + outDir_);
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("generated 30 benchmark program(s)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(ToolsTest, CreatorNamesOnly) {
+  CommandResult r = run(std::string(MT_MICROCREATOR_PATH) + " " + xmlPath_ +
+                        " --names-only");
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.output.find("loadstore_u1_seqL"), std::string::npos);
+  EXPECT_NE(r.output.find("loadstore_u4_seqSSSS"), std::string::npos);
+}
+
+TEST_F(ToolsTest, CreatorListPassesShowsNineteen) {
+  CommandResult r = run(std::string(MT_MICROCREATOR_PATH) + " --list-passes");
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.output.find("19. CodeEmission"), std::string::npos);
+  EXPECT_NE(r.output.find("1. ValidateDescription"), std::string::npos);
+}
+
+TEST_F(ToolsTest, CreatorMaxOverrideCapsOutput) {
+  CommandResult r = run(std::string(MT_MICROCREATOR_PATH) + " " + xmlPath_ +
+                        " --max 7 --dry-run");
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.output.find("generated 7 benchmark program(s)"),
+            std::string::npos);
+}
+
+TEST_F(ToolsTest, CreatorRejectsMissingInput) {
+  CommandResult r = run(std::string(MT_MICROCREATOR_PATH));
+  EXPECT_EQ(r.exitCode, 2);
+  EXPECT_NE(r.output.find("no input file"), std::string::npos);
+}
+
+TEST_F(ToolsTest, CreatorReportsXmlErrors) {
+  std::string bad = writeTempXml("<kernel><instruction>", "tools_bad.xml");
+  CommandResult r = run(std::string(MT_MICROCREATOR_PATH) + " " + bad);
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST_F(ToolsTest, LauncherMeasuresGeneratedKernelOnSim) {
+  ASSERT_EQ(run(std::string(MT_MICROCREATOR_PATH) + " " + xmlPath_ +
+                " --output " + outDir_)
+                .exitCode,
+            0);
+  CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) + " --input " +
+                        outDir_ + "/loadstore_u4_seqLLLL.s" +
+                        " --array-bytes 16384 --inner 2 --outer 3");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("cycles_per_iteration_min"), std::string::npos);
+  // 16384/4 elements, 16 per trip, +1 (do-while).
+  EXPECT_NE(r.output.find(",257,"), std::string::npos) << r.output;
+}
+
+TEST_F(ToolsTest, LauncherNativeBackend) {
+  ASSERT_EQ(run(std::string(MT_MICROCREATOR_PATH) + " " + xmlPath_ +
+                " --output " + outDir_)
+                .exitCode,
+            0);
+  CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) + " --input " +
+                        outDir_ + "/loadstore_u2_seqLL.s" +
+                        " --backend native --array-bytes 8192 --inner 2 "
+                        "--outer 2");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find(",257,"), std::string::npos) << r.output;
+}
+
+TEST_F(ToolsTest, LauncherListArch) {
+  CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) + " --list-arch");
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.output.find("nehalem_x5650_2s"), std::string::npos);
+  EXPECT_NE(r.output.find("figures 15, 16"), std::string::npos);
+}
+
+TEST_F(ToolsTest, LauncherForkMode) {
+  ASSERT_EQ(run(std::string(MT_MICROCREATOR_PATH) + " " + xmlPath_ +
+                " --output " + outDir_)
+                .exitCode,
+            0);
+  CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) + " --input " +
+                        outDir_ + "/loadstore_u4_seqLLLL.s" +
+                        " --cores 2 --fork-calls 1 --array-bytes 8192");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("process,"), std::string::npos);
+  // Two result rows (plus header).
+  EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 3);
+}
+
+TEST_F(ToolsTest, LauncherOpenMpMode) {
+  ASSERT_EQ(run(std::string(MT_MICROCREATOR_PATH) + " " + xmlPath_ +
+                " --output " + outDir_)
+                .exitCode,
+            0);
+  CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) + " --input " +
+                        outDir_ + "/loadstore_u1_seqL.s" +
+                        " --openmp --threads 2 --omp-repetitions 2 "
+                        "--array-bytes 65536");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("threads,"), std::string::npos);
+}
+
+TEST_F(ToolsTest, LauncherAlignmentSweep) {
+  ASSERT_EQ(run(std::string(MT_MICROCREATOR_PATH) + " " + xmlPath_ +
+                " --output " + outDir_)
+                .exitCode,
+            0);
+  CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) + " --input " +
+                        outDir_ + "/loadstore_u1_seqL.s" +
+                        " --sweep-alignment --align-max 256 --align-step 64 "
+                        "--array-bytes 8192 --inner 1 --outer 2");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("offset0"), std::string::npos);
+  EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 5);
+}
+
+TEST_F(ToolsTest, LauncherCsvToFile) {
+  ASSERT_EQ(run(std::string(MT_MICROCREATOR_PATH) + " " + xmlPath_ +
+                " --output " + outDir_)
+                .exitCode,
+            0);
+  std::string csvPath = ::testing::TempDir() + "/tools_test.csv";
+  CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) + " --input " +
+                        outDir_ + "/loadstore_u1_seqL.s" +
+                        " --array-bytes 8192 --csv " + csvPath);
+  EXPECT_EQ(r.exitCode, 0);
+  std::ifstream in(csvPath);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("cycles_per_iteration_min"), std::string::npos);
+  std::remove(csvPath.c_str());
+}
+
+TEST_F(ToolsTest, LauncherStandaloneProgram) {
+  CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) +
+                        " --standalone 'true' --cores 2");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("processes,2"), std::string::npos);
+  EXPECT_NE(r.output.find("failures,0"), std::string::npos);
+}
+
+TEST_F(ToolsTest, LauncherRejectsUnknownBackend) {
+  CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) +
+                        " --input x.s --backend gpu");
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("--backend must be sim or native"),
+            std::string::npos);
+}
+
+TEST_F(ToolsTest, HelpPagesWork) {
+  CommandResult creator = run(std::string(MT_MICROCREATOR_PATH) + " --help");
+  EXPECT_EQ(creator.exitCode, 0);
+  EXPECT_NE(creator.output.find("--list-passes"), std::string::npos);
+  CommandResult launcher =
+      run(std::string(MT_MICROLAUNCHER_PATH) + " --help");
+  EXPECT_EQ(launcher.exitCode, 0);
+  EXPECT_NE(launcher.output.find("--nbvectors"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microtools
