@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_matmul_size.dir/fig03_matmul_size.cpp.o"
+  "CMakeFiles/fig03_matmul_size.dir/fig03_matmul_size.cpp.o.d"
+  "fig03_matmul_size"
+  "fig03_matmul_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_matmul_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_matmul_alignment.dir/fig04_matmul_alignment.cpp.o"
+  "CMakeFiles/fig04_matmul_alignment.dir/fig04_matmul_alignment.cpp.o.d"
+  "fig04_matmul_alignment"
+  "fig04_matmul_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_matmul_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

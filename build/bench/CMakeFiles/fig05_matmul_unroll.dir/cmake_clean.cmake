@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_matmul_unroll.dir/fig05_matmul_unroll.cpp.o"
+  "CMakeFiles/fig05_matmul_unroll.dir/fig05_matmul_unroll.cpp.o.d"
+  "fig05_matmul_unroll"
+  "fig05_matmul_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_matmul_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

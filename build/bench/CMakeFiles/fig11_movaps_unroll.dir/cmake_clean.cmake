@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_movaps_unroll.dir/fig11_movaps_unroll.cpp.o"
+  "CMakeFiles/fig11_movaps_unroll.dir/fig11_movaps_unroll.cpp.o.d"
+  "fig11_movaps_unroll"
+  "fig11_movaps_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_movaps_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_movss_unroll.dir/fig12_movss_unroll.cpp.o"
+  "CMakeFiles/fig12_movss_unroll.dir/fig12_movss_unroll.cpp.o.d"
+  "fig12_movss_unroll"
+  "fig12_movss_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_movss_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_movss_unroll.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_frequency.dir/fig13_frequency.cpp.o"
+  "CMakeFiles/fig13_frequency.dir/fig13_frequency.cpp.o.d"
+  "fig13_frequency"
+  "fig13_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_fork_cores.dir/fig14_fork_cores.cpp.o"
+  "CMakeFiles/fig14_fork_cores.dir/fig14_fork_cores.cpp.o.d"
+  "fig14_fork_cores"
+  "fig14_fork_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_fork_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_alignment_8core.dir/fig15_alignment_8core.cpp.o"
+  "CMakeFiles/fig15_alignment_8core.dir/fig15_alignment_8core.cpp.o.d"
+  "fig15_alignment_8core"
+  "fig15_alignment_8core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_alignment_8core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_alignment_32core.dir/fig16_alignment_32core.cpp.o"
+  "CMakeFiles/fig16_alignment_32core.dir/fig16_alignment_32core.cpp.o.d"
+  "fig16_alignment_32core"
+  "fig16_alignment_32core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_alignment_32core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

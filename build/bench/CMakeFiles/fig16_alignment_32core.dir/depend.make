@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_alignment_32core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_openmp_128k.dir/fig17_openmp_128k.cpp.o"
+  "CMakeFiles/fig17_openmp_128k.dir/fig17_openmp_128k.cpp.o.d"
+  "fig17_openmp_128k"
+  "fig17_openmp_128k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_openmp_128k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_openmp_128k.
+# This may be replaced when dependencies are built.

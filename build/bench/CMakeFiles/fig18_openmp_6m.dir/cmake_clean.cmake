@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_openmp_6m.dir/fig18_openmp_6m.cpp.o"
+  "CMakeFiles/fig18_openmp_6m.dir/fig18_openmp_6m.cpp.o.d"
+  "fig18_openmp_6m"
+  "fig18_openmp_6m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_openmp_6m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alignment_study.dir/alignment_study.cpp.o"
+  "CMakeFiles/alignment_study.dir/alignment_study.cpp.o.d"
+  "alignment_study"
+  "alignment_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alignment_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_unroll_plugin.dir/plugins/double_unroll_plugin.cpp.o"
+  "CMakeFiles/double_unroll_plugin.dir/plugins/double_unroll_plugin.cpp.o.d"
+  "double_unroll_plugin.pdb"
+  "double_unroll_plugin.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_unroll_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadstore_study.dir/loadstore_study.cpp.o"
+  "CMakeFiles/loadstore_study.dir/loadstore_study.cpp.o.d"
+  "loadstore_study"
+  "loadstore_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadstore_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for loadstore_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_measure.dir/native_measure.cpp.o"
+  "CMakeFiles/native_measure.dir/native_measure.cpp.o.d"
+  "native_measure"
+  "native_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

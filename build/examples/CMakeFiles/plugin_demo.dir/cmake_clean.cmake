@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugin_demo.dir/plugin_demo.cpp.o"
+  "CMakeFiles/plugin_demo.dir/plugin_demo.cpp.o.d"
+  "plugin_demo"
+  "plugin_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugin_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stride_study.dir/stride_study.cpp.o"
+  "CMakeFiles/stride_study.dir/stride_study.cpp.o.d"
+  "stride_study"
+  "stride_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stride_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

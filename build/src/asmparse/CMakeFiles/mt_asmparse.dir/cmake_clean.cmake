@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_asmparse.dir/asmparse.cpp.o"
+  "CMakeFiles/mt_asmparse.dir/asmparse.cpp.o.d"
+  "libmt_asmparse.a"
+  "libmt_asmparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_asmparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

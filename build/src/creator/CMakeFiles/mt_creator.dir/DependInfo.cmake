@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/creator/creator.cpp" "src/creator/CMakeFiles/mt_creator.dir/creator.cpp.o" "gcc" "src/creator/CMakeFiles/mt_creator.dir/creator.cpp.o.d"
+  "/root/repo/src/creator/description.cpp" "src/creator/CMakeFiles/mt_creator.dir/description.cpp.o" "gcc" "src/creator/CMakeFiles/mt_creator.dir/description.cpp.o.d"
+  "/root/repo/src/creator/emit_asm.cpp" "src/creator/CMakeFiles/mt_creator.dir/emit_asm.cpp.o" "gcc" "src/creator/CMakeFiles/mt_creator.dir/emit_asm.cpp.o.d"
+  "/root/repo/src/creator/emit_c.cpp" "src/creator/CMakeFiles/mt_creator.dir/emit_c.cpp.o" "gcc" "src/creator/CMakeFiles/mt_creator.dir/emit_c.cpp.o.d"
+  "/root/repo/src/creator/pass_manager.cpp" "src/creator/CMakeFiles/mt_creator.dir/pass_manager.cpp.o" "gcc" "src/creator/CMakeFiles/mt_creator.dir/pass_manager.cpp.o.d"
+  "/root/repo/src/creator/passes_lowering.cpp" "src/creator/CMakeFiles/mt_creator.dir/passes_lowering.cpp.o" "gcc" "src/creator/CMakeFiles/mt_creator.dir/passes_lowering.cpp.o.d"
+  "/root/repo/src/creator/passes_selection.cpp" "src/creator/CMakeFiles/mt_creator.dir/passes_selection.cpp.o" "gcc" "src/creator/CMakeFiles/mt_creator.dir/passes_selection.cpp.o.d"
+  "/root/repo/src/creator/passes_unroll.cpp" "src/creator/CMakeFiles/mt_creator.dir/passes_unroll.cpp.o" "gcc" "src/creator/CMakeFiles/mt_creator.dir/passes_unroll.cpp.o.d"
+  "/root/repo/src/creator/plugin.cpp" "src/creator/CMakeFiles/mt_creator.dir/plugin.cpp.o" "gcc" "src/creator/CMakeFiles/mt_creator.dir/plugin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mt_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_creator.dir/creator.cpp.o"
+  "CMakeFiles/mt_creator.dir/creator.cpp.o.d"
+  "CMakeFiles/mt_creator.dir/description.cpp.o"
+  "CMakeFiles/mt_creator.dir/description.cpp.o.d"
+  "CMakeFiles/mt_creator.dir/emit_asm.cpp.o"
+  "CMakeFiles/mt_creator.dir/emit_asm.cpp.o.d"
+  "CMakeFiles/mt_creator.dir/emit_c.cpp.o"
+  "CMakeFiles/mt_creator.dir/emit_c.cpp.o.d"
+  "CMakeFiles/mt_creator.dir/pass_manager.cpp.o"
+  "CMakeFiles/mt_creator.dir/pass_manager.cpp.o.d"
+  "CMakeFiles/mt_creator.dir/passes_lowering.cpp.o"
+  "CMakeFiles/mt_creator.dir/passes_lowering.cpp.o.d"
+  "CMakeFiles/mt_creator.dir/passes_selection.cpp.o"
+  "CMakeFiles/mt_creator.dir/passes_selection.cpp.o.d"
+  "CMakeFiles/mt_creator.dir/passes_unroll.cpp.o"
+  "CMakeFiles/mt_creator.dir/passes_unroll.cpp.o.d"
+  "CMakeFiles/mt_creator.dir/plugin.cpp.o"
+  "CMakeFiles/mt_creator.dir/plugin.cpp.o.d"
+  "libmt_creator.a"
+  "libmt_creator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_creator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

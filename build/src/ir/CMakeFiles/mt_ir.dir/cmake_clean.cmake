@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_ir.dir/instruction.cpp.o"
+  "CMakeFiles/mt_ir.dir/instruction.cpp.o.d"
+  "CMakeFiles/mt_ir.dir/kernel.cpp.o"
+  "CMakeFiles/mt_ir.dir/kernel.cpp.o.d"
+  "CMakeFiles/mt_ir.dir/operand.cpp.o"
+  "CMakeFiles/mt_ir.dir/operand.cpp.o.d"
+  "libmt_ir.a"
+  "libmt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

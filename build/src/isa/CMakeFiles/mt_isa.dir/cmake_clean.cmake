@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_isa.dir/instructions.cpp.o"
+  "CMakeFiles/mt_isa.dir/instructions.cpp.o.d"
+  "CMakeFiles/mt_isa.dir/registers.cpp.o"
+  "CMakeFiles/mt_isa.dir/registers.cpp.o.d"
+  "libmt_isa.a"
+  "libmt_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

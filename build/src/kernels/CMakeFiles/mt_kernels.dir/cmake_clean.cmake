@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_kernels.dir/matmul.cpp.o"
+  "CMakeFiles/mt_kernels.dir/matmul.cpp.o.d"
+  "libmt_kernels.a"
+  "libmt_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_launcher.dir/arch_registry.cpp.o"
+  "CMakeFiles/mt_launcher.dir/arch_registry.cpp.o.d"
+  "CMakeFiles/mt_launcher.dir/launcher.cpp.o"
+  "CMakeFiles/mt_launcher.dir/launcher.cpp.o.d"
+  "CMakeFiles/mt_launcher.dir/options.cpp.o"
+  "CMakeFiles/mt_launcher.dir/options.cpp.o.d"
+  "CMakeFiles/mt_launcher.dir/protocol.cpp.o"
+  "CMakeFiles/mt_launcher.dir/protocol.cpp.o.d"
+  "CMakeFiles/mt_launcher.dir/sim_backend.cpp.o"
+  "CMakeFiles/mt_launcher.dir/sim_backend.cpp.o.d"
+  "libmt_launcher.a"
+  "libmt_launcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_launcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

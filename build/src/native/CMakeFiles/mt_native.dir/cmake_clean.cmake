@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_native.dir/affinity.cpp.o"
+  "CMakeFiles/mt_native.dir/affinity.cpp.o.d"
+  "CMakeFiles/mt_native.dir/compile.cpp.o"
+  "CMakeFiles/mt_native.dir/compile.cpp.o.d"
+  "CMakeFiles/mt_native.dir/native_backend.cpp.o"
+  "CMakeFiles/mt_native.dir/native_backend.cpp.o.d"
+  "CMakeFiles/mt_native.dir/timing.cpp.o"
+  "CMakeFiles/mt_native.dir/timing.cpp.o.d"
+  "libmt_native.a"
+  "libmt_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

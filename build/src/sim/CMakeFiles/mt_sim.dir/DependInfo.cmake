@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arch.cpp" "src/sim/CMakeFiles/mt_sim.dir/arch.cpp.o" "gcc" "src/sim/CMakeFiles/mt_sim.dir/arch.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/mt_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/mt_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/mt_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/mt_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/mt_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/mt_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/memsys.cpp" "src/sim/CMakeFiles/mt_sim.dir/memsys.cpp.o" "gcc" "src/sim/CMakeFiles/mt_sim.dir/memsys.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmparse/CMakeFiles/mt_asmparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

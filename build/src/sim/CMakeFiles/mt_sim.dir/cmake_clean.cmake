@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_sim.dir/arch.cpp.o"
+  "CMakeFiles/mt_sim.dir/arch.cpp.o.d"
+  "CMakeFiles/mt_sim.dir/cache.cpp.o"
+  "CMakeFiles/mt_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/mt_sim.dir/core.cpp.o"
+  "CMakeFiles/mt_sim.dir/core.cpp.o.d"
+  "CMakeFiles/mt_sim.dir/machine.cpp.o"
+  "CMakeFiles/mt_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/mt_sim.dir/memsys.cpp.o"
+  "CMakeFiles/mt_sim.dir/memsys.cpp.o.d"
+  "libmt_sim.a"
+  "libmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

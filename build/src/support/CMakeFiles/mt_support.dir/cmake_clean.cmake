@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_support.dir/cli.cpp.o"
+  "CMakeFiles/mt_support.dir/cli.cpp.o.d"
+  "CMakeFiles/mt_support.dir/csv.cpp.o"
+  "CMakeFiles/mt_support.dir/csv.cpp.o.d"
+  "CMakeFiles/mt_support.dir/log.cpp.o"
+  "CMakeFiles/mt_support.dir/log.cpp.o.d"
+  "CMakeFiles/mt_support.dir/rng.cpp.o"
+  "CMakeFiles/mt_support.dir/rng.cpp.o.d"
+  "CMakeFiles/mt_support.dir/stats.cpp.o"
+  "CMakeFiles/mt_support.dir/stats.cpp.o.d"
+  "CMakeFiles/mt_support.dir/strings.cpp.o"
+  "CMakeFiles/mt_support.dir/strings.cpp.o.d"
+  "libmt_support.a"
+  "libmt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmt_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcreator.dir/microcreator_main.cpp.o"
+  "CMakeFiles/microcreator.dir/microcreator_main.cpp.o.d"
+  "microcreator"
+  "microcreator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcreator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

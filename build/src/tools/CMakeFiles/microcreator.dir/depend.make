@@ -1,0 +1,2 @@
+# Empty dependencies file for microcreator.
+# This may be replaced when dependencies are built.

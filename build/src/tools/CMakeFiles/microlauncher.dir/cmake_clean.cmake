@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microlauncher.dir/microlauncher_main.cpp.o"
+  "CMakeFiles/microlauncher.dir/microlauncher_main.cpp.o.d"
+  "microlauncher"
+  "microlauncher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microlauncher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_xml.dir/xml.cpp.o"
+  "CMakeFiles/mt_xml.dir/xml.cpp.o.d"
+  "libmt_xml.a"
+  "libmt_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/energy_test.cpp" "tests/CMakeFiles/energy_test.dir/energy_test.cpp.o" "gcc" "tests/CMakeFiles/energy_test.dir/energy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/launcher/CMakeFiles/mt_launcher.dir/DependInfo.cmake"
+  "/root/repo/build/src/native/CMakeFiles/mt_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/creator/CMakeFiles/mt_creator.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmparse/CMakeFiles/mt_asmparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mt_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/launcher_test.dir/launcher_test.cpp.o"
+  "CMakeFiles/launcher_test.dir/launcher_test.cpp.o.d"
+  "launcher_test"
+  "launcher_test.pdb"
+  "launcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/launcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

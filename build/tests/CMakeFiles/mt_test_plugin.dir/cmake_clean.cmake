@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_test_plugin.dir/test_plugin.cpp.o"
+  "CMakeFiles/mt_test_plugin.dir/test_plugin.cpp.o.d"
+  "mt_test_plugin.pdb"
+  "mt_test_plugin.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_test_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

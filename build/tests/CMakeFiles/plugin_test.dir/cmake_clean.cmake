@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugin_test.dir/plugin_test.cpp.o"
+  "CMakeFiles/plugin_test.dir/plugin_test.cpp.o.d"
+  "plugin_test"
+  "plugin_test.pdb"
+  "plugin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
