@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "creator/pass.hpp"
+#include "support/error.hpp"
 
 namespace microtools::launcher {
 
@@ -65,6 +66,18 @@ class Backend {
   /// Convenience for MicroCreator output.
   std::unique_ptr<KernelHandle> load(const creator::GeneratedProgram& p) {
     return load(p.asmText, p.functionName);
+  }
+
+  /// Loads a kernel from source of the given kind ("asm" everywhere; the
+  /// native backend also accepts "c" and "so"). The campaign runner goes
+  /// through this so mixed .s/.c campaign directories work on any backend
+  /// that can take them.
+  virtual std::unique_ptr<KernelHandle> loadSource(
+      const std::string& kind, const std::string& text,
+      const std::string& functionName) {
+    if (kind == "asm") return load(text, functionName);
+    throw ExecutionError("backend '" + name() + "' cannot load '" + kind +
+                         "' kernels");
   }
 
   /// One timed kernel call.

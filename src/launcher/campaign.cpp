@@ -1,0 +1,260 @@
+#include "launcher/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+#include "support/thread_pool.hpp"
+
+namespace microtools::launcher {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// CampaignCsvSink
+// ---------------------------------------------------------------------------
+
+CampaignCsvSink::CampaignCsvSink(const std::string& path) {
+  // Append-safe: an interrupted campaign can be rerun against the same file
+  // and only the header is deduplicated.
+  std::error_code ec;
+  bool hasRows = fs::exists(path, ec) && fs::file_size(path, ec) > 0;
+  auto file = std::make_unique<std::ofstream>(
+      path, std::ios::binary | std::ios::app);
+  if (!*file) throw McError("cannot open campaign CSV file: " + path);
+  owned_ = std::move(file);
+  os_ = owned_.get();
+  headerWritten_ = hasRows;
+}
+
+CampaignCsvSink::CampaignCsvSink(std::ostream& os) : os_(&os) {}
+
+CampaignCsvSink::~CampaignCsvSink() = default;
+
+void CampaignCsvSink::writeLine(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += csv::quoteField(cells[i]);
+  }
+  line += '\n';
+  *os_ << line;
+  os_->flush();  // one flush per row: a crash loses at most the row in flight
+}
+
+void CampaignCsvSink::append(const VariantResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!headerWritten_) {
+    writeLine(CampaignRunner::csvHeader());
+    headerWritten_ = true;
+  }
+  writeLine(CampaignRunner::csvRow(result));
+}
+
+// ---------------------------------------------------------------------------
+// CampaignRunner
+// ---------------------------------------------------------------------------
+
+CampaignRunner::CampaignRunner(BackendFactory factory, CampaignOptions options)
+    : factory_(std::move(factory)), options_(std::move(options)) {
+  if (!factory_) throw McError("campaign runner requires a backend factory");
+  if (options_.jobs < 1) throw McError("campaign requires --jobs >= 1");
+}
+
+VariantResult CampaignRunner::runOne(Backend& backend,
+                                     const CampaignVariant& variant,
+                                     std::size_t sequence,
+                                     const KernelRequest& request) {
+  VariantResult result;
+  result.sequence = sequence;
+  result.name = variant.name;
+
+  DeadlineCheck outOfTime;
+  if (options_.variantTimeoutMs > 0) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options_.variantTimeoutMs);
+    outOfTime = [deadline] {
+      return std::chrono::steady_clock::now() > deadline;
+    };
+  }
+
+  AdaptivePolicy policy;
+  policy.maxCv = options_.maxCv;
+  policy.maxRepetitions =
+      std::max(options_.maxRepetitions, options_.protocol.outerRepetitions);
+
+  for (int attempt = 1; attempt <= 2; ++attempt) {
+    result.attempts = attempt;
+    try {
+      backend.reset();  // every variant starts from post-construction state
+      std::unique_ptr<KernelHandle> kernel =
+          backend.loadSource(variant.kind, variant.source,
+                             variant.functionName);
+      AdaptiveMeasurement am = measureKernelAdaptive(
+          backend, *kernel, request, options_.protocol, policy, outOfTime);
+      result.measurement = am.measurement;
+      result.repetitions = am.repetitions;
+      result.finalCv = am.measurement.cyclesPerIteration.cv;
+      result.converged = am.converged;
+      result.status = "ok";
+      result.error.clear();
+      return result;
+    } catch (const TimeoutError& e) {
+      result.status = "timeout";
+      result.error = e.message();
+      return result;  // out of time: retrying would also time out
+    } catch (const ExecutionError& e) {
+      result.status = "error";
+      result.error = e.message();
+      // Transient execution failures get exactly one retry.
+    } catch (const McError& e) {
+      result.status = "error";
+      result.error = e.message();
+      return result;  // structural error: a retry cannot change the outcome
+    }
+  }
+  return result;
+}
+
+std::vector<VariantResult> CampaignRunner::run(
+    const std::vector<CampaignVariant>& variants,
+    const KernelRequest& request, CampaignCsvSink* sink) {
+  std::vector<VariantResult> results(variants.size());
+  if (variants.empty()) return results;
+
+  int jobs = std::min<int>(options_.jobs,
+                           static_cast<int>(variants.size()));
+  std::vector<std::unique_ptr<Backend>> backends;
+  backends.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    std::unique_ptr<Backend> backend = factory_(w);
+    if (!backend) throw McError("backend factory returned null");
+    backends.push_back(std::move(backend));
+  }
+
+  threads::ThreadPool pool(jobs);
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    pool.submit([this, &variants, &results, &backends, &request, sink,
+                 i](int worker) {
+      KernelRequest workerRequest = request;
+      if (options_.pinWorkers) workerRequest.core = worker;
+      results[i] = runOne(*backends[static_cast<std::size_t>(worker)],
+                          variants[i], i, workerRequest);
+      if (sink) sink->append(results[i]);
+    });
+  }
+  pool.wait();
+  return results;
+}
+
+std::vector<std::string> CampaignRunner::csvHeader() {
+  return {"sequence",
+          "variant",
+          "status",
+          "iterations_per_call",
+          "cycles_per_iteration_min",
+          "cycles_per_iteration_mean",
+          "cycles_per_iteration_median",
+          "cycles_per_iteration_max",
+          "cv",
+          "repetitions",
+          "converged",
+          "attempts",
+          "error"};
+}
+
+std::vector<std::string> CampaignRunner::csvRow(const VariantResult& r) {
+  std::vector<std::string> cells;
+  cells.push_back(std::to_string(r.sequence));
+  cells.push_back(r.name);
+  cells.push_back(r.status);
+  if (r.status == "ok") {
+    const stats::Summary& s = r.measurement.cyclesPerIteration;
+    cells.push_back(std::to_string(r.measurement.iterationsPerCall));
+    cells.push_back(strings::format("%.4f", s.min));
+    cells.push_back(strings::format("%.4f", s.mean));
+    cells.push_back(strings::format("%.4f", s.median));
+    cells.push_back(strings::format("%.4f", s.max));
+    cells.push_back(strings::format("%.6f", r.finalCv));
+  } else {
+    for (int i = 0; i < 6; ++i) cells.push_back("");
+  }
+  cells.push_back(std::to_string(r.repetitions));
+  cells.push_back(r.converged ? "1" : "0");
+  cells.push_back(std::to_string(r.attempts));
+  cells.push_back(r.error);
+  return cells;
+}
+
+csv::Table CampaignRunner::toCsv(const std::vector<VariantResult>& results) {
+  std::vector<const VariantResult*> ordered;
+  ordered.reserve(results.size());
+  for (const VariantResult& r : results) ordered.push_back(&r);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const VariantResult* a, const VariantResult* b) {
+              return a->sequence < b->sequence;
+            });
+  csv::Table table(csvHeader());
+  for (const VariantResult* r : ordered) table.addRow(csvRow(*r));
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Variant sources
+// ---------------------------------------------------------------------------
+
+std::vector<CampaignVariant> loadCampaignDirectory(
+    const std::string& dir, const std::string& functionName) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw McError("campaign directory not found: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::string ext = entry.path().extension().string();
+    if (ext == ".s" || ext == ".c") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());  // deterministic sequence
+  std::vector<CampaignVariant> variants;
+  variants.reserve(files.size());
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw McError("cannot read campaign kernel: " + path.string());
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    CampaignVariant v;
+    v.name = path.stem().string();
+    v.kind = path.extension() == ".c" ? "c" : "asm";
+    v.source = oss.str();
+    v.functionName = functionName;
+    variants.push_back(std::move(v));
+  }
+  if (variants.empty()) {
+    throw McError("campaign directory holds no .s or .c kernels: " + dir);
+  }
+  return variants;
+}
+
+std::vector<CampaignVariant> variantsFromPrograms(
+    const std::vector<creator::GeneratedProgram>& programs) {
+  std::vector<CampaignVariant> variants;
+  variants.reserve(programs.size());
+  for (const creator::GeneratedProgram& p : programs) {
+    CampaignVariant v;
+    v.name = p.name;
+    v.kind = "asm";
+    v.source = p.asmText;
+    v.functionName = p.functionName;
+    variants.push_back(std::move(v));
+  }
+  return variants;
+}
+
+}  // namespace microtools::launcher

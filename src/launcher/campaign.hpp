@@ -1,0 +1,113 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "launcher/backend.hpp"
+#include "launcher/protocol.hpp"
+#include "support/csv.hpp"
+
+namespace microtools::launcher {
+
+/// One benchmark variant of a campaign: a MicroCreator-generated program or
+/// a source file picked up from a campaign directory.
+struct CampaignVariant {
+  std::string name;                      ///< unique label (file stem)
+  std::string kind = "asm";              ///< asm|c (Backend::loadSource)
+  std::string source;                    ///< kernel source text
+  std::string functionName = "microkernel";
+};
+
+/// Campaign execution knobs.
+struct CampaignOptions {
+  int jobs = 1;                ///< worker threads, each owning one Backend
+  ProtocolOptions protocol;    ///< baseline Figure-10 protocol per variant
+  double maxCv = 0.05;         ///< adaptive-repetition CV target (<=0: off)
+  int maxRepetitions = 40;     ///< total outer-repetition budget per variant
+  int variantTimeoutMs = 0;    ///< cooperative per-variant timeout (0: none)
+  bool pinWorkers = false;     ///< pin worker w's requests to core w (native)
+};
+
+/// Outcome of one variant, in input order (`sequence`).
+struct VariantResult {
+  std::size_t sequence = 0;  ///< index of the variant in the input batch
+  std::string name;
+  std::string status = "ok";  ///< ok|error|timeout
+  std::string error;          ///< message when status != ok
+  Measurement measurement;    ///< valid only when status == ok
+  int repetitions = 0;        ///< final outer-repetition count
+  double finalCv = 0.0;       ///< CV of the final sample set
+  bool converged = true;      ///< finalCv <= maxCv (when adaptive is on)
+  int attempts = 1;           ///< 1, or 2 after a retry on ExecutionError
+};
+
+/// Creates the Backend a given worker owns for the whole campaign.
+using BackendFactory = std::function<std::unique_ptr<Backend>(int worker)>;
+
+/// Streams finished variant rows to a CSV file or stream as they complete,
+/// so a crashed campaign loses nothing. Rows are appended in completion
+/// order and carry their `sequence` column; one flush per row. When opened
+/// on a path, the header is only written if the file is new or empty, so
+/// resumed campaigns append cleanly.
+class CampaignCsvSink {
+ public:
+  explicit CampaignCsvSink(const std::string& path);
+  explicit CampaignCsvSink(std::ostream& os);
+  ~CampaignCsvSink();
+
+  void append(const VariantResult& result);
+
+ private:
+  void writeLine(const std::vector<std::string>& cells);
+
+  std::mutex mutex_;
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_ = nullptr;
+  bool headerWritten_ = false;
+};
+
+/// Dispatches a batch of variants across `jobs` worker threads. Each worker
+/// owns the Backend the factory built for it; every variant gets a freshly
+/// reset backend, a cooperative timeout, one retry on ExecutionError, and
+/// adaptive repetition until its CV target or budget is reached — so results
+/// are bit-identical regardless of job count or completion order (on
+/// deterministic backends).
+class CampaignRunner {
+ public:
+  CampaignRunner(BackendFactory factory, CampaignOptions options);
+
+  /// Runs every variant against `request`; optionally streams rows into
+  /// `sink` as they complete. Returns results ordered by sequence.
+  std::vector<VariantResult> run(const std::vector<CampaignVariant>& variants,
+                                 const KernelRequest& request,
+                                 CampaignCsvSink* sink = nullptr);
+
+  static std::vector<std::string> csvHeader();
+  static std::vector<std::string> csvRow(const VariantResult& result);
+
+  /// Renders results (in sequence order) as a CSV table.
+  static csv::Table toCsv(const std::vector<VariantResult>& results);
+
+ private:
+  VariantResult runOne(Backend& backend, const CampaignVariant& variant,
+                       std::size_t sequence, const KernelRequest& request);
+
+  BackendFactory factory_;
+  CampaignOptions options_;
+};
+
+/// Scans `dir` (non-recursively) for `.s` and `.c` kernels, sorted by file
+/// name for a deterministic sequence. Throws McError when the directory is
+/// missing or holds no kernels.
+std::vector<CampaignVariant> loadCampaignDirectory(
+    const std::string& dir, const std::string& functionName = "microkernel");
+
+/// Wraps a MicroCreator batch as campaign variants.
+std::vector<CampaignVariant> variantsFromPrograms(
+    const std::vector<creator::GeneratedProgram>& programs);
+
+}  // namespace microtools::launcher

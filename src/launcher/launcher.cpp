@@ -1,5 +1,7 @@
 #include "launcher/launcher.hpp"
 
+#include <numeric>
+
 #include "support/error.hpp"
 
 namespace microtools::launcher {
@@ -9,6 +11,9 @@ std::vector<std::vector<std::uint64_t>> alignmentConfigurations(
   if (arrayCount == 0) throw McError("alignment sweep needs >= 1 array");
   if (spec.step == 0 || spec.maxOffset <= spec.minOffset) {
     throw McError("alignment sweep requires step > 0 and max > min");
+  }
+  if (spec.maxConfigs == 0) {
+    throw McError("alignment sweep requires maxConfigs > 0");
   }
   std::uint64_t perArray = (spec.maxOffset - spec.minOffset + spec.step - 1) /
                            spec.step;
@@ -24,12 +29,25 @@ std::vector<std::vector<std::uint64_t>> alignmentConfigurations(
   std::uint64_t count =
       std::min<std::uint64_t>(total, static_cast<std::uint64_t>(spec.maxConfigs));
   // Stride through the product space so every digit (array offset) varies.
-  std::uint64_t stride = total == ~0ull ? 0 : total / count;
-  if (stride == 0) stride = 1;
-  if (stride > 1 && stride % perArray == 0) {
-    // A stride that is a multiple of the radix would freeze the lowest
-    // digit; nudge it off the multiple.
-    --stride;
+  std::uint64_t stride;
+  if (total == ~0ull) {
+    // Saturated product: `total / count` is meaningless here (the old
+    // stride-1 fallback froze every digit but the lowest). Walk the code
+    // space with a golden-ratio step instead: odd, so the 2^64 orbit never
+    // revisits a code, with bits in every 16-bit chunk so even a small
+    // budget of consecutive codes varies every array's digit (a stride near
+    // a power of the radix would hold the middle digits constant). Nudged
+    // until coprime with the radix so the lowest digit sweeps as well.
+    stride = 0x9e3779b97f4a7c15ull;
+    while (std::gcd(stride, perArray) != 1) stride -= 2;
+  } else {
+    stride = total / count;
+    if (stride == 0) stride = 1;
+    if (stride > 1 && stride % perArray == 0) {
+      // A stride that is a multiple of the radix would freeze the lowest
+      // digit; nudge it off the multiple.
+      --stride;
+    }
   }
 
   std::vector<std::vector<std::uint64_t>> configs;

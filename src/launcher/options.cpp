@@ -7,10 +7,11 @@ namespace microtools::launcher {
 
 int LauncherOptions::effectiveTripCount() const {
   if (tripCount) return *tripCount;
+  if (elementBytes == 0) throw McError("--element-bytes must be > 0");
   std::uint64_t bytes = arrayBytesPerVector.empty()
                             ? arrayBytes
                             : arrayBytesPerVector.front();
-  std::uint64_t elements = bytes / 4;
+  std::uint64_t elements = bytes / elementBytes;
   if (elements == 0 || elements > 0x7fffffffull) {
     throw McError("array size yields an invalid trip count");
   }
@@ -21,6 +22,7 @@ KernelRequest LauncherOptions::toRequest() const {
   KernelRequest request;
   request.n = effectiveTripCount();
   request.core = pinCore;
+  request.chunkStrideBytes = elementBytes;
   for (int i = 0; i < nbVectors; ++i) {
     ArraySpec spec;
     spec.bytes = static_cast<std::size_t>(i) < arrayBytesPerVector.size()
@@ -56,6 +58,8 @@ cli::Parser makeLauncherParser() {
   parser.addRepeated("array-bytes-n", "Per-array size override (repeatable)");
   parser.addInt("alignment", "Array base alignment in bytes", 4096);
   parser.addInt("align-offset", "Extra offset added to each array base", 0);
+  parser.addInt("element-bytes",
+                "Bytes per array element (4 = float, 8 = double)", 4);
   parser.addFlag("sweep-alignment", "Sweep array alignment offsets");
   parser.addInt("align-min", "Sweep: first offset", 0);
   parser.addInt("align-max", "Sweep: last offset (exclusive)", 4096);
@@ -74,6 +78,17 @@ cli::Parser makeLauncherParser() {
   parser.addFlag("openmp", "Run the kernel as an OpenMP parallel-for");
   parser.addInt("threads", "OpenMP threads", 4);
   parser.addInt("omp-repetitions", "OpenMP parallel regions to time", 10);
+  parser.addString("campaign",
+                   "Run every .s/.c kernel in this directory as a campaign");
+  parser.addInt("jobs", "Campaign: parallel worker threads", 1);
+  parser.addDouble("max-cv",
+                   "Campaign: re-run a variant while its cycles/iteration CV "
+                   "exceeds this (0 disables)",
+                   0.05);
+  parser.addInt("max-repetitions",
+                "Campaign: total outer-repetition budget per variant", 40);
+  parser.addInt("variant-timeout-ms",
+                "Campaign: per-variant wall-clock budget (0 = none)", 0);
   parser.addString("backend", "Execution backend: sim|native", "sim");
   parser.addString("arch", "Simulated machine (see --list-arch)",
                    "nehalem_x5650_2s");
@@ -104,6 +119,7 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   }
   o.alignment = static_cast<std::uint64_t>(parser.getInt("alignment"));
   o.alignOffset = static_cast<std::uint64_t>(parser.getInt("align-offset"));
+  o.elementBytes = static_cast<std::uint64_t>(parser.getInt("element-bytes"));
   o.sweepAlignment = parser.getFlag("sweep-alignment");
   o.alignMin = static_cast<std::uint64_t>(parser.getInt("align-min"));
   o.alignMax = static_cast<std::uint64_t>(parser.getInt("align-max"));
@@ -123,6 +139,11 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   o.useOpenMp = parser.getFlag("openmp");
   o.threads = static_cast<int>(parser.getInt("threads"));
   o.ompRepetitions = static_cast<int>(parser.getInt("omp-repetitions"));
+  if (parser.has("campaign")) o.campaignDir = parser.getString("campaign");
+  o.jobs = static_cast<int>(parser.getInt("jobs"));
+  o.maxCv = parser.getDouble("max-cv");
+  o.maxRepetitions = static_cast<int>(parser.getInt("max-repetitions"));
+  o.variantTimeoutMs = static_cast<int>(parser.getInt("variant-timeout-ms"));
   o.backend = parser.getString("backend");
   o.arch = parser.getString("arch");
   if (parser.has("core-ghz")) o.coreGHz = parser.getDouble("core-ghz");
@@ -139,6 +160,15 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   }
   if (o.backend != "sim" && o.backend != "native") {
     throw ParseError("--backend must be sim or native");
+  }
+  if (o.elementBytes == 0) {
+    throw ParseError("--element-bytes must be > 0");
+  }
+  if (o.jobs < 1) {
+    throw ParseError("--jobs must be >= 1");
+  }
+  if (o.variantTimeoutMs < 0) {
+    throw ParseError("--variant-timeout-ms must be >= 0");
   }
   return o;
 }

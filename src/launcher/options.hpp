@@ -12,7 +12,14 @@
 namespace microtools::launcher {
 
 /// Execution mode of the microlauncher tool.
-enum class LaunchMode { Single, AlignmentSweep, Fork, OpenMp, Standalone };
+enum class LaunchMode {
+  Single,
+  AlignmentSweep,
+  Fork,
+  OpenMp,
+  Standalone,
+  Campaign
+};
 
 /// The launcher's full option surface (§4.2: "more than thirty options in
 /// the MicroLauncher tool for behavior tweaking").
@@ -29,6 +36,7 @@ struct LauncherOptions {
   std::vector<std::uint64_t> arrayBytesPerVector;  ///< overrides per array
   std::uint64_t alignment = 4096;
   std::uint64_t alignOffset = 0;
+  std::uint64_t elementBytes = 4;  ///< element size (4 = float, 8 = double)
 
   // -- alignment sweep ---------------------------------------------------------
   bool sweepAlignment = false;
@@ -56,6 +64,13 @@ struct LauncherOptions {
   int threads = 4;
   int ompRepetitions = 10;
 
+  // -- campaign mode ------------------------------------------------------------
+  std::string campaignDir;     ///< directory of .s/.c variants; "" = off
+  int jobs = 1;                ///< campaign worker threads
+  double maxCv = 0.05;         ///< adaptive repetition CV target
+  int maxRepetitions = 40;     ///< total outer-repetition budget per variant
+  int variantTimeoutMs = 0;    ///< per-variant wall-clock budget (0 = none)
+
   // -- backend / machine ---------------------------------------------------------
   std::string backend = "sim";   ///< sim|native
   std::string arch = "nehalem_x5650_2s";
@@ -68,7 +83,8 @@ struct LauncherOptions {
   bool listArch = false;
 
   /// Derives the trip count: explicit --n, else elements that fit the first
-  /// array (element size 4, the movss convention).
+  /// array at --element-bytes per element (default 4, the movss convention;
+  /// 8 for double-precision kernels).
   int effectiveTripCount() const;
 
   /// Builds the KernelRequest implied by these options.

@@ -1,12 +1,37 @@
 #include "launcher/protocol.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
 
 namespace microtools::launcher {
+
+namespace {
+
+void checkDeadline(const DeadlineCheck& outOfTime) {
+  if (outOfTime && outOfTime()) {
+    throw TimeoutError("measurement exceeded its wall-clock budget");
+  }
+}
+
+}  // namespace
 
 Measurement measureKernel(Backend& backend, KernelHandle& kernel,
                           const KernelRequest& request,
                           const ProtocolOptions& options) {
+  return measureKernelAdaptive(backend, kernel, request, options,
+                               AdaptivePolicy{})
+      .measurement;
+}
+
+AdaptiveMeasurement measureKernelAdaptive(Backend& backend,
+                                          KernelHandle& kernel,
+                                          const KernelRequest& request,
+                                          const ProtocolOptions& options,
+                                          const AdaptivePolicy& policy,
+                                          const DeadlineCheck& outOfTime) {
   if (options.innerRepetitions < 1 || options.outerRepetitions < 1) {
     throw McError("protocol repetitions must be >= 1");
   }
@@ -15,6 +40,7 @@ Measurement measureKernel(Backend& backend, KernelHandle& kernel,
   // kernel's data by calling the benchmark function once".
   std::uint64_t iterationsPerCall = 0;
   if (options.warmup) {
+    checkDeadline(outOfTime);
     iterationsPerCall = backend.invoke(kernel, request).iterations;
   }
 
@@ -23,10 +49,13 @@ Measurement measureKernel(Backend& backend, KernelHandle& kernel,
 
   std::vector<double> samples;
   double totalCycles = 0.0;
-  for (int outer = 0; outer < options.outerRepetitions; ++outer) {
+  bool clampWarned = false;
+
+  auto runOuterExperiment = [&] {
     double elapsed = 0.0;
     std::uint64_t iterations = 0;
     for (int inner = 0; inner < options.innerRepetitions; ++inner) {
+      checkDeadline(outOfTime);
       InvokeResult r = backend.invoke(kernel, request);
       elapsed += r.tscCycles;
       iterations += r.iterations;
@@ -41,15 +70,53 @@ Measurement measureKernel(Backend& backend, KernelHandle& kernel,
     double sample =
         (elapsed - overhead * options.innerRepetitions) /
         static_cast<double>(iterations);
+    if (sample < 0.0) {
+      if (!clampWarned) {
+        log::warn(strings::format(
+            "cycles/iteration sample %.4f is negative after overhead "
+            "subtraction (overhead %.1f cycles x %d calls > elapsed %.1f); "
+            "clamping to 0",
+            sample, overhead, options.innerRepetitions, elapsed));
+        clampWarned = true;
+      }
+      sample = 0.0;
+    }
     samples.push_back(sample);
     totalCycles += elapsed;
+  };
+
+  for (int outer = 0; outer < options.outerRepetitions; ++outer) {
+    runOuterExperiment();
   }
 
-  Measurement m;
-  m.cyclesPerIteration = stats::summarize(samples);
-  m.iterationsPerCall = iterationsPerCall;
-  m.totalCycles = totalCycles;
-  return m;
+  // Stability is judged over the most recent `outerRepetitions` samples: a
+  // noisy prefix must not force hundreds of extra runs after the machine
+  // settles, and the reported statistics describe the stable window rather
+  // than the transient that preceded it.
+  const std::size_t window =
+      static_cast<std::size_t>(options.outerRepetitions);
+  auto windowSummary = [&] {
+    std::vector<double> tail(
+        samples.end() -
+            static_cast<std::ptrdiff_t>(std::min(window, samples.size())),
+        samples.end());
+    return stats::summarize(tail);
+  };
+  stats::Summary summary = windowSummary();
+  bool adaptive = policy.maxCv > 0.0;
+  while (adaptive && summary.cv > policy.maxCv &&
+         static_cast<int>(samples.size()) < policy.maxRepetitions) {
+    runOuterExperiment();
+    summary = windowSummary();
+  }
+
+  AdaptiveMeasurement out;
+  out.measurement.cyclesPerIteration = summary;
+  out.measurement.iterationsPerCall = iterationsPerCall;
+  out.measurement.totalCycles = totalCycles;
+  out.repetitions = static_cast<int>(samples.size());
+  out.converged = !adaptive || summary.cv <= policy.maxCv;
+  return out;
 }
 
 }  // namespace microtools::launcher

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+
 #include "launcher/backend.hpp"
 #include "support/stats.hpp"
 
@@ -11,6 +13,17 @@ struct ProtocolOptions {
   int outerRepetitions = 10;  ///< timed experiments (stability check, §4.5)
   bool warmup = true;         ///< heat I/D caches with one untimed call
   bool subtractOverhead = true;
+};
+
+/// Stability-driven repetition extension (μOpTime-style): after the baseline
+/// outer repetitions, keep adding timed experiments while the coefficient of
+/// variation of the most recent `outerRepetitions` samples exceeds `maxCv`,
+/// up to `maxRepetitions` total. The reported summary covers that trailing
+/// window, so a noisy warm-up prefix neither blocks convergence nor leaks
+/// into the statistics.
+struct AdaptivePolicy {
+  double maxCv = 0.0;      ///< CV target; <= 0 disables the extension
+  int maxRepetitions = 0;  ///< total outer-repetition budget (incl. baseline)
 };
 
 /// Result of one measured kernel configuration.
@@ -26,6 +39,18 @@ struct Measurement {
   double totalCycles = 0.0;
 };
 
+/// A Measurement plus the adaptive-repetition bookkeeping the campaign
+/// runner records per variant.
+struct AdaptiveMeasurement {
+  Measurement measurement;
+  int repetitions = 0;    ///< outer repetitions actually executed
+  bool converged = true;  ///< final CV <= maxCv (true when adaptive is off)
+};
+
+/// Cooperative wall-clock budget: checked before every kernel invocation;
+/// returning true aborts the measurement with TimeoutError.
+using DeadlineCheck = std::function<bool()>;
+
 /// Runs the paper's timing pseudo-algorithm (Figure 10) against a backend:
 ///
 ///   call the benchmark once              // load I/D caches
@@ -35,9 +60,20 @@ struct Measurement {
 ///     t1 = timer()
 ///     sample = (t1 - t0 - overhead) / (I * iterations)
 ///
-/// and summarizes the outer samples.
+/// and summarizes the outer samples. Samples are clamped at 0: on a noisy
+/// host a fast kernel can measure less than the subtracted timer overhead,
+/// and a negative cycles/iteration must never reach the CSV output.
 Measurement measureKernel(Backend& backend, KernelHandle& kernel,
                           const KernelRequest& request,
                           const ProtocolOptions& options);
+
+/// measureKernel plus the adaptive stability extension and an optional
+/// cooperative deadline (campaign per-variant timeouts).
+AdaptiveMeasurement measureKernelAdaptive(Backend& backend,
+                                          KernelHandle& kernel,
+                                          const KernelRequest& request,
+                                          const ProtocolOptions& options,
+                                          const AdaptivePolicy& policy,
+                                          const DeadlineCheck& outOfTime = {});
 
 }  // namespace microtools::launcher

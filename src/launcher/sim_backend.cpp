@@ -146,7 +146,11 @@ InvokeResult SimBackend::invokeOpenMp(KernelHandle& kernel,
 }
 
 void SimBackend::reset() {
-  memsys_->clearCaches();
+  // Full machine reset (fresh memory system, clock at 0), not just a cache
+  // flush: the campaign runner resets before every variant and relies on
+  // results being bit-identical regardless of which worker ran what before.
+  memsys_ = std::make_unique<sim::MemorySystem>(config_);
+  clock_ = 0;
 }
 
 }  // namespace microtools::launcher

@@ -3,6 +3,7 @@
 #include <dlfcn.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -15,11 +16,14 @@ namespace microtools::native {
 namespace {
 
 std::string makeTempPath(const std::string& suffix) {
-  static int counter = 0;
+  // Atomic counter: campaign workers compile kernels concurrently, and two
+  // threads handing out the same path would corrupt each other's .so.
+  static std::atomic<int> counter{0};
   const char* tmpdir = std::getenv("TMPDIR");
   if (!tmpdir) tmpdir = "/tmp";
   return strings::format("%s/microtools_%d_%d%s", tmpdir,
-                         static_cast<int>(getpid()), counter++,
+                         static_cast<int>(getpid()),
+                         counter.fetch_add(1, std::memory_order_relaxed),
                          suffix.c_str());
 }
 

@@ -129,6 +129,15 @@ std::unique_ptr<launcher::KernelHandle> NativeBackend::loadSharedObject(
       CompiledKernel::fromSharedObject(path, functionName));
 }
 
+std::unique_ptr<launcher::KernelHandle> NativeBackend::loadSource(
+    const std::string& kind, const std::string& text,
+    const std::string& functionName) {
+  if (kind == "asm") return load(text, functionName);
+  if (kind == "c") return loadCSource(text, functionName);
+  if (kind == "so") return loadSharedObject(text, functionName);
+  throw ExecutionError("native backend cannot load '" + kind + "' kernels");
+}
+
 InvokeResult NativeBackend::invoke(launcher::KernelHandle& kernel,
                                    const KernelRequest& request) {
   NativeKernel& k = unwrap(kernel);

@@ -33,6 +33,11 @@ class NativeBackend final : public launcher::Backend {
   std::unique_ptr<launcher::KernelHandle> loadSharedObject(
       const std::string& path, const std::string& functionName);
 
+  /// Accepts "asm", "c" and "so" (for "so" the text is the .so path).
+  std::unique_ptr<launcher::KernelHandle> loadSource(
+      const std::string& kind, const std::string& text,
+      const std::string& functionName) override;
+
   launcher::InvokeResult invoke(launcher::KernelHandle& kernel,
                                 const launcher::KernelRequest& request) override;
 

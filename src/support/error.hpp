@@ -49,6 +49,14 @@ class ExecutionError : public McError {
   using McError::McError;
 };
 
+/// Error raised when a measurement exceeds its wall-clock budget (campaign
+/// per-variant timeouts). Deliberately not an ExecutionError: retry logic
+/// re-runs failed kernels but must not re-run ones that ran out of time.
+class TimeoutError : public McError {
+ public:
+  using McError::McError;
+};
+
 /// Throws DescriptionError with `message` when `condition` is false.
 inline void checkDescription(bool condition, const std::string& message) {
   if (!condition) throw DescriptionError(message);

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "launcher/arch_registry.hpp"
+#include "launcher/campaign.hpp"
 #include "launcher/launcher.hpp"
 #include "launcher/options.hpp"
 #include "launcher/sim_backend.hpp"
@@ -100,6 +101,46 @@ int runStandalone(const LauncherOptions& options) {
   return failures == 0 ? 0 : 1;
 }
 
+int runCampaign(const LauncherOptions& options) {
+  std::vector<launcher::CampaignVariant> variants =
+      launcher::loadCampaignDirectory(options.campaignDir, options.function);
+
+  launcher::CampaignOptions campaign;
+  campaign.jobs = options.jobs;
+  campaign.protocol = options.toProtocol();
+  campaign.maxCv = options.maxCv;
+  campaign.maxRepetitions = options.maxRepetitions;
+  campaign.variantTimeoutMs = options.variantTimeoutMs;
+  // Native workers time on real cores: spread them so they don't fight
+  // over one. The simulator pins inside its own machine model instead.
+  campaign.pinWorkers = options.backend == "native";
+
+  launcher::CampaignRunner runner(
+      [&options](int) { return makeBackend(options); }, campaign);
+
+  // Stream rows as variants finish — to the CSV file when given (append-safe
+  // across reruns), to stdout otherwise.
+  std::unique_ptr<launcher::CampaignCsvSink> sink;
+  if (!options.csvOutput.empty()) {
+    sink = std::make_unique<launcher::CampaignCsvSink>(options.csvOutput);
+  } else {
+    sink = std::make_unique<launcher::CampaignCsvSink>(std::cout);
+  }
+
+  std::vector<launcher::VariantResult> results =
+      runner.run(variants, options.toRequest(), sink.get());
+
+  int failures = 0;
+  for (const launcher::VariantResult& r : results) {
+    if (r.status != "ok") ++failures;
+  }
+  if (failures > 0) {
+    log::warn(std::to_string(failures) + " of " +
+              std::to_string(results.size()) + " variants did not complete");
+  }
+  return 0;
+}
+
 void emitCsv(const LauncherOptions& options, const csv::Table& table) {
   if (options.csvOutput.empty()) {
     table.write(std::cout);
@@ -131,6 +172,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (!options.standaloneProgram.empty()) return runStandalone(options);
+    if (!options.campaignDir.empty()) return runCampaign(options);
     if (options.inputFile.empty()) {
       std::fprintf(stderr, "error: no --input kernel (see --help)\n");
       return 2;

@@ -1,0 +1,368 @@
+// Tests of the variant-campaign runner: parallel dispatch over per-worker
+// backends, adaptive repetition, retry/timeout handling, and the streaming
+// append-safe CSV output.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "launcher/campaign.hpp"
+#include "launcher/sim_backend.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "test_helpers.hpp"
+
+namespace microtools::launcher {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testing::figure6Xml;
+using testing::generate;
+
+BackendFactory simFactory() {
+  return [](int) {
+    return std::make_unique<SimBackend>(sim::nehalemX5650DualSocket());
+  };
+}
+
+KernelRequest smallRequest() {
+  KernelRequest request;
+  request.arrays.push_back(ArraySpec{16 * 1024, 4096, 0});
+  request.n = 16 * 1024 / 4;
+  return request;
+}
+
+CampaignOptions quickOptions(int jobs) {
+  CampaignOptions options;
+  options.jobs = jobs;
+  options.protocol.innerRepetitions = 1;
+  options.protocol.outerRepetitions = 3;
+  options.maxCv = 0.05;
+  options.maxRepetitions = 10;
+  return options;
+}
+
+/// >= 8 distinct generated variants (one per unroll factor).
+std::vector<CampaignVariant> eightVariants() {
+  auto variants = variantsFromPrograms(generate(figure6Xml(1, 8, false)));
+  EXPECT_GE(variants.size(), 8u);
+  return variants;
+}
+
+/// 64 variants cycling the eight generated programs under unique names.
+std::vector<CampaignVariant> sixtyFourVariants() {
+  std::vector<CampaignVariant> base = eightVariants();
+  std::vector<CampaignVariant> variants;
+  for (int i = 0; i < 64; ++i) {
+    CampaignVariant v = base[static_cast<std::size_t>(i) % base.size()];
+    v.name = strings::format("variant_%02d_%s", i, v.name.c_str());
+    variants.push_back(std::move(v));
+  }
+  return variants;
+}
+
+/// A backend that fails its first `failures` invocations with
+/// ExecutionError, then behaves; used for the retry path.
+class FlakyBackend final : public Backend {
+ public:
+  explicit FlakyBackend(int failures) : failuresLeft_(failures) {}
+
+  struct FakeKernel final : KernelHandle {};
+
+  std::string name() const override { return "flaky"; }
+  std::unique_ptr<KernelHandle> load(const std::string&,
+                                     const std::string&) override {
+    return std::make_unique<FakeKernel>();
+  }
+  InvokeResult invoke(KernelHandle&, const KernelRequest&) override {
+    if (failuresLeft_ > 0) {
+      --failuresLeft_;
+      throw ExecutionError("transient fake failure");
+    }
+    if (sleepMs_ > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleepMs_));
+    }
+    return InvokeResult{100.0, 10};
+  }
+  double timerOverheadCycles() const override { return 0.0; }
+  std::vector<InvokeResult> invokeFork(KernelHandle&, const KernelRequest&,
+                                       int, int, PinPolicy) override {
+    throw ExecutionError("no fork mode");
+  }
+  InvokeResult invokeOpenMp(KernelHandle&, const KernelRequest&, int,
+                            int) override {
+    throw ExecutionError("no OpenMP mode");
+  }
+
+  void setSleepMs(int ms) { sleepMs_ = ms; }
+
+ private:
+  int failuresLeft_;
+  int sleepMs_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Determinism & speedup (the acceptance bar)
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, SixtyFourVariantsBitIdenticalAcrossJobCounts) {
+  std::vector<CampaignVariant> variants = sixtyFourVariants();
+  ASSERT_EQ(variants.size(), 64u);
+  KernelRequest request = smallRequest();
+
+  auto runWithJobs = [&](int jobs, double* wallSeconds) {
+    CampaignRunner runner(simFactory(), quickOptions(jobs));
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<VariantResult> results = runner.run(variants, request);
+    auto t1 = std::chrono::steady_clock::now();
+    *wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    return results;
+  };
+
+  double wall1 = 0.0, wall4 = 0.0;
+  std::vector<VariantResult> serial = runWithJobs(1, &wall1);
+  std::vector<VariantResult> parallel = runWithJobs(4, &wall4);
+
+  ASSERT_EQ(serial.size(), 64u);
+  ASSERT_EQ(parallel.size(), 64u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].status, "ok") << serial[i].error;
+    // Bit-identical CSV rows regardless of job count.
+    EXPECT_EQ(CampaignRunner::csvRow(serial[i]),
+              CampaignRunner::csvRow(parallel[i]))
+        << "variant " << i;
+    EXPECT_GE(serial[i].repetitions, 3);
+    EXPECT_GE(serial[i].finalCv, 0.0);
+    EXPECT_GE(serial[i].measurement.cyclesPerIteration.min, 0.0);
+  }
+
+  // Loose wall-clock bound: 4 workers must beat 1 worker outright. Only
+  // meaningful with enough hardware threads; the identity checks above are
+  // the load-bearing part and run everywhere.
+  if (std::thread::hardware_concurrency() >= 4) {
+    EXPECT_LT(wall4, wall1) << "jobs=4 not faster (" << wall4 << "s vs "
+                            << wall1 << "s)";
+  }
+}
+
+TEST(Campaign, EightVariantsOnFourJobsMatchSerialRun) {
+  std::vector<CampaignVariant> variants = eightVariants();
+  KernelRequest request = smallRequest();
+  CampaignRunner serial(simFactory(), quickOptions(1));
+  CampaignRunner parallel(simFactory(), quickOptions(4));
+  std::vector<VariantResult> a = serial.run(variants, request);
+  std::vector<VariantResult> b = parallel.run(variants, request);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sequence, i);
+    EXPECT_EQ(CampaignRunner::csvRow(a[i]), CampaignRunner::csvRow(b[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive bookkeeping in results
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, RowsCarryCvAndRepetitionCount) {
+  CampaignRunner runner(simFactory(), quickOptions(2));
+  std::vector<VariantResult> results =
+      runner.run(eightVariants(), smallRequest());
+  csv::Table table = CampaignRunner::toCsv(results);
+  const auto& header = table.header();
+  auto column = [&](const std::string& name) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return i;
+    }
+    ADD_FAILURE() << "missing column " << name;
+    return std::size_t{0};
+  };
+  std::size_t cvCol = column("cv");
+  std::size_t repCol = column("repetitions");
+  for (std::size_t i = 0; i < table.rowCount(); ++i) {
+    EXPECT_FALSE(table.row(i)[cvCol].empty());
+    EXPECT_GE(std::stoi(table.row(i)[repCol]), 3);
+    // No negative cycles/iteration can reach the CSV.
+    for (const std::string& cell : table.row(i)) {
+      EXPECT_TRUE(cell.empty() || cell[0] != '-') << cell;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, RetriesOnceOnExecutionError) {
+  // First invocation throws; the retry succeeds.
+  CampaignRunner runner(
+      [](int) { return std::make_unique<FlakyBackend>(1); }, quickOptions(1));
+  std::vector<CampaignVariant> variants{{"flaky", "asm", "", "microkernel"}};
+  std::vector<VariantResult> results = runner.run(variants, KernelRequest{});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, "ok");
+  EXPECT_EQ(results[0].attempts, 2);
+}
+
+TEST(Campaign, PersistentFailureRecordedAfterRetry) {
+  CampaignRunner runner(
+      [](int) { return std::make_unique<FlakyBackend>(1000); },
+      quickOptions(1));
+  std::vector<CampaignVariant> variants{{"broken", "asm", "", "microkernel"}};
+  std::vector<VariantResult> results = runner.run(variants, KernelRequest{});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, "error");
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_NE(results[0].error.find("transient fake failure"),
+            std::string::npos);
+}
+
+TEST(Campaign, TimeoutMarksVariantWithoutRetry) {
+  CampaignOptions options = quickOptions(1);
+  options.variantTimeoutMs = 5;
+  CampaignRunner runner(
+      [](int) {
+        auto backend = std::make_unique<FlakyBackend>(0);
+        backend->setSleepMs(20);  // every invocation overshoots the budget
+        return backend;
+      },
+      options);
+  std::vector<CampaignVariant> variants{{"slow", "asm", "", "microkernel"}};
+  std::vector<VariantResult> results = runner.run(variants, KernelRequest{});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, "timeout");
+  EXPECT_EQ(results[0].attempts, 1);
+}
+
+TEST(Campaign, SimCannotLoadCKernels) {
+  CampaignRunner runner(simFactory(), quickOptions(1));
+  std::vector<CampaignVariant> variants{
+      {"c_kernel", "c", "int microkernel(int n){return n;}", "microkernel"}};
+  std::vector<VariantResult> results = runner.run(variants, smallRequest());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, "error");
+  EXPECT_NE(results[0].error.find("cannot load"), std::string::npos);
+}
+
+TEST(Campaign, ValidatesConstruction) {
+  EXPECT_THROW(CampaignRunner(nullptr, CampaignOptions{}), McError);
+  CampaignOptions bad;
+  bad.jobs = 0;
+  EXPECT_THROW(CampaignRunner(simFactory(), bad), McError);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming CSV sink
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, StreamsRowsToFileAppendSafely) {
+  std::string path = ::testing::TempDir() + "/campaign_stream.csv";
+  std::remove(path.c_str());
+  std::vector<CampaignVariant> variants = eightVariants();
+  {
+    CampaignCsvSink sink(path);
+    CampaignRunner runner(simFactory(), quickOptions(4));
+    runner.run(variants, smallRequest(), &sink);
+  }
+  auto countLines = [&] {
+    std::ifstream in(path);
+    std::string line;
+    int header = 0, rows = 0;
+    while (std::getline(in, line)) {
+      if (strings::startsWith(line, "sequence,")) {
+        ++header;
+      } else if (!line.empty()) {
+        ++rows;
+      }
+    }
+    return std::make_pair(header, rows);
+  };
+  auto [headers1, rows1] = countLines();
+  EXPECT_EQ(headers1, 1);
+  EXPECT_EQ(rows1, static_cast<int>(variants.size()));
+
+  // Re-running appends rows without duplicating the header (crash-resume).
+  {
+    CampaignCsvSink sink(path);
+    CampaignRunner runner(simFactory(), quickOptions(2));
+    runner.run(variants, smallRequest(), &sink);
+  }
+  auto [headers2, rows2] = countLines();
+  EXPECT_EQ(headers2, 1);
+  EXPECT_EQ(rows2, 2 * static_cast<int>(variants.size()));
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, SinkRowsCoverEverySequence) {
+  std::ostringstream oss;
+  CampaignCsvSink sink(oss);
+  CampaignRunner runner(simFactory(), quickOptions(4));
+  std::vector<CampaignVariant> variants = eightVariants();
+  runner.run(variants, smallRequest(), &sink);
+  std::set<std::string> sequences;
+  std::istringstream in(oss.str());
+  std::string line;
+  std::getline(in, line);  // header
+  EXPECT_TRUE(strings::startsWith(line, "sequence,variant,status"));
+  while (std::getline(in, line)) {
+    if (!line.empty()) sequences.insert(strings::split(line, ',')[0]);
+  }
+  EXPECT_EQ(sequences.size(), variants.size());
+}
+
+// ---------------------------------------------------------------------------
+// Variant sources
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, DirectoryLoaderPicksUpKernelsSorted) {
+  std::string dir = ::testing::TempDir() + "/campaign_dir_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::vector<CampaignVariant> programs = eightVariants();
+  std::ofstream(dir + "/b_second.s") << programs[1].source;
+  std::ofstream(dir + "/a_first.s") << programs[0].source;
+  std::ofstream(dir + "/c_kernel.c") << "int microkernel(int n){return n;}";
+  std::ofstream(dir + "/notes.txt") << "ignored";
+
+  std::vector<CampaignVariant> variants = loadCampaignDirectory(dir, "mk");
+  ASSERT_EQ(variants.size(), 3u);
+  EXPECT_EQ(variants[0].name, "a_first");
+  EXPECT_EQ(variants[0].kind, "asm");
+  EXPECT_EQ(variants[1].name, "b_second");
+  EXPECT_EQ(variants[2].name, "c_kernel");
+  EXPECT_EQ(variants[2].kind, "c");
+  for (const CampaignVariant& v : variants) {
+    EXPECT_EQ(v.functionName, "mk");
+    EXPECT_FALSE(v.source.empty());
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Campaign, DirectoryLoaderRejectsMissingOrEmptyDirs) {
+  EXPECT_THROW(loadCampaignDirectory("/nonexistent/campaign"), McError);
+  std::string dir = ::testing::TempDir() + "/campaign_empty_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  EXPECT_THROW(loadCampaignDirectory(dir), McError);
+  fs::remove_all(dir);
+}
+
+TEST(Campaign, VariantsFromProgramsKeepNamesAndEntryPoints) {
+  auto programs = generate(figure6Xml(1, 4, false));
+  auto variants = variantsFromPrograms(programs);
+  ASSERT_EQ(variants.size(), programs.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_EQ(variants[i].name, programs[i].name);
+    EXPECT_EQ(variants[i].source, programs[i].asmText);
+    EXPECT_EQ(variants[i].functionName, programs[i].functionName);
+    EXPECT_EQ(variants[i].kind, "asm");
+  }
+}
+
+}  // namespace
+}  // namespace microtools::launcher

@@ -31,6 +31,36 @@ KernelRequest basicRequest(std::uint64_t bytes) {
   return request;
 }
 
+/// Scripted backend for protocol edge-case tests: `behavior` maps the
+/// 0-based invocation index to the result of that call.
+class FakeBackend final : public Backend {
+ public:
+  struct FakeKernel final : KernelHandle {};
+
+  std::function<InvokeResult(int call)> behavior =
+      [](int) { return InvokeResult{100.0, 10}; };
+  double overhead = 0.0;
+  int invokeCount = 0;
+
+  std::string name() const override { return "fake"; }
+  std::unique_ptr<KernelHandle> load(const std::string&,
+                                     const std::string&) override {
+    return std::make_unique<FakeKernel>();
+  }
+  InvokeResult invoke(KernelHandle&, const KernelRequest&) override {
+    return behavior(invokeCount++);
+  }
+  double timerOverheadCycles() const override { return overhead; }
+  std::vector<InvokeResult> invokeFork(KernelHandle&, const KernelRequest&,
+                                       int, int, PinPolicy) override {
+    throw ExecutionError("fake backend has no fork mode");
+  }
+  InvokeResult invokeOpenMp(KernelHandle&, const KernelRequest&, int,
+                            int) override {
+    throw ExecutionError("fake backend has no OpenMP mode");
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Protocol (Figure 10)
 // ---------------------------------------------------------------------------
@@ -94,6 +124,113 @@ TEST(Protocol, IterationsPerCallReported) {
   Measurement m = measureKernel(*backend, *kernel, basicRequest(16 * 1024),
                                 ProtocolOptions{});
   EXPECT_EQ(m.iterationsPerCall, 16u * 1024 / 4 / 16 + 1);
+}
+
+TEST(Protocol, ZeroIterationsRaisesExecutionError) {
+  FakeBackend backend;
+  backend.behavior = [](int) { return InvokeResult{100.0, 0}; };
+  auto kernel = backend.load("", "microkernel");
+  ProtocolOptions protocol;
+  protocol.warmup = false;
+  EXPECT_THROW(measureKernel(backend, *kernel, KernelRequest{}, protocol),
+               ExecutionError);
+}
+
+TEST(Protocol, WarmupOffSkipsTheExtraInvocation) {
+  FakeBackend backend;
+  ProtocolOptions protocol;
+  protocol.warmup = false;
+  protocol.innerRepetitions = 2;
+  protocol.outerRepetitions = 3;
+  auto kernel = backend.load("", "microkernel");
+  measureKernel(backend, *kernel, KernelRequest{}, protocol);
+  EXPECT_EQ(backend.invokeCount, 6);  // exactly inner * outer, no warm-up
+
+  backend.invokeCount = 0;
+  protocol.warmup = true;
+  measureKernel(backend, *kernel, KernelRequest{}, protocol);
+  EXPECT_EQ(backend.invokeCount, 7);  // + the untimed cache-warming call
+}
+
+TEST(Protocol, NegativeSamplesClampToZero) {
+  // A fast kernel on a noisy host: subtracted overhead exceeds elapsed.
+  FakeBackend backend;
+  backend.behavior = [](int) { return InvokeResult{10.0, 8}; };
+  backend.overhead = 1000.0;
+  ProtocolOptions protocol;
+  protocol.warmup = false;
+  auto kernel = backend.load("", "microkernel");
+  Measurement m = measureKernel(backend, *kernel, KernelRequest{}, protocol);
+  EXPECT_EQ(m.cyclesPerIteration.min, 0.0);
+  EXPECT_EQ(m.cyclesPerIteration.max, 0.0);
+  EXPECT_GE(m.cyclesPerIteration.mean, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive repetition
+// ---------------------------------------------------------------------------
+
+TEST(Adaptive, StableSamplesStopAtBaseline) {
+  FakeBackend backend;
+  ProtocolOptions protocol;
+  protocol.warmup = false;
+  protocol.innerRepetitions = 1;
+  protocol.outerRepetitions = 5;
+  AdaptivePolicy policy{0.05, 50};
+  auto kernel = backend.load("", "microkernel");
+  AdaptiveMeasurement am = measureKernelAdaptive(
+      backend, *kernel, KernelRequest{}, protocol, policy);
+  EXPECT_EQ(am.repetitions, 5);  // constant samples: CV 0, no extras
+  EXPECT_TRUE(am.converged);
+  EXPECT_EQ(am.measurement.cyclesPerIteration.count, 5u);
+}
+
+TEST(Adaptive, NoisySamplesExtendToBudget) {
+  FakeBackend backend;
+  backend.behavior = [](int call) {
+    return InvokeResult{call % 2 ? 300.0 : 100.0, 10};  // CV stays high
+  };
+  ProtocolOptions protocol;
+  protocol.warmup = false;
+  protocol.innerRepetitions = 1;
+  protocol.outerRepetitions = 4;
+  AdaptivePolicy policy{0.01, 12};
+  auto kernel = backend.load("", "microkernel");
+  AdaptiveMeasurement am = measureKernelAdaptive(
+      backend, *kernel, KernelRequest{}, protocol, policy);
+  EXPECT_EQ(am.repetitions, 12);  // the full budget was spent
+  EXPECT_FALSE(am.converged);
+  EXPECT_GT(am.measurement.cyclesPerIteration.cv, 0.01);
+}
+
+TEST(Adaptive, ConvergesOnceNoiseSubsides) {
+  FakeBackend backend;
+  backend.behavior = [](int call) {
+    return InvokeResult{call < 3 ? 100.0 + 60.0 * call : 100.0, 10};
+  };
+  ProtocolOptions protocol;
+  protocol.warmup = false;
+  protocol.innerRepetitions = 1;
+  protocol.outerRepetitions = 3;
+  AdaptivePolicy policy{0.10, 100};
+  auto kernel = backend.load("", "microkernel");
+  AdaptiveMeasurement am = measureKernelAdaptive(
+      backend, *kernel, KernelRequest{}, protocol, policy);
+  EXPECT_GT(am.repetitions, 3);    // the noisy prefix forced extra runs
+  EXPECT_LT(am.repetitions, 100);  // but nowhere near the budget
+  EXPECT_TRUE(am.converged);
+  EXPECT_LE(am.measurement.cyclesPerIteration.cv, 0.10);
+}
+
+TEST(Adaptive, DeadlineAbortsWithTimeoutError) {
+  FakeBackend backend;
+  ProtocolOptions protocol;
+  protocol.warmup = false;
+  auto kernel = backend.load("", "microkernel");
+  EXPECT_THROW(
+      measureKernelAdaptive(backend, *kernel, KernelRequest{}, protocol,
+                            AdaptivePolicy{}, [] { return true; }),
+      TimeoutError);
 }
 
 // ---------------------------------------------------------------------------
@@ -248,11 +385,43 @@ TEST(Alignment, OffsetsRespectRange) {
   }
 }
 
+TEST(Alignment, SaturatedProductStillSweepsEveryArray) {
+  // 65536 offsets per array ^ 4 arrays saturates the uint64 product; the
+  // old stride-1 fallback froze every digit but the lowest, so only the
+  // first array's offset ever varied.
+  AlignmentSweepSpec spec;
+  spec.minOffset = 0;
+  spec.maxOffset = 65536;
+  spec.step = 1;
+  spec.maxConfigs = 2048;
+  auto configs = alignmentConfigurations(4, spec);
+  ASSERT_EQ(configs.size(), 2048u);
+  for (std::size_t arrayIdx = 0; arrayIdx < 4; ++arrayIdx) {
+    std::set<std::uint64_t> seen;
+    for (const auto& c : configs) seen.insert(c[arrayIdx]);
+    EXPECT_GT(seen.size(), 8u) << "array " << arrayIdx << " offsets frozen";
+  }
+}
+
+TEST(Alignment, SaturatedConfigurationsAreDistinct) {
+  AlignmentSweepSpec spec;
+  spec.minOffset = 0;
+  spec.maxOffset = 65536;
+  spec.step = 1;
+  spec.maxConfigs = 2048;
+  auto configs = alignmentConfigurations(4, spec);
+  std::set<std::vector<std::uint64_t>> unique(configs.begin(), configs.end());
+  EXPECT_EQ(unique.size(), configs.size());
+}
+
 TEST(Alignment, Validation) {
   AlignmentSweepSpec bad;
   bad.step = 0;
   EXPECT_THROW(alignmentConfigurations(1, bad), McError);
   EXPECT_THROW(alignmentConfigurations(0, AlignmentSweepSpec{}), McError);
+  AlignmentSweepSpec noBudget;
+  noBudget.maxConfigs = 0;
+  EXPECT_THROW(alignmentConfigurations(1, noBudget), McError);
 }
 
 TEST(Alignment, SweepMeasuresEveryConfiguration) {
@@ -343,6 +512,61 @@ TEST(Options, ExplicitTripCountWins) {
   LauncherOptions o;
   o.tripCount = 777;
   EXPECT_EQ(o.effectiveTripCount(), 777);
+}
+
+TEST(Options, ElementBytesDrivesTripCountAndStride) {
+  // The old code hard-coded 4-byte elements, a 2x trip-count error for
+  // double-precision kernels.
+  LauncherOptions o;
+  o.arrayBytes = 8192;
+  o.elementBytes = 8;
+  EXPECT_EQ(o.effectiveTripCount(), 1024);
+  KernelRequest r = o.toRequest();
+  EXPECT_EQ(r.n, 1024);
+  EXPECT_EQ(r.chunkStrideBytes, 8u);
+
+  o.elementBytes = 4;
+  EXPECT_EQ(o.effectiveTripCount(), 2048);
+  EXPECT_EQ(o.toRequest().chunkStrideBytes, 4u);
+}
+
+TEST(Options, ElementBytesParsedAndValidated) {
+  {
+    cli::Parser p = makeLauncherParser();
+    ASSERT_TRUE(p.parse({"--input", "k.s", "--element-bytes", "8"}));
+    EXPECT_EQ(optionsFromParser(p).elementBytes, 8u);
+  }
+  {
+    cli::Parser p = makeLauncherParser();
+    ASSERT_TRUE(p.parse({"--element-bytes", "0"}));
+    EXPECT_THROW(optionsFromParser(p), ParseError);
+  }
+}
+
+TEST(Options, CampaignFlagsParsed) {
+  cli::Parser p = makeLauncherParser();
+  ASSERT_TRUE(p.parse({"--campaign", "/tmp/variants", "--jobs", "4",
+                       "--max-cv", "0.02", "--max-repetitions", "24",
+                       "--variant-timeout-ms", "500"}));
+  LauncherOptions o = optionsFromParser(p);
+  EXPECT_EQ(o.campaignDir, "/tmp/variants");
+  EXPECT_EQ(o.jobs, 4);
+  EXPECT_DOUBLE_EQ(o.maxCv, 0.02);
+  EXPECT_EQ(o.maxRepetitions, 24);
+  EXPECT_EQ(o.variantTimeoutMs, 500);
+}
+
+TEST(Options, CampaignFlagsValidated) {
+  {
+    cli::Parser p = makeLauncherParser();
+    ASSERT_TRUE(p.parse({"--jobs", "0"}));
+    EXPECT_THROW(optionsFromParser(p), ParseError);
+  }
+  {
+    cli::Parser p = makeLauncherParser();
+    ASSERT_TRUE(p.parse({"--variant-timeout-ms", "-1"}));
+    EXPECT_THROW(optionsFromParser(p), ParseError);
+  }
 }
 
 TEST(Options, InvalidCombinationsRejected) {

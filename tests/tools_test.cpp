@@ -192,6 +192,31 @@ TEST_F(ToolsTest, LauncherCsvToFile) {
   std::remove(csvPath.c_str());
 }
 
+TEST_F(ToolsTest, LauncherCampaignMode) {
+  ASSERT_EQ(run(std::string(MT_MICROCREATOR_PATH) + " " + xmlPath_ +
+                " --output " + outDir_)
+                .exitCode,
+            0);
+  CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) + " --campaign " +
+                        outDir_ + " --jobs 2 --array-bytes 8192 --inner 1 "
+                        "--outer 2 --max-repetitions 6");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("sequence,variant,status"), std::string::npos)
+      << r.output;
+  // One row per generated variant (30) plus the header.
+  EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 31)
+      << r.output;
+  // The overhead clamp guarantees no negative cycles/iteration anywhere.
+  EXPECT_EQ(r.output.find(",-"), std::string::npos) << r.output;
+}
+
+TEST_F(ToolsTest, LauncherCampaignRejectsMissingDirectory) {
+  CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) +
+                        " --campaign /nonexistent_campaign_dir");
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("campaign directory not found"), std::string::npos);
+}
+
 TEST_F(ToolsTest, LauncherStandaloneProgram) {
   CommandResult r = run(std::string(MT_MICROLAUNCHER_PATH) +
                         " --standalone 'true' --cores 2");
