@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <map>
 
 #include "creator/plugin.hpp"
 #include "support/error.hpp"
@@ -33,6 +34,19 @@ std::vector<GeneratedProgram> MicroCreator::generateFromFile(
   return generate(parseDescriptionFile(path));
 }
 
+std::string sanitizeFileStem(const std::string& name) {
+  std::string stem;
+  stem.reserve(name.size());
+  for (char c : name) {
+    bool unsafe = c == '/' || c == '\\' ||
+                  static_cast<unsigned char>(c) < 0x20 || c == 0x7f;
+    stem += unsafe ? '_' : c;
+  }
+  // "." and ".." are directory references, not file stems.
+  if (stem.empty() || stem == "." || stem == "..") stem = "variant";
+  return stem;
+}
+
 std::vector<std::string> writePrograms(
     const std::vector<GeneratedProgram>& programs,
     const std::string& outputDir) {
@@ -43,6 +57,7 @@ std::vector<std::string> writePrograms(
     throw McError("cannot create output directory '" + outputDir +
                   "': " + ec.message());
   }
+  std::map<std::string, std::string> stemOwner;  // stem -> variant name
   std::vector<std::string> written;
   auto writeFile = [&](const std::string& path, const std::string& content) {
     std::ofstream out(path, std::ios::binary);
@@ -51,10 +66,16 @@ std::vector<std::string> writePrograms(
     written.push_back(path);
   };
   for (const GeneratedProgram& program : programs) {
-    writeFile((fs::path(outputDir) / (program.name + ".s")).string(),
+    std::string stem = sanitizeFileStem(program.name);
+    auto [it, inserted] = stemOwner.emplace(stem, program.name);
+    if (!inserted) {
+      throw McError("duplicate program file stem '" + stem + "': variant '" +
+                    program.name + "' would overwrite '" + it->second + "'");
+    }
+    writeFile((fs::path(outputDir) / (stem + ".s")).string(),
               program.asmText);
     if (!program.cText.empty()) {
-      writeFile((fs::path(outputDir) / (program.name + ".c")).string(),
+      writeFile((fs::path(outputDir) / (stem + ".c")).string(),
                 program.cText);
     }
   }

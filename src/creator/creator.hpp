@@ -40,8 +40,16 @@ class MicroCreator {
   std::unique_ptr<PluginLoader> pluginLoader_;
 };
 
+/// Maps a variant name onto a safe file stem: path separators and control
+/// characters become '_', and an empty name becomes "variant". Variant
+/// names come from user-supplied <benchmark_name> text, so they must never
+/// be able to escape the output directory.
+std::string sanitizeFileStem(const std::string& name);
+
 /// Writes each program's assembly (and C source when present) into
-/// `outputDir` as <name>.s / <name>.c. Returns the written file paths.
+/// `outputDir` as <stem>.s / <stem>.c, where stem = sanitizeFileStem(name).
+/// Throws McError when two programs map to the same stem — one variant must
+/// never silently overwrite another's output. Returns the written paths.
 std::vector<std::string> writePrograms(
     const std::vector<GeneratedProgram>& programs,
     const std::string& outputDir);

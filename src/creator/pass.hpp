@@ -19,6 +19,13 @@ struct GeneratedProgram {
   std::string cText;         ///< C translation unit ("" unless emit_c)
   int arrayCount = 0;        ///< pointer arguments after the trip count
   ir::Kernel kernel;         ///< final IR, kept for inspection/tests
+
+  /// Stable content identity: 16-hex-digit FNV-1a digest over the emitted
+  /// sources and entry point, independent of the variant *name*. Two
+  /// variants with identical generated code share a contentId; renaming a
+  /// variant does not change it. The measurement cache and exploration
+  /// reports key on content, not labels.
+  std::string contentId;
 };
 
 /// Mutable state threaded through the pass pipeline.

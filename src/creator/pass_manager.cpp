@@ -3,6 +3,7 @@
 #include "creator/emit.hpp"
 #include "creator/passes.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/log.hpp"
 
 namespace microtools::creator {
@@ -58,6 +59,11 @@ class CodeEmission final : public Pass {
       }
       program.arrayCount = kernel.arrayCount;
       program.kernel = kernel;
+      program.contentId = hash::Fnv1a()
+                              .str(program.functionName)
+                              .str(program.asmText)
+                              .str(program.cText)
+                              .hex();
       state.programs.push_back(std::move(program));
     }
   }

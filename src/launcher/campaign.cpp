@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -102,6 +103,13 @@ VariantResult CampaignRunner::runOne(Backend& backend,
       result.repetitions = am.repetitions;
       result.finalCv = am.measurement.cyclesPerIteration.cv;
       result.converged = am.converged;
+      if (std::isnan(result.finalCv)) {
+        // Zero-mean sample set (every sample clamped to 0 after overhead
+        // subtraction): the CV is undefined, so this variant must never be
+        // reported as converged, whatever the adaptive policy says.
+        result.converged = false;
+        result.note = "cv undefined: zero-mean samples";
+      }
       result.status = "ok";
       result.error.clear();
       return result;
@@ -128,8 +136,35 @@ std::vector<VariantResult> CampaignRunner::run(
   std::vector<VariantResult> results(variants.size());
   if (variants.empty()) return results;
 
-  int jobs = std::min<int>(options_.jobs,
-                           static_cast<int>(variants.size()));
+  // Resolve resume skips and cache hits up front: when everything is
+  // already known, no backend is ever constructed — a fully cached rerun
+  // performs zero backend invocations.
+  std::vector<std::size_t> pending;
+  pending.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    VariantResult& r = results[i];
+    r.sequence = i;
+    r.name = variants[i].name;
+    if (options_.completed.count({i, variants[i].name})) {
+      r.status = "skipped";
+      r.note = "already completed in resumed CSV";
+      continue;  // its row already exists in the file being resumed
+    }
+    if (options_.cacheLookup && options_.cacheLookup(variants[i], r)) {
+      r.sequence = i;
+      r.name = variants[i].name;
+      r.cached = true;
+      if (sink) sink->append(r);
+      continue;
+    }
+    r = VariantResult{};  // a miss may have partially filled the result
+    r.sequence = i;
+    r.name = variants[i].name;
+    pending.push_back(i);
+  }
+  if (pending.empty()) return results;
+
+  int jobs = std::min<int>(options_.jobs, static_cast<int>(pending.size()));
   std::vector<std::unique_ptr<Backend>> backends;
   backends.reserve(static_cast<std::size_t>(jobs));
   for (int w = 0; w < jobs; ++w) {
@@ -139,13 +174,16 @@ std::vector<VariantResult> CampaignRunner::run(
   }
 
   threads::ThreadPool pool(jobs);
-  for (std::size_t i = 0; i < variants.size(); ++i) {
+  for (std::size_t i : pending) {
     pool.submit([this, &variants, &results, &backends, &request, sink,
                  i](int worker) {
       KernelRequest workerRequest = request;
       if (options_.pinWorkers) workerRequest.core = worker;
       results[i] = runOne(*backends[static_cast<std::size_t>(worker)],
                           variants[i], i, workerRequest);
+      if (results[i].status == "ok" && options_.cacheStore) {
+        options_.cacheStore(variants[i], results[i]);
+      }
       if (sink) sink->append(results[i]);
     });
   }
@@ -166,7 +204,9 @@ std::vector<std::string> CampaignRunner::csvHeader() {
           "repetitions",
           "converged",
           "attempts",
-          "error"};
+          "error",
+          "cached",
+          "note"};
 }
 
 std::vector<std::string> CampaignRunner::csvRow(const VariantResult& r) {
@@ -189,6 +229,8 @@ std::vector<std::string> CampaignRunner::csvRow(const VariantResult& r) {
   cells.push_back(r.converged ? "1" : "0");
   cells.push_back(std::to_string(r.attempts));
   cells.push_back(r.error);
+  cells.push_back(r.cached ? "1" : "0");
+  cells.push_back(r.note);
   return cells;
 }
 
@@ -252,9 +294,45 @@ std::vector<CampaignVariant> variantsFromPrograms(
     v.kind = "asm";
     v.source = p.asmText;
     v.functionName = p.functionName;
+    v.contentId = p.contentId;
     variants.push_back(std::move(v));
   }
   return variants;
+}
+
+std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
+    const std::string& csvPath) {
+  std::set<std::pair<std::size_t, std::string>> completed;
+  std::ifstream in(csvPath, std::ios::binary);
+  if (!in) return completed;
+
+  std::string line;
+  if (!std::getline(in, line)) return completed;
+  std::vector<std::string> header = csv::parseLine(line);
+  auto column = [&header](const std::string& name) -> std::ptrdiff_t {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  };
+  std::ptrdiff_t seqCol = column("sequence");
+  std::ptrdiff_t nameCol = column("variant");
+  std::ptrdiff_t statusCol = column("status");
+  if (seqCol < 0 || nameCol < 0 || statusCol < 0) return completed;
+
+  std::size_t need = static_cast<std::size_t>(
+                         std::max({seqCol, nameCol, statusCol})) + 1;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = csv::parseLine(line);
+    if (cells.size() < need) continue;  // truncated row from a crash
+    if (cells[static_cast<std::size_t>(statusCol)] != "ok") continue;
+    auto seq = strings::parseInt(cells[static_cast<std::size_t>(seqCol)]);
+    if (!seq || *seq < 0) continue;
+    completed.emplace(static_cast<std::size_t>(*seq),
+                      cells[static_cast<std::size_t>(nameCol)]);
+  }
+  return completed;
 }
 
 }  // namespace microtools::launcher

@@ -4,7 +4,9 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "launcher/backend.hpp"
@@ -20,7 +22,33 @@ struct CampaignVariant {
   std::string kind = "asm";              ///< asm|c (Backend::loadSource)
   std::string source;                    ///< kernel source text
   std::string functionName = "microkernel";
+  std::string contentId;  ///< creator content digest ("" for file variants)
 };
+
+/// Outcome of one variant, in input order (`sequence`).
+struct VariantResult {
+  std::size_t sequence = 0;  ///< index of the variant in the input batch
+  std::string name;
+  std::string status = "ok";  ///< ok|error|timeout|skipped
+  std::string error;          ///< message when status != ok
+  Measurement measurement;    ///< valid only when status == ok
+  int repetitions = 0;        ///< final outer-repetition count
+  double finalCv = 0.0;       ///< CV of the final sample set (NaN: undefined)
+  bool converged = true;      ///< finalCv <= maxCv (when adaptive is on)
+  int attempts = 1;           ///< 1, or 2 after a retry on ExecutionError
+  bool cached = false;        ///< served from the measurement cache
+  std::string note;           ///< diagnostic annotation (degenerate CV, resume)
+};
+
+/// Pre-measurement hook: return true and fill `out` to satisfy a variant
+/// from the measurement cache instead of running it (`sequence`, `name` and
+/// `cached` are overwritten by the runner).
+using CacheLookup =
+    std::function<bool(const CampaignVariant& variant, VariantResult& out)>;
+
+/// Post-measurement hook: persist a completed (status == "ok") result.
+using CacheStore = std::function<void(const CampaignVariant& variant,
+                                      const VariantResult& result)>;
 
 /// Campaign execution knobs.
 struct CampaignOptions {
@@ -30,19 +58,15 @@ struct CampaignOptions {
   int maxRepetitions = 40;     ///< total outer-repetition budget per variant
   int variantTimeoutMs = 0;    ///< cooperative per-variant timeout (0: none)
   bool pinWorkers = false;     ///< pin worker w's requests to core w (native)
-};
 
-/// Outcome of one variant, in input order (`sequence`).
-struct VariantResult {
-  std::size_t sequence = 0;  ///< index of the variant in the input batch
-  std::string name;
-  std::string status = "ok";  ///< ok|error|timeout
-  std::string error;          ///< message when status != ok
-  Measurement measurement;    ///< valid only when status == ok
-  int repetitions = 0;        ///< final outer-repetition count
-  double finalCv = 0.0;       ///< CV of the final sample set
-  bool converged = true;      ///< finalCv <= maxCv (when adaptive is on)
-  int attempts = 1;           ///< 1, or 2 after a retry on ExecutionError
+  CacheLookup cacheLookup;     ///< pre-measurement cache probe (optional)
+  CacheStore cacheStore;       ///< post-measurement cache write (optional)
+
+  /// (sequence, name) pairs already completed in a previous run (CSV
+  /// resume): these variants are marked "skipped" without touching a
+  /// backend, and are NOT re-appended to the sink — their rows already
+  /// exist in the file being resumed.
+  std::set<std::pair<std::size_t, std::string>> completed;
 };
 
 /// Creates the Backend a given worker owns for the whole campaign.
@@ -105,6 +129,13 @@ class CampaignRunner {
 /// missing or holds no kernels.
 std::vector<CampaignVariant> loadCampaignDirectory(
     const std::string& dir, const std::string& functionName = "microkernel");
+
+/// Reads a campaign CSV written by CampaignCsvSink and returns the
+/// (sequence, name) pairs of rows whose status is "ok" — the set a resumed
+/// campaign can skip. Missing files yield an empty set; malformed rows are
+/// ignored (a truncated last line from a crash must not block the resume).
+std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
+    const std::string& csvPath);
 
 /// Wraps a MicroCreator batch as campaign variants.
 std::vector<CampaignVariant> variantsFromPrograms(

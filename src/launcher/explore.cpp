@@ -1,0 +1,403 @@
+#include "launcher/explore.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "creator/creator.hpp"
+#include "launcher/arch_registry.hpp"
+#include "launcher/sim_backend.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::launcher {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Cache key
+// ---------------------------------------------------------------------------
+
+std::string cacheKey(const CampaignVariant& variant,
+                     const CampaignOptions& options,
+                     const std::string& backendId,
+                     const KernelRequest& request) {
+  hash::Fnv1a h;
+  h.u64(MeasurementCache::kFormatVersion);
+  // What runs: the kernel source is hashed directly (not via contentId) so
+  // the same program gets the same key whether it arrived in memory from
+  // MicroCreator or from a .s file written to a campaign directory.
+  h.str(variant.kind).str(variant.functionName).str(variant.source);
+  // How it is measured.
+  const ProtocolOptions& p = options.protocol;
+  h.i64(p.innerRepetitions).i64(p.outerRepetitions);
+  h.boolean(p.warmup).boolean(p.subtractOverhead);
+  h.f64(options.maxCv).i64(options.maxRepetitions);
+  // Where it runs. request.core is excluded on purpose: campaign workers
+  // pin to different cores, and per-core keys would fragment the cache.
+  h.str(backendId);
+  h.i64(request.n).u64(request.chunkStrideBytes);
+  h.u64(request.arrays.size());
+  for (const ArraySpec& a : request.arrays) {
+    h.u64(a.bytes).u64(a.alignment).u64(a.offset);
+  }
+  return h.hex();
+}
+
+// ---------------------------------------------------------------------------
+// MeasurementCache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kMagic = "microtools-cache";
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    char next = s[++i];
+    if (next == 'n') {
+      out += '\n';
+    } else if (next == 'r') {
+      out += '\r';
+    } else {
+      out += next;
+    }
+  }
+  return out;
+}
+
+std::string fmtDouble(double v) { return strings::format("%.17g", v); }
+
+}  // namespace
+
+MeasurementCache::MeasurementCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) throw McError("measurement cache requires a directory");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw McError("cannot create cache directory '" + dir_ +
+                  "': " + ec.message());
+  }
+}
+
+std::string MeasurementCache::recordPath(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".mtres")).string();
+}
+
+std::string MeasurementCache::serialize(const std::string& key,
+                                        const VariantResult& r) {
+  std::ostringstream oss;
+  oss << kMagic << ' ' << kFormatVersion << '\n';
+  oss << "key " << key << '\n';
+  oss << "name " << escape(r.name) << '\n';
+  oss << "status " << r.status << '\n';
+  oss << "error " << escape(r.error) << '\n';
+  oss << "note " << escape(r.note) << '\n';
+  oss << "iterations_per_call " << r.measurement.iterationsPerCall << '\n';
+  oss << "total_cycles " << fmtDouble(r.measurement.totalCycles) << '\n';
+  const stats::Summary& s = r.measurement.cyclesPerIteration;
+  oss << "count " << s.count << '\n';
+  oss << "min " << fmtDouble(s.min) << '\n';
+  oss << "max " << fmtDouble(s.max) << '\n';
+  oss << "mean " << fmtDouble(s.mean) << '\n';
+  oss << "median " << fmtDouble(s.median) << '\n';
+  oss << "stddev " << fmtDouble(s.stddev) << '\n';
+  oss << "cv " << fmtDouble(s.cv) << '\n';
+  oss << "repetitions " << r.repetitions << '\n';
+  oss << "final_cv " << fmtDouble(r.finalCv) << '\n';
+  oss << "converged " << (r.converged ? 1 : 0) << '\n';
+  oss << "attempts " << r.attempts << '\n';
+  return oss.str();
+}
+
+std::optional<VariantResult> MeasurementCache::deserialize(
+    const std::string& key, const std::string& text) {
+  std::vector<std::string> lines = strings::split(text, '\n');
+  if (lines.empty()) return std::nullopt;
+
+  // Versioned header: records from other format versions are misses.
+  std::vector<std::string> head = strings::splitWhitespace(lines.front());
+  if (head.size() != 2 || head[0] != kMagic) return std::nullopt;
+  auto version = strings::parseInt(head[1]);
+  if (!version || *version != kFormatVersion) return std::nullopt;
+
+  std::map<std::string, std::string> fields;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    std::size_t space = lines[i].find(' ');
+    std::string field =
+        space == std::string::npos ? lines[i] : lines[i].substr(0, space);
+    std::string value =
+        space == std::string::npos ? "" : lines[i].substr(space + 1);
+    fields.emplace(std::move(field), std::move(value));
+  }
+
+  auto getStr = [&fields](const char* f) -> std::optional<std::string> {
+    auto it = fields.find(f);
+    if (it == fields.end()) return std::nullopt;
+    return it->second;
+  };
+  auto getInt = [&getStr](const char* f) -> std::optional<std::int64_t> {
+    auto v = getStr(f);
+    if (!v) return std::nullopt;
+    return strings::parseInt(*v);
+  };
+  auto getDouble = [&getStr](const char* f) -> std::optional<double> {
+    auto v = getStr(f);
+    if (!v) return std::nullopt;
+    return strings::parseDouble(*v);
+  };
+
+  // A record stored under a different key (hand-renamed file) is a miss.
+  auto storedKey = getStr("key");
+  if (!storedKey || *storedKey != key) return std::nullopt;
+
+  auto name = getStr("name");
+  auto status = getStr("status");
+  auto iterations = getInt("iterations_per_call");
+  auto totalCycles = getDouble("total_cycles");
+  auto count = getInt("count");
+  auto minV = getDouble("min");
+  auto maxV = getDouble("max");
+  auto mean = getDouble("mean");
+  auto median = getDouble("median");
+  auto stddev = getDouble("stddev");
+  auto cv = getDouble("cv");
+  auto repetitions = getInt("repetitions");
+  auto finalCv = getDouble("final_cv");
+  auto converged = getInt("converged");
+  auto attempts = getInt("attempts");
+  bool complete = name && status && iterations && totalCycles && count &&
+                  minV && maxV && mean && median && stddev && cv &&
+                  repetitions && finalCv && converged && attempts;
+  if (!complete) return std::nullopt;
+  // Only successful measurements are cacheable; anything else is corrupt.
+  if (*status != "ok" || *iterations < 0 || *count < 0) return std::nullopt;
+
+  VariantResult r;
+  r.name = unescape(*name);
+  r.status = *status;
+  r.error = unescape(getStr("error").value_or(""));
+  r.note = unescape(getStr("note").value_or(""));
+  r.measurement.iterationsPerCall = static_cast<std::uint64_t>(*iterations);
+  r.measurement.totalCycles = *totalCycles;
+  r.measurement.cyclesPerIteration.count = static_cast<std::size_t>(*count);
+  r.measurement.cyclesPerIteration.min = *minV;
+  r.measurement.cyclesPerIteration.max = *maxV;
+  r.measurement.cyclesPerIteration.mean = *mean;
+  r.measurement.cyclesPerIteration.median = *median;
+  r.measurement.cyclesPerIteration.stddev = *stddev;
+  r.measurement.cyclesPerIteration.cv = *cv;
+  r.repetitions = static_cast<int>(*repetitions);
+  r.finalCv = *finalCv;
+  r.converged = *converged != 0;
+  r.attempts = static_cast<int>(*attempts);
+  return r;
+}
+
+std::optional<VariantResult> MeasurementCache::load(
+    const std::string& key) const {
+  std::ifstream in(recordPath(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return deserialize(key, oss.str());
+}
+
+void MeasurementCache::store(const std::string& key,
+                             const VariantResult& result) const {
+  if (result.status != "ok") return;  // errors and timeouts must be retried
+  std::string path = recordPath(key);
+  // Unique temp name per writer: campaign workers store concurrently, and
+  // two variants with identical content share a key.
+  static std::atomic<std::uint64_t> counter{0};
+  std::string tmp =
+      path + ".tmp" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw McError("cannot write cache record: " + tmp);
+    out << serialize(key, result);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);  // atomic publish on POSIX
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw McError("cannot publish cache record: " + path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+ExploreResult runExplore(const ExploreOptions& options,
+                         CampaignCsvSink* sink) {
+  creator::Description description =
+      options.descriptionFile.empty()
+          ? creator::parseDescriptionText(options.descriptionText)
+          : creator::parseDescriptionFile(options.descriptionFile);
+  if (options.maxVariants) {
+    description.maximumBenchmarks = *options.maxVariants;
+  }
+  if (options.seed) description.seed = *options.seed;
+
+  // §3 in memory: the whole variant set goes straight into the campaign,
+  // no .s round-trip through the filesystem.
+  creator::MicroCreator creator;
+  std::vector<creator::GeneratedProgram> programs =
+      creator.generate(description);
+  if (programs.empty()) {
+    throw McError("description generated no benchmark programs");
+  }
+  std::vector<CampaignVariant> variants = variantsFromPrograms(programs);
+
+  int nbVectors = options.nbVectors;
+  if (nbVectors <= 0) {
+    // Derive the array count the kernels actually dereference.
+    nbVectors = 1;
+    for (const creator::GeneratedProgram& p : programs) {
+      nbVectors = std::max(nbVectors, p.arrayCount);
+    }
+  }
+
+  KernelRequest request;
+  request.chunkStrideBytes = options.elementBytes;
+  if (options.tripCount) {
+    request.n = *options.tripCount;
+  } else {
+    if (options.elementBytes == 0) throw McError("element bytes must be > 0");
+    std::uint64_t elements = options.arrayBytes / options.elementBytes;
+    if (elements == 0 || elements > 0x7fffffffull) {
+      throw McError("array size yields an invalid trip count");
+    }
+    request.n = static_cast<int>(elements);
+  }
+  for (int i = 0; i < nbVectors; ++i) {
+    request.arrays.push_back(
+        ArraySpec{options.arrayBytes, options.alignment, options.alignOffset});
+  }
+
+  BackendFactory factory = options.backendFactory;
+  std::string backendId = options.backendId;
+  if (!factory) {
+    if (options.backend != "sim") {
+      throw McError("explore backend '" + options.backend +
+                    "' requires an explicit backend factory");
+    }
+    sim::MachineConfig config = archByName(options.arch).config;
+    if (options.coreGHz) config.coreGHz = *options.coreGHz;
+    factory = [config](int) { return std::make_unique<SimBackend>(config); };
+  }
+  if (backendId.empty()) {
+    backendId = options.backend == "sim" ? "sim:" + options.arch
+                                         : options.backend;
+    if (options.coreGHz) {
+      backendId += strings::format("@%.3fGHz", *options.coreGHz);
+    }
+  }
+
+  CampaignOptions campaign = options.campaign;
+  if (options.useCache) {
+    auto cache = std::make_shared<MeasurementCache>(options.cacheDir);
+    // Key fields only — the hook-free copy avoids self-capture.
+    const CampaignOptions keyOptions = options.campaign;
+    campaign.cacheLookup = [cache, keyOptions, backendId, request](
+                               const CampaignVariant& v, VariantResult& out) {
+      std::optional<VariantResult> hit =
+          cache->load(cacheKey(v, keyOptions, backendId, request));
+      if (!hit) return false;
+      out = std::move(*hit);
+      return true;
+    };
+    campaign.cacheStore = [cache, keyOptions, backendId, request](
+                              const CampaignVariant& v,
+                              const VariantResult& result) {
+      cache->store(cacheKey(v, keyOptions, backendId, request), result);
+    };
+  }
+
+  CampaignRunner runner(std::move(factory), campaign);
+  ExploreResult out;
+  out.generated = programs.size();
+  out.request = request;
+  out.backendId = backendId;
+  out.results = runner.run(variants, request, sink);
+  for (const VariantResult& r : out.results) {
+    if (r.cached) {
+      ++out.cacheHits;
+    } else if (r.status != "skipped") {
+      ++out.measured;
+    }
+    if (r.status == "error" || r.status == "timeout") ++out.failures;
+  }
+  return out;
+}
+
+csv::Table topKReport(const std::vector<VariantResult>& results, int k) {
+  std::vector<const VariantResult*> ranked;
+  for (const VariantResult& r : results) {
+    if (r.status == "ok") ranked.push_back(&r);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const VariantResult* a, const VariantResult* b) {
+                     double am = a->measurement.cyclesPerIteration.min;
+                     double bm = b->measurement.cyclesPerIteration.min;
+                     if (am != bm) return am < bm;
+                     double aMean = a->measurement.cyclesPerIteration.mean;
+                     double bMean = b->measurement.cyclesPerIteration.mean;
+                     if (aMean != bMean) return aMean < bMean;
+                     return a->name < b->name;
+                   });
+  if (k > 0 && ranked.size() > static_cast<std::size_t>(k)) {
+    ranked.resize(static_cast<std::size_t>(k));
+  }
+  csv::Table table({"rank", "variant", "cycles_per_iteration_min",
+                    "cycles_per_iteration_mean", "cv", "converged",
+                    "repetitions", "cached"});
+  int rank = 1;
+  for (const VariantResult* r : ranked) {
+    const stats::Summary& s = r->measurement.cyclesPerIteration;
+    table.beginRow()
+        .add(rank++)
+        .add(r->name)
+        .add(s.min)
+        .add(s.mean)
+        .add(strings::format("%.6f", r->finalCv))
+        .add(r->converged ? "1" : "0")
+        .add(r->repetitions)
+        .add(r->cached ? "1" : "0")
+        .commit();
+  }
+  return table;
+}
+
+}  // namespace microtools::launcher

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "launcher/campaign.hpp"
+#include "support/csv.hpp"
+
+namespace microtools::launcher {
+
+// ---------------------------------------------------------------------------
+// Content-addressed measurement cache
+// ---------------------------------------------------------------------------
+
+/// Computes the content-addressed cache key of one variant measurement:
+/// the FNV-1a digest over everything that can change the result — variant
+/// source + kind + entry point, the full measurement protocol (inner/outer
+/// repetitions, warmup, overhead subtraction, adaptive CV target and
+/// budget), the backend identity string (backend name + machine/arch
+/// configuration, e.g. "sim:nehalem_x5650_2s"), and the kernel request
+/// (trip count, array shapes, element stride). The worker core is
+/// deliberately excluded: per-worker pinning must not fragment the cache.
+std::string cacheKey(const CampaignVariant& variant,
+                     const CampaignOptions& options,
+                     const std::string& backendId,
+                     const KernelRequest& request);
+
+/// Persistent content-addressed store of VariantResults: one small text
+/// file per key inside a cache directory. Lookups of absent, corrupt,
+/// version-mismatched, or mislabeled files are plain misses — a damaged
+/// cache can only cost time, never poison a result.
+class MeasurementCache {
+ public:
+  /// Bumped whenever the record format or key composition changes; files
+  /// written by other versions are ignored.
+  static constexpr int kFormatVersion = 1;
+
+  /// Opens (creating if needed) the cache rooted at `dir`.
+  explicit MeasurementCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Path of the record file backing `key`.
+  std::string recordPath(const std::string& key) const;
+
+  /// Loads a cached result; nullopt on miss (absent/corrupt/mismatched).
+  std::optional<VariantResult> load(const std::string& key) const;
+
+  /// Persists a result under `key` (atomic write: temp file + rename).
+  void store(const std::string& key, const VariantResult& result) const;
+
+  /// Serialization used by the record files, exposed for tests.
+  static std::string serialize(const std::string& key,
+                               const VariantResult& result);
+  static std::optional<VariantResult> deserialize(const std::string& key,
+                                                  const std::string& text);
+
+ private:
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+/// Knobs of one `microtools explore` run: description in, ranked results
+/// out, with every measurement flowing creator -> campaign in memory.
+struct ExploreOptions {
+  std::string descriptionFile;  ///< XML kernel description path
+  std::string descriptionText;  ///< inline XML (tests); used when file == ""
+
+  // -- generation overrides --------------------------------------------------
+  std::optional<std::size_t> maxVariants;  ///< <maximum_benchmarks> override
+  std::optional<std::uint64_t> seed;       ///< <seed> override
+
+  // -- execution -------------------------------------------------------------
+  std::string backend = "sim";  ///< sim|native
+  std::string arch = "nehalem_x5650_2s";
+  std::optional<double> coreGHz;
+  CampaignOptions campaign;  ///< jobs/protocol/adaptive/timeout knobs
+
+  /// Overrides the backend construction (tests inject counting backends).
+  /// When empty, a SimBackend factory is built from `arch`/`coreGHz`
+  /// ("native" requires an explicit factory — the CLI provides one).
+  BackendFactory backendFactory;
+
+  /// Cache-key identity of the execution environment; derived from
+  /// backend/arch/coreGHz when empty. Must be set alongside a custom
+  /// backendFactory.
+  std::string backendId;
+
+  // -- kernel request --------------------------------------------------------
+  int nbVectors = 0;  ///< arrays passed to the kernel; 0 = derive from
+                      ///< the generated programs' array counts
+  std::uint64_t arrayBytes = 1 << 20;
+  std::uint64_t alignment = 4096;
+  std::uint64_t alignOffset = 0;
+  std::uint64_t elementBytes = 4;
+  std::optional<int> tripCount;  ///< explicit n; default from first array
+
+  // -- cache -----------------------------------------------------------------
+  std::string cacheDir = ".microtools-cache";
+  bool useCache = true;
+};
+
+/// Outcome of one exploration run.
+struct ExploreResult {
+  std::vector<VariantResult> results;  ///< sequence order
+  std::size_t generated = 0;           ///< programs MicroCreator emitted
+  std::size_t cacheHits = 0;           ///< variants served from the cache
+  std::size_t measured = 0;            ///< variants actually executed
+  std::size_t failures = 0;            ///< status error/timeout
+  KernelRequest request;               ///< the request every variant ran
+  std::string backendId;               ///< resolved backend identity
+};
+
+/// The end-to-end pipeline (§3 + §4 fused): parse the description, generate
+/// every variant in memory, resolve cache hits, measure only what is new,
+/// and stream rows into `sink` as they complete. No intermediate .s files
+/// ever touch the filesystem.
+ExploreResult runExplore(const ExploreOptions& options,
+                         CampaignCsvSink* sink = nullptr);
+
+/// Renders the ranked report: the `k` best status-ok variants by minimum
+/// cycles/iteration (the paper's plotted metric), with CV, convergence and
+/// cache provenance columns. k <= 0 ranks everything.
+csv::Table topKReport(const std::vector<VariantResult>& results, int k);
+
+}  // namespace microtools::launcher

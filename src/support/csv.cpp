@@ -58,6 +58,38 @@ std::string quoteField(const std::string& field) {
   return out;
 }
 
+std::vector<std::string> parseLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';  // escaped quote
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r' && i + 1 == line.size()) {
+      // tolerate CRLF line endings
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
 void Table::write(std::ostream& os) const {
   auto writeRow = [&os](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {

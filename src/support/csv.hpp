@@ -57,4 +57,10 @@ class Table {
 /// Quotes a single CSV field if it contains separators, quotes or newlines.
 std::string quoteField(const std::string& field);
 
+/// Splits one CSV line into fields, honoring RFC 4180 quoting (quoted
+/// fields may contain commas; doubled quotes unescape to one). The inverse
+/// of `quoteField` for single-line fields; embedded newlines are not
+/// supported. Used by campaign resume to read completed rows back.
+std::vector<std::string> parseLine(const std::string& line);
+
 }  // namespace microtools::csv

@@ -1,0 +1,59 @@
+#include "support/hash.hpp"
+
+#include <cstring>
+
+namespace microtools::hash {
+
+Fnv1a& Fnv1a::bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ ^= p[i];
+    state_ *= kPrime;
+  }
+  return *this;
+}
+
+Fnv1a& Fnv1a::str(std::string_view s) {
+  u64(s.size());
+  return bytes(s.data(), s.size());
+}
+
+Fnv1a& Fnv1a::u64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  return bytes(buf, sizeof buf);
+}
+
+Fnv1a& Fnv1a::i64(std::int64_t v) {
+  return u64(static_cast<std::uint64_t>(v));
+}
+
+Fnv1a& Fnv1a::f64(double v) {
+  if (v == 0.0) v = 0.0;  // fold -0.0 and +0.0 into one key
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return u64(bits);
+}
+
+Fnv1a& Fnv1a::boolean(bool v) { return u64(v ? 1 : 0); }
+
+std::string Fnv1a::hex() const { return toHex(state_); }
+
+std::uint64_t fnv1a(std::string_view s) {
+  Fnv1a h;
+  h.bytes(s.data(), s.size());
+  return h.value();
+}
+
+std::string toHex(std::uint64_t v) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace microtools::hash

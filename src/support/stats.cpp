@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "support/error.hpp"
 
@@ -43,7 +44,12 @@ double Accumulator::variance() const {
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
 double Accumulator::cv() const {
-  if (count_ == 0 || mean_ == 0.0) return 0.0;
+  if (count_ == 0) return 0.0;
+  // stddev/mean is undefined at mean 0 (e.g. every sample clamped to 0 after
+  // overhead subtraction). Returning 0 here would report a degenerate
+  // variant as perfectly converged; NaN forces every CV-threshold comparison
+  // to fail instead, so callers mark the variant non-converged.
+  if (mean_ == 0.0) return std::numeric_limits<double>::quiet_NaN();
   return stddev() / mean_;
 }
 

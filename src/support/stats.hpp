@@ -21,7 +21,9 @@ class Accumulator {
   /// Unbiased sample variance; 0 for fewer than two samples.
   double variance() const;
   double stddev() const;
-  /// Coefficient of variation (stddev/mean); 0 when mean is 0.
+  /// Coefficient of variation (stddev/mean). 0 for an empty accumulator;
+  /// NaN when the mean is 0 (the ratio is undefined — callers must treat
+  /// such a sample set as non-converged, never as perfectly stable).
   double cv() const;
 
  private:

@@ -115,6 +115,13 @@ int runCampaign(const LauncherOptions& options) {
   // over one. The simulator pins inside its own machine model instead.
   campaign.pinWorkers = options.backend == "native";
 
+  // Resuming into an existing CSV: rows already completed there are
+  // skipped, so an interrupted campaign restart pays only for what is
+  // missing.
+  if (!options.csvOutput.empty()) {
+    campaign.completed = launcher::readCompletedVariants(options.csvOutput);
+  }
+
   launcher::CampaignRunner runner(
       [&options](int) { return makeBackend(options); }, campaign);
 
@@ -130,9 +137,18 @@ int runCampaign(const LauncherOptions& options) {
   std::vector<launcher::VariantResult> results =
       runner.run(variants, options.toRequest(), sink.get());
 
-  int failures = 0;
+  int failures = 0, skipped = 0;
   for (const launcher::VariantResult& r : results) {
-    if (r.status != "ok") ++failures;
+    if (r.status == "skipped") {
+      ++skipped;
+    } else if (r.status != "ok") {
+      ++failures;
+    }
+  }
+  if (!options.csvOutput.empty()) {
+    std::printf("campaign: %zu variant(s), %d skipped (already completed), "
+                "%d failed\n",
+                results.size(), skipped, failures);
   }
   if (failures > 0) {
     log::warn(std::to_string(failures) + " of " +

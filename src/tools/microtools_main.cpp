@@ -1,0 +1,195 @@
+// The `microtools` command-line driver: subcommands that combine both halves
+// of the toolchain. `microtools explore` is the paper's full loop in one
+// command — MicroCreator generates every variant in memory, MicroLauncher
+// measures them, and a content-addressed cache makes reruns pay only for
+// new work.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "launcher/explore.hpp"
+#include "launcher/sim_backend.hpp"
+#include "native/native_backend.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+using namespace microtools;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: microtools <subcommand> [options]\n"
+      "\n"
+      "subcommands:\n"
+      "  explore   generate every variant of an XML kernel description and\n"
+      "            measure them in one run, with a content-addressed result\n"
+      "            cache (use `microtools explore --help` for options)\n");
+}
+
+cli::Parser makeExploreParser() {
+  cli::Parser parser(
+      "microtools explore",
+      "Generates all variants of an XML kernel description, measures them "
+      "in-memory as one campaign, and reports the top-K fastest. A "
+      "content-addressed cache skips every measurement already on disk.");
+  parser.addString("input", "XML kernel description file");
+  parser.addString("backend", "Execution backend: sim|native", "sim");
+  parser.addString("arch", "Simulated machine (see microlauncher --list-arch)",
+                   "nehalem_x5650_2s");
+  parser.addDouble("core-ghz", "Override the core frequency (DVFS study)");
+  parser.addInt("jobs", "Parallel worker threads", 1);
+  parser.addInt("inner", "Inner repetitions per timed experiment", 8);
+  parser.addInt("outer", "Outer (stability) repetitions", 10);
+  parser.addFlag("no-warmup", "Skip the cache warm-up call");
+  parser.addFlag("no-overhead", "Do not subtract timer overhead");
+  parser.addDouble("max-cv",
+                   "Re-run a variant while its cycles/iteration CV exceeds "
+                   "this (0 disables)",
+                   0.05);
+  parser.addInt("max-repetitions",
+                "Total outer-repetition budget per variant", 40);
+  parser.addInt("variant-timeout-ms",
+                "Per-variant wall-clock budget (0 = none)", 0);
+  parser.addInt("nbvectors",
+                "Arrays passed to the kernel (0 = derive from the generated "
+                "programs)",
+                0);
+  parser.addInt("array-bytes", "Size of each array in bytes", 1 << 20);
+  parser.addInt("alignment", "Array base alignment in bytes", 4096);
+  parser.addInt("align-offset", "Extra offset added to each array base", 0);
+  parser.addInt("element-bytes",
+                "Bytes per array element (4 = float, 8 = double)", 4);
+  parser.addInt("n", "Kernel trip count (default: first array's elements)");
+  parser.addInt("max", "Override <maximum_benchmarks>");
+  parser.addInt("seed", "Override <seed>");
+  parser.addString("cache", "Measurement cache directory",
+                   ".microtools-cache");
+  parser.addFlag("no-cache", "Disable the measurement cache");
+  parser.addInt("top", "Rank the K best variants (0 = all)", 10);
+  parser.addString("csv",
+                   "Stream the full campaign CSV to this file (append-safe)");
+  parser.addString("report", "Write the ranked report here instead of stdout");
+  parser.addFlag("verbose", "Enable info logging");
+  return parser;
+}
+
+// argv[0] is the subcommand name itself; Parser::parse skips it.
+int runExploreCommand(int argc, char** argv) {
+  cli::Parser parser = makeExploreParser();
+  if (!parser.parse(argc, argv)) return 0;  // --help handled
+
+  launcher::ExploreOptions options;
+  if (parser.has("input")) {
+    options.descriptionFile = parser.getString("input");
+  } else if (!parser.positional().empty()) {
+    options.descriptionFile = parser.positional().front();
+  } else {
+    std::fprintf(stderr, "error: no kernel description (see --help)\n");
+    return 2;
+  }
+  options.backend = parser.getString("backend");
+  options.arch = parser.getString("arch");
+  if (parser.has("core-ghz")) options.coreGHz = parser.getDouble("core-ghz");
+  options.campaign.jobs = static_cast<int>(parser.getInt("jobs"));
+  options.campaign.protocol.innerRepetitions =
+      static_cast<int>(parser.getInt("inner"));
+  options.campaign.protocol.outerRepetitions =
+      static_cast<int>(parser.getInt("outer"));
+  options.campaign.protocol.warmup = !parser.getFlag("no-warmup");
+  options.campaign.protocol.subtractOverhead = !parser.getFlag("no-overhead");
+  options.campaign.maxCv = parser.getDouble("max-cv");
+  options.campaign.maxRepetitions =
+      static_cast<int>(parser.getInt("max-repetitions"));
+  options.campaign.variantTimeoutMs =
+      static_cast<int>(parser.getInt("variant-timeout-ms"));
+  options.campaign.pinWorkers = options.backend == "native";
+  options.nbVectors = static_cast<int>(parser.getInt("nbvectors"));
+  options.arrayBytes =
+      static_cast<std::uint64_t>(parser.getInt("array-bytes"));
+  options.alignment = static_cast<std::uint64_t>(parser.getInt("alignment"));
+  options.alignOffset =
+      static_cast<std::uint64_t>(parser.getInt("align-offset"));
+  options.elementBytes =
+      static_cast<std::uint64_t>(parser.getInt("element-bytes"));
+  if (parser.has("n")) {
+    options.tripCount = static_cast<int>(parser.getInt("n"));
+  }
+  if (parser.has("max")) {
+    options.maxVariants = static_cast<std::size_t>(parser.getInt("max"));
+  }
+  if (parser.has("seed")) {
+    options.seed = static_cast<std::uint64_t>(parser.getInt("seed"));
+  }
+  options.cacheDir = parser.getString("cache");
+  options.useCache = !parser.getFlag("no-cache");
+  if (parser.getFlag("verbose")) log::setLevel(log::Level::Info);
+
+  if (options.backend == "native") {
+    options.backendFactory = [](int) {
+      return std::make_unique<native::NativeBackend>();
+    };
+    options.backendId = "native";
+  } else if (options.backend != "sim") {
+    std::fprintf(stderr, "error: --backend must be sim or native\n");
+    return 2;
+  }
+
+  std::unique_ptr<launcher::CampaignCsvSink> sink;
+  if (parser.has("csv")) {
+    sink = std::make_unique<launcher::CampaignCsvSink>(
+        parser.getString("csv"));
+  }
+
+  launcher::ExploreResult result =
+      launcher::runExplore(options, sink.get());
+
+  csv::Table report =
+      launcher::topKReport(result.results,
+                           static_cast<int>(parser.getInt("top")));
+  if (parser.has("report")) {
+    std::ofstream out(parser.getString("report"), std::ios::binary);
+    if (!out) {
+      throw McError("cannot write report file: " +
+                    parser.getString("report"));
+    }
+    report.write(out);
+  } else {
+    report.write(std::cout);
+  }
+
+  std::printf(
+      "explored %zu variant(s) on %s: %zu cache hit(s), %zu measured, "
+      "%zu failure(s)\n",
+      result.results.size(), result.backendId.c_str(), result.cacheHits,
+      result.measured, result.failures);
+  if (options.useCache) {
+    std::printf("cache: %s\n", options.cacheDir.c_str());
+  }
+  return result.failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "help") == 0) {
+    printUsage();
+    return argc < 2 ? 2 : 0;
+  }
+  try {
+    if (std::strcmp(argv[1], "explore") == 0) {
+      return runExploreCommand(argc - 1, argv + 1);
+    }
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n\n", argv[1]);
+    printUsage();
+    return 2;
+  } catch (const McError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

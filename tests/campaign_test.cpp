@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -350,6 +352,202 @@ TEST(Campaign, DirectoryLoaderRejectsMissingOrEmptyDirs) {
   fs::create_directories(dir);
   EXPECT_THROW(loadCampaignDirectory(dir), McError);
   fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// CSV resume
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, ResumeSkipsVariantsAlreadyCompletedInCsv) {
+  std::string path = ::testing::TempDir() + "/campaign_resume.csv";
+  std::remove(path.c_str());
+  std::vector<CampaignVariant> variants = eightVariants();
+
+  {
+    CampaignCsvSink sink(path);
+    CampaignRunner runner(simFactory(), quickOptions(2));
+    runner.run(variants, smallRequest(), &sink);
+  }
+  std::set<std::pair<std::size_t, std::string>> completed =
+      readCompletedVariants(path);
+  ASSERT_EQ(completed.size(), variants.size());
+
+  // Restart against the same CSV: every variant must be skipped without
+  // ever touching a backend — the factory fails the test if invoked.
+  CampaignOptions resume = quickOptions(2);
+  resume.completed = completed;
+  CampaignRunner runner(
+      [](int) -> std::unique_ptr<Backend> {
+        ADD_FAILURE() << "backend built for a fully resumed campaign";
+        return std::make_unique<FlakyBackend>(0);
+      },
+      resume);
+  {
+    CampaignCsvSink sink(path);
+    std::vector<VariantResult> results =
+        runner.run(variants, smallRequest(), &sink);
+    ASSERT_EQ(results.size(), variants.size());
+    for (const VariantResult& r : results) {
+      EXPECT_EQ(r.status, "skipped");
+      EXPECT_NE(r.note.find("already completed"), std::string::npos);
+    }
+  }
+
+  // Skipped rows are not re-appended: the file keeps header + N rows.
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++lines;
+  }
+  EXPECT_EQ(lines, 1 + static_cast<int>(variants.size()));
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, ResumeReRunsVariantsThatDidNotComplete) {
+  std::vector<CampaignVariant> variants = eightVariants();
+  // Pretend only variants 0 and 3 completed last time.
+  CampaignOptions options = quickOptions(2);
+  options.completed.insert({0, variants[0].name});
+  options.completed.insert({3, variants[3].name});
+  CampaignRunner runner(simFactory(), options);
+  std::vector<VariantResult> results = runner.run(variants, smallRequest());
+  ASSERT_EQ(results.size(), variants.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == 0 || i == 3) {
+      EXPECT_EQ(results[i].status, "skipped") << i;
+    } else {
+      EXPECT_EQ(results[i].status, "ok") << results[i].error;
+    }
+  }
+}
+
+TEST(Campaign, ReadCompletedVariantsOnlyCountsOkRows) {
+  std::string path = ::testing::TempDir() + "/campaign_completed.csv";
+  {
+    std::ofstream out(path);
+    out << CampaignRunner::csvHeader()[0];  // build the real header
+    for (std::size_t i = 1; i < CampaignRunner::csvHeader().size(); ++i) {
+      out << ',' << CampaignRunner::csvHeader()[i];
+    }
+    out << "\n";
+    out << "0,good_variant,ok,,2.5,2.5,2.5,2.5,0,0,3,257,1000,0,1,1,0,\n";
+    out << "1,failed_variant,error,boom,0,0,0,0,0,0,0,0,0,0,1,1,0,\n";
+    out << "2,\"quoted, name\",ok,,2.5,2.5,2.5,2.5,0,0,3,257,1000,0,1,1,0,\n";
+    out << "not a number,bad_row,ok\n";   // malformed sequence: ignored
+    out << "3,truncated_r";               // crash mid-write: ignored
+  }
+  std::set<std::pair<std::size_t, std::string>> completed =
+      readCompletedVariants(path);
+  EXPECT_EQ(completed.size(), 2u);
+  EXPECT_TRUE(completed.count({0, "good_variant"}));
+  EXPECT_TRUE(completed.count({2, "quoted, name"}));
+  EXPECT_FALSE(completed.count({1, "failed_variant"}));
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, ReadCompletedVariantsOfMissingFileIsEmpty) {
+  EXPECT_TRUE(readCompletedVariants("/nonexistent/campaign.csv").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Cache hooks
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, CacheLookupSatisfiesVariantsWithoutBackendWork) {
+  std::vector<CampaignVariant> variants = eightVariants();
+  CampaignOptions options = quickOptions(2);
+  options.cacheLookup = [](const CampaignVariant&, VariantResult& out) {
+    out.status = "ok";
+    out.measurement.cyclesPerIteration.min = 1.25;
+    out.repetitions = 3;
+    return true;
+  };
+  CampaignRunner runner(
+      [](int) -> std::unique_ptr<Backend> {
+        ADD_FAILURE() << "backend built despite 100% cache hits";
+        return std::make_unique<FlakyBackend>(0);
+      },
+      options);
+  std::vector<VariantResult> results = runner.run(variants, smallRequest());
+  ASSERT_EQ(results.size(), variants.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].cached);
+    EXPECT_EQ(results[i].status, "ok");
+    // The runner re-labels the cached payload with this run's identity.
+    EXPECT_EQ(results[i].sequence, i);
+    EXPECT_EQ(results[i].name, variants[i].name);
+    EXPECT_DOUBLE_EQ(results[i].measurement.cyclesPerIteration.min, 1.25);
+  }
+}
+
+TEST(Campaign, CacheStoreSeesEveryOkResult) {
+  std::vector<CampaignVariant> variants = eightVariants();
+  CampaignOptions options = quickOptions(2);
+  std::mutex mutex;
+  std::set<std::string> stored;
+  options.cacheStore = [&](const CampaignVariant& v, const VariantResult& r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(r.status, "ok");
+    stored.insert(v.name);
+  };
+  CampaignRunner runner(simFactory(), options);
+  runner.run(variants, smallRequest());
+  EXPECT_EQ(stored.size(), variants.size());
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate CV (zero-mean samples)
+// ---------------------------------------------------------------------------
+
+/// Returns 0 cycles for every invocation: the cycles/iteration mean is 0,
+/// so the CV is undefined rather than perfectly stable.
+class ZeroCycleBackend final : public Backend {
+ public:
+  struct FakeKernel final : KernelHandle {};
+  std::string name() const override { return "zero"; }
+  std::unique_ptr<KernelHandle> load(const std::string&,
+                                     const std::string&) override {
+    return std::make_unique<FakeKernel>();
+  }
+  InvokeResult invoke(KernelHandle&, const KernelRequest&) override {
+    return InvokeResult{0.0, 10};
+  }
+  double timerOverheadCycles() const override { return 0.0; }
+  std::vector<InvokeResult> invokeFork(KernelHandle&, const KernelRequest&,
+                                       int, int, PinPolicy) override {
+    throw ExecutionError("no fork mode");
+  }
+  InvokeResult invokeOpenMp(KernelHandle&, const KernelRequest&, int,
+                            int) override {
+    throw ExecutionError("no OpenMP mode");
+  }
+};
+
+TEST(Campaign, ZeroMeanSamplesAreNotReportedAsConverged) {
+  CampaignRunner runner(
+      [](int) { return std::make_unique<ZeroCycleBackend>(); },
+      quickOptions(1));
+  std::vector<CampaignVariant> variants{{"zero", "asm", "", "microkernel"}};
+  std::vector<VariantResult> results = runner.run(variants, KernelRequest{});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, "ok");
+  // The old bug: cv() returned 0.0 for a zero mean, which read as "perfectly
+  // stable" and stopped the adaptive loop claiming convergence.
+  EXPECT_TRUE(std::isnan(results[0].finalCv));
+  EXPECT_FALSE(results[0].converged);
+  EXPECT_NE(results[0].note.find("cv undefined"), std::string::npos);
+  // And the CSV row must not pretend otherwise.
+  std::vector<std::string> row = CampaignRunner::csvRow(results[0]);
+  std::vector<std::string> header = CampaignRunner::csvHeader();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "converged") {
+      EXPECT_EQ(row[i], "0");
+    }
+    if (header[i] == "note") {
+      EXPECT_NE(row[i].find("cv undefined"), std::string::npos);
+    }
+  }
 }
 
 TEST(Campaign, VariantsFromProgramsKeepNamesAndEntryPoints) {

@@ -1,0 +1,434 @@
+// Tests of the end-to-end exploration driver: the content-addressed
+// measurement cache (hit/miss/corruption/version handling), the in-memory
+// creator -> campaign handoff, and the ranked top-K report.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "launcher/explore.hpp"
+#include "launcher/sim_backend.hpp"
+#include "sim/arch.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "test_helpers.hpp"
+
+namespace microtools::launcher {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testing::figure6Xml;
+
+/// Per-factory invocation counters shared by every backend it builds.
+struct BackendCounters {
+  std::atomic<int> constructed{0};
+  std::atomic<int> loads{0};
+  std::atomic<int> invokes{0};
+};
+
+/// SimBackend wrapper that counts every load and invocation — the proof
+/// that a fully cached rerun performs zero backend work.
+class CountingBackend final : public Backend {
+ public:
+  explicit CountingBackend(std::shared_ptr<BackendCounters> counters)
+      : counters_(std::move(counters)),
+        inner_(sim::nehalemX5650DualSocket()) {
+    counters_->constructed++;
+  }
+
+  std::string name() const override { return "counting-sim"; }
+  std::unique_ptr<KernelHandle> load(const std::string& asmText,
+                                     const std::string& fn) override {
+    counters_->loads++;
+    return inner_.load(asmText, fn);
+  }
+  InvokeResult invoke(KernelHandle& kernel,
+                      const KernelRequest& request) override {
+    counters_->invokes++;
+    return inner_.invoke(kernel, request);
+  }
+  double timerOverheadCycles() const override {
+    return inner_.timerOverheadCycles();
+  }
+  std::vector<InvokeResult> invokeFork(KernelHandle& kernel,
+                                       const KernelRequest& request,
+                                       int processes, int calls,
+                                       PinPolicy policy) override {
+    return inner_.invokeFork(kernel, request, processes, calls, policy);
+  }
+  InvokeResult invokeOpenMp(KernelHandle& kernel,
+                            const KernelRequest& request, int threads,
+                            int repetitions) override {
+    return inner_.invokeOpenMp(kernel, request, threads, repetitions);
+  }
+  void reset() override { inner_.reset(); }
+
+ private:
+  std::shared_ptr<BackendCounters> counters_;
+  SimBackend inner_;
+};
+
+std::string freshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+ExploreOptions baseOptions(const std::string& cacheDir,
+                           std::shared_ptr<BackendCounters> counters) {
+  ExploreOptions options;
+  options.descriptionText = figure6Xml(1, 2, false);
+  options.arrayBytes = 16 * 1024;
+  options.campaign.jobs = 2;
+  options.campaign.protocol.innerRepetitions = 1;
+  options.campaign.protocol.outerRepetitions = 3;
+  options.campaign.maxCv = 0.05;
+  options.campaign.maxRepetitions = 10;
+  options.cacheDir = cacheDir;
+  options.backendFactory = [counters](int) {
+    return std::make_unique<CountingBackend>(counters);
+  };
+  options.backendId = "counting-sim";
+  return options;
+}
+
+VariantResult okResult(const std::string& name, double min) {
+  VariantResult r;
+  r.name = name;
+  r.status = "ok";
+  r.measurement.iterationsPerCall = 257;
+  r.measurement.totalCycles = 1000.0;
+  r.measurement.cyclesPerIteration =
+      stats::Summary{3, min, min + 0.5, min + 0.2, min + 0.1, 0.05, 0.02};
+  r.repetitions = 3;
+  r.finalCv = 0.02;
+  r.converged = true;
+  r.attempts = 1;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Cache key
+// ---------------------------------------------------------------------------
+
+TEST(CacheKey, StableForIdenticalInputs) {
+  CampaignVariant v{"a", "asm", ".text\nret\n", "microkernel", ""};
+  CampaignOptions options;
+  KernelRequest request;
+  request.n = 100;
+  request.arrays.push_back(ArraySpec{1024, 64, 0});
+  std::string k1 = cacheKey(v, options, "sim:nehalem", request);
+  std::string k2 = cacheKey(v, options, "sim:nehalem", request);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.size(), 16u);
+}
+
+TEST(CacheKey, SensitiveToEveryMeasurementInput) {
+  CampaignVariant v{"a", "asm", ".text\nret\n", "microkernel", ""};
+  CampaignOptions options;
+  KernelRequest request;
+  request.n = 100;
+  request.arrays.push_back(ArraySpec{1024, 64, 0});
+  std::string base = cacheKey(v, options, "sim:nehalem", request);
+
+  CampaignVariant v2 = v;
+  v2.source = ".text\nnop\nret\n";
+  EXPECT_NE(cacheKey(v2, options, "sim:nehalem", request), base);
+
+  CampaignVariant v3 = v;
+  v3.functionName = "other";
+  EXPECT_NE(cacheKey(v3, options, "sim:nehalem", request), base);
+
+  CampaignOptions o2 = options;
+  o2.protocol.outerRepetitions += 1;
+  EXPECT_NE(cacheKey(v, o2, "sim:nehalem", request), base);
+
+  CampaignOptions o3 = options;
+  o3.maxCv = 0.5;
+  EXPECT_NE(cacheKey(v, o3, "sim:nehalem", request), base);
+
+  EXPECT_NE(cacheKey(v, options, "sim:sandy_bridge", request), base);
+
+  KernelRequest r2 = request;
+  r2.n = 200;
+  EXPECT_NE(cacheKey(v, options, "sim:nehalem", r2), base);
+
+  KernelRequest r3 = request;
+  r3.arrays[0].offset = 16;
+  EXPECT_NE(cacheKey(v, options, "sim:nehalem", r3), base);
+}
+
+TEST(CacheKey, IgnoresWorkerCoreAndVariantName) {
+  CampaignVariant v{"a", "asm", ".text\nret\n", "microkernel", ""};
+  CampaignOptions options;
+  KernelRequest request;
+  request.n = 100;
+  std::string base = cacheKey(v, options, "sim:nehalem", request);
+
+  // Per-worker pinning must not fragment the cache.
+  KernelRequest pinned = request;
+  pinned.core = 3;
+  EXPECT_EQ(cacheKey(v, options, "sim:nehalem", pinned), base);
+
+  // Identity is the content, not the label.
+  CampaignVariant renamed = v;
+  renamed.name = "renamed";
+  EXPECT_EQ(cacheKey(renamed, options, "sim:nehalem", request), base);
+}
+
+// ---------------------------------------------------------------------------
+// MeasurementCache
+// ---------------------------------------------------------------------------
+
+TEST(MeasurementCache, StoreThenLoadRoundTrips) {
+  MeasurementCache cache(freshDir("mtcache_roundtrip"));
+  VariantResult r = okResult("variant_a", 2.0);
+  r.note = "multi\nline \\ note";
+  cache.store("00000000000000aa", r);
+
+  std::optional<VariantResult> loaded = cache.load("00000000000000aa");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->name, r.name);
+  EXPECT_EQ(loaded->status, "ok");
+  EXPECT_EQ(loaded->note, r.note);
+  EXPECT_EQ(loaded->measurement.iterationsPerCall, 257u);
+  EXPECT_DOUBLE_EQ(loaded->measurement.cyclesPerIteration.min, 2.0);
+  EXPECT_DOUBLE_EQ(loaded->measurement.cyclesPerIteration.max, 2.5);
+  EXPECT_DOUBLE_EQ(loaded->measurement.cyclesPerIteration.mean, 2.2);
+  EXPECT_DOUBLE_EQ(loaded->measurement.cyclesPerIteration.median, 2.1);
+  EXPECT_DOUBLE_EQ(loaded->finalCv, 0.02);
+  EXPECT_EQ(loaded->repetitions, 3);
+  EXPECT_TRUE(loaded->converged);
+  fs::remove_all(cache.dir());
+}
+
+TEST(MeasurementCache, MissOnAbsentKey) {
+  MeasurementCache cache(freshDir("mtcache_absent"));
+  EXPECT_FALSE(cache.load("00000000000000bb").has_value());
+  fs::remove_all(cache.dir());
+}
+
+TEST(MeasurementCache, MissOnCorruptFile) {
+  MeasurementCache cache(freshDir("mtcache_corrupt"));
+  cache.store("00000000000000cc", okResult("v", 1.0));
+  std::ofstream(cache.recordPath("00000000000000cc"), std::ios::trunc)
+      << "random garbage\nnot a record";
+  EXPECT_FALSE(cache.load("00000000000000cc").has_value());
+
+  // Truncated numeric field is also a miss, not an exception.
+  std::ofstream(cache.recordPath("00000000000000cd"), std::ios::trunc)
+      << "microtools-cache 1\nkey 00000000000000cd\nname v\nstatus ok\n"
+         "iterations_per_call twelve\n";
+  EXPECT_FALSE(cache.load("00000000000000cd").has_value());
+  fs::remove_all(cache.dir());
+}
+
+TEST(MeasurementCache, MissOnVersionMismatch) {
+  MeasurementCache cache(freshDir("mtcache_version"));
+  cache.store("00000000000000dd", okResult("v", 1.0));
+  ASSERT_TRUE(cache.load("00000000000000dd").has_value());
+
+  // Rewrite the record with a bumped format version.
+  std::ifstream in(cache.recordPath("00000000000000dd"));
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = strings::replaceAll(buf.str(), "microtools-cache 1",
+                                         "microtools-cache 999");
+  std::ofstream(cache.recordPath("00000000000000dd"), std::ios::trunc)
+      << text;
+  EXPECT_FALSE(cache.load("00000000000000dd").has_value());
+  fs::remove_all(cache.dir());
+}
+
+TEST(MeasurementCache, MissOnKeyMismatch) {
+  MeasurementCache cache(freshDir("mtcache_keymismatch"));
+  cache.store("00000000000000ee", okResult("v", 1.0));
+  // A hand-copied record file must not satisfy a different key.
+  fs::copy_file(cache.recordPath("00000000000000ee"),
+                cache.recordPath("00000000000000ef"));
+  EXPECT_FALSE(cache.load("00000000000000ef").has_value());
+  fs::remove_all(cache.dir());
+}
+
+TEST(MeasurementCache, DoesNotStoreFailedResults) {
+  MeasurementCache cache(freshDir("mtcache_failed"));
+  VariantResult r = okResult("v", 1.0);
+  r.status = "error";
+  r.error = "backend exploded";
+  cache.store("00000000000000ff", r);
+  EXPECT_FALSE(fs::exists(cache.recordPath("00000000000000ff")));
+  EXPECT_FALSE(cache.load("00000000000000ff").has_value());
+  fs::remove_all(cache.dir());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end exploration (the acceptance bar)
+// ---------------------------------------------------------------------------
+
+TEST(Explore, SecondRunIsFullyCachedWithZeroBackendInvocations) {
+  std::string cacheDir = freshDir("explore_cache_accept");
+
+  auto first = std::make_shared<BackendCounters>();
+  ExploreResult cold = runExplore(baseOptions(cacheDir, first));
+  ASSERT_GE(cold.results.size(), 2u);
+  EXPECT_EQ(cold.generated, cold.results.size());
+  EXPECT_EQ(cold.cacheHits, 0u);
+  EXPECT_EQ(cold.measured, cold.results.size());
+  EXPECT_GT(first->invokes.load(), 0);
+  for (const VariantResult& r : cold.results) {
+    EXPECT_EQ(r.status, "ok") << r.error;
+    EXPECT_FALSE(r.cached);
+  }
+
+  auto second = std::make_shared<BackendCounters>();
+  ExploreResult warm = runExplore(baseOptions(cacheDir, second));
+  ASSERT_EQ(warm.results.size(), cold.results.size());
+  EXPECT_EQ(warm.cacheHits, warm.results.size()) << "expected 100% hits";
+  EXPECT_EQ(warm.measured, 0u);
+  // The whole point: a fully cached rerun performs ZERO backend work —
+  // not even a backend is constructed.
+  EXPECT_EQ(second->constructed.load(), 0);
+  EXPECT_EQ(second->loads.load(), 0);
+  EXPECT_EQ(second->invokes.load(), 0);
+
+  for (std::size_t i = 0; i < warm.results.size(); ++i) {
+    const VariantResult& a = cold.results[i];
+    const VariantResult& b = warm.results[i];
+    EXPECT_TRUE(b.cached);
+    EXPECT_EQ(b.sequence, a.sequence);
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.status, "ok");
+    EXPECT_DOUBLE_EQ(b.measurement.cyclesPerIteration.min,
+                     a.measurement.cyclesPerIteration.min);
+    EXPECT_DOUBLE_EQ(b.measurement.cyclesPerIteration.mean,
+                     a.measurement.cyclesPerIteration.mean);
+    EXPECT_EQ(b.measurement.iterationsPerCall, a.measurement.iterationsPerCall);
+    EXPECT_EQ(b.repetitions, a.repetitions);
+    EXPECT_EQ(b.converged, a.converged);
+  }
+  fs::remove_all(cacheDir);
+}
+
+TEST(Explore, ProtocolChangeInvalidatesCache) {
+  std::string cacheDir = freshDir("explore_cache_proto");
+  auto counters = std::make_shared<BackendCounters>();
+  runExplore(baseOptions(cacheDir, counters));
+
+  auto recount = std::make_shared<BackendCounters>();
+  ExploreOptions changed = baseOptions(cacheDir, recount);
+  changed.campaign.protocol.outerRepetitions += 1;  // different measurement
+  ExploreResult result = runExplore(changed);
+  EXPECT_EQ(result.cacheHits, 0u);
+  EXPECT_EQ(result.measured, result.results.size());
+  EXPECT_GT(recount->invokes.load(), 0);
+  fs::remove_all(cacheDir);
+}
+
+TEST(Explore, InMemoryHandoffNeedsNoFilesystemRoundTrip) {
+  auto counters = std::make_shared<BackendCounters>();
+  ExploreOptions options = baseOptions(freshDir("explore_nocache"), counters);
+  options.useCache = false;
+
+  ExploreResult result = runExplore(options);
+  ASSERT_GE(result.results.size(), 2u);
+  EXPECT_EQ(result.cacheHits, 0u);
+  EXPECT_EQ(result.measured, result.results.size());
+  // The array count was derived from the generated programs.
+  ASSERT_FALSE(result.request.arrays.empty());
+  EXPECT_GT(result.request.n, 0);
+  for (const VariantResult& r : result.results) {
+    EXPECT_EQ(r.status, "ok") << r.error;
+  }
+  // No cache directory was created when the cache is off.
+  EXPECT_FALSE(fs::exists(options.cacheDir));
+}
+
+TEST(Explore, StreamsCampaignRowsWithCachedColumn) {
+  std::string cacheDir = freshDir("explore_stream");
+  auto counters = std::make_shared<BackendCounters>();
+
+  std::ostringstream cold;
+  {
+    CampaignCsvSink sink(cold);
+    runExplore(baseOptions(cacheDir, counters), &sink);
+  }
+  std::ostringstream warm;
+  {
+    CampaignCsvSink sink(warm);
+    runExplore(baseOptions(cacheDir, counters), &sink);
+  }
+  std::istringstream in(warm.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find(",cached,"), std::string::npos) << line;
+  std::vector<std::string> header = csv::parseLine(line);
+  std::size_t cachedCol = 0;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "cached") cachedCol = i;
+  }
+  int rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++rows;
+    std::vector<std::string> cells = csv::parseLine(line);
+    ASSERT_GT(cells.size(), cachedCol);
+    EXPECT_EQ(cells[cachedCol], "1") << "warm row not served from cache";
+  }
+  EXPECT_GE(rows, 2);
+  fs::remove_all(cacheDir);
+}
+
+TEST(Explore, MaxVariantsAndSeedOverridesApply) {
+  auto counters = std::make_shared<BackendCounters>();
+  ExploreOptions options = baseOptions(freshDir("explore_max"), counters);
+  options.useCache = false;
+  options.descriptionText = figure6Xml(1, 8, false);
+  options.maxVariants = 3;
+  ExploreResult result = runExplore(options);
+  EXPECT_EQ(result.results.size(), 3u);
+}
+
+TEST(Explore, RejectsEmptyGeneration) {
+  ExploreOptions options;
+  options.descriptionText = "<description></description>";
+  options.useCache = false;
+  EXPECT_THROW(runExplore(options), McError);
+}
+
+// ---------------------------------------------------------------------------
+// Ranked report
+// ---------------------------------------------------------------------------
+
+TEST(TopKReport, RanksOkResultsByMinCyclesAndClampsK) {
+  std::vector<VariantResult> results;
+  results.push_back(okResult("slow", 9.0));
+  results.push_back(okResult("fast", 1.0));
+  results.push_back(okResult("mid", 4.0));
+  VariantResult failed = okResult("broken", 0.5);
+  failed.status = "error";
+  results.push_back(failed);
+  results[1].cached = true;
+
+  csv::Table top2 = topKReport(results, 2);
+  ASSERT_EQ(top2.rowCount(), 2u);
+  EXPECT_EQ(top2.row(0)[1], "fast");
+  EXPECT_EQ(top2.row(0)[0], "1");
+  EXPECT_EQ(top2.row(0)[7], "1");  // cached column
+  EXPECT_EQ(top2.row(1)[1], "mid");
+
+  // k <= 0 ranks everything that succeeded; the error row never appears.
+  csv::Table all = topKReport(results, 0);
+  EXPECT_EQ(all.rowCount(), 3u);
+  EXPECT_EQ(all.row(2)[1], "slow");
+
+  csv::Table large = topKReport(results, 100);
+  EXPECT_EQ(large.rowCount(), 3u);
+}
+
+}  // namespace
+}  // namespace microtools::launcher

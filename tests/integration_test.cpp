@@ -123,6 +123,43 @@ TEST(Integration, WrittenProgramsLoadFromDisk) {
   for (const auto& path : written) std::remove(path.c_str());
 }
 
+TEST(Integration, SanitizeFileStemNeutralizesHostilePaths) {
+  EXPECT_EQ(creator::sanitizeFileStem("plain_name"), "plain_name");
+  EXPECT_EQ(creator::sanitizeFileStem("a/b/c"), "a_b_c");
+  EXPECT_EQ(creator::sanitizeFileStem("..\\up"), ".._up");
+  EXPECT_EQ(creator::sanitizeFileStem("tab\there"), "tab_here");
+  // Names that would resolve to the directory itself (or its parent) are
+  // replaced wholesale, not merely escaped.
+  EXPECT_EQ(creator::sanitizeFileStem(""), "variant");
+  EXPECT_EQ(creator::sanitizeFileStem("."), "variant");
+  EXPECT_EQ(creator::sanitizeFileStem(".."), "variant");
+}
+
+TEST(Integration, WriteProgramsSanitizesStemsInsideOutputDir) {
+  auto programs = testing::generate(testing::figure6Xml(2, 2, false));
+  ASSERT_EQ(programs.size(), 1u);
+  programs[0].name = "evil/../../escape";
+  std::string dir = ::testing::TempDir() + "/mt_sanitize_out";
+  auto written = creator::writePrograms(programs, dir);
+  ASSERT_EQ(written.size(), 1u);
+  // The separators became '_', so the file stays inside `dir`.
+  EXPECT_NE(written[0].find("evil_.._.._escape.s"), std::string::npos)
+      << written[0];
+  std::ifstream in(written[0]);
+  EXPECT_TRUE(in.good());
+  for (const auto& path : written) std::remove(path.c_str());
+}
+
+TEST(Integration, WriteProgramsRejectsDuplicateStems) {
+  auto programs = testing::generate(testing::figure6Xml(2, 2, false));
+  ASSERT_EQ(programs.size(), 1u);
+  programs.push_back(programs[0]);
+  programs[0].name = "same/name";
+  programs[1].name = "same_name";  // sanitizes to the same stem
+  std::string dir = ::testing::TempDir() + "/mt_duplicate_out";
+  EXPECT_THROW(creator::writePrograms(programs, dir), McError);
+}
+
 TEST(Integration, AlignmentSweepShowsAliasingSpread) {
   // §5.2.2's mechanism at small scale: a load+store kernel over two arrays
   // whose relative 4 KiB placement varies shows a cycles/iteration spread.

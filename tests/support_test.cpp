@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
@@ -122,6 +124,35 @@ TEST(Csv, RowAccess) {
   EXPECT_EQ(table.row(1)[0], "2");
 }
 
+TEST(Csv, ParseLineSplitsPlainFields) {
+  EXPECT_EQ(csv::parseLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(csv::parseLine("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(csv::parseLine(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(csv::parseLine("a,"), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(Csv, ParseLineHonorsQuoting) {
+  EXPECT_EQ(csv::parseLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(csv::parseLine("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+  EXPECT_EQ(csv::parseLine("\"\",y"), (std::vector<std::string>{"", "y"}));
+}
+
+TEST(Csv, ParseLineInvertsQuoteField) {
+  std::vector<std::string> fields{"plain", "a,b", "say \"hi\"", ""};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    line += (i ? "," : "") + csv::quoteField(fields[i]);
+  }
+  EXPECT_EQ(csv::parseLine(line), fields);
+}
+
+TEST(Csv, ParseLineToleratesTrailingCarriageReturn) {
+  EXPECT_EQ(csv::parseLine("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
 // ---------------------------------------------------------------------------
 // stats
 // ---------------------------------------------------------------------------
@@ -172,6 +203,75 @@ TEST(Stats, SummarizeMatchesAccumulator) {
 TEST(Stats, CvIsRelativeSpread) {
   stats::Summary s = stats::summarize({10.0, 10.0, 10.0});
   EXPECT_DOUBLE_EQ(s.cv, 0.0);
+}
+
+TEST(Stats, CvOfZeroMeanIsNanNotZero) {
+  // stddev/mean is undefined for a zero mean; returning 0.0 here used to
+  // make all-zero sample sets look "perfectly stable" to the adaptive loop.
+  stats::Accumulator acc;
+  for (int i = 0; i < 3; ++i) acc.add(0.0);
+  EXPECT_TRUE(std::isnan(acc.cv()));
+
+  stats::Accumulator mixed;  // mean 0 with nonzero spread
+  mixed.add(-1.0);
+  mixed.add(1.0);
+  EXPECT_TRUE(std::isnan(mixed.cv()));
+
+  stats::Accumulator empty;
+  EXPECT_DOUBLE_EQ(empty.cv(), 0.0);  // empty stays 0 (nothing measured yet)
+}
+
+// ---------------------------------------------------------------------------
+// hash
+// ---------------------------------------------------------------------------
+
+TEST(Hash, EmptyDigestIsOffsetBasis) {
+  EXPECT_EQ(hash::Fnv1a().value(), hash::Fnv1a::kOffsetBasis);
+  EXPECT_EQ(hash::Fnv1a().value(), 0xcbf29ce484222325ull);
+}
+
+TEST(Hash, MatchesKnownFnv1aVectors) {
+  // Reference digests of the 64-bit FNV-1a test vectors.
+  EXPECT_EQ(hash::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(hash::fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, DeterministicAndOrderSensitive) {
+  auto digest = [](auto&& fill) {
+    hash::Fnv1a h;
+    fill(h);
+    return h.value();
+  };
+  std::uint64_t a =
+      digest([](hash::Fnv1a& h) { h.str("x").u64(1).boolean(true); });
+  std::uint64_t b =
+      digest([](hash::Fnv1a& h) { h.str("x").u64(1).boolean(true); });
+  std::uint64_t c =
+      digest([](hash::Fnv1a& h) { h.u64(1).str("x").boolean(true); });
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Hash, StringMixerSeparatesAdjacentFields) {
+  // Without the length prefix these two would concatenate identically.
+  std::uint64_t ab_c = hash::Fnv1a().str("ab").str("c").value();
+  std::uint64_t a_bc = hash::Fnv1a().str("a").str("bc").value();
+  EXPECT_NE(ab_c, a_bc);
+}
+
+TEST(Hash, DoubleMixerNormalizesNegativeZero) {
+  EXPECT_EQ(hash::Fnv1a().f64(-0.0).value(), hash::Fnv1a().f64(0.0).value());
+  EXPECT_NE(hash::Fnv1a().f64(1.0).value(), hash::Fnv1a().f64(2.0).value());
+}
+
+TEST(Hash, HexIsSixteenLowercaseDigits) {
+  std::string hex = hash::Fnv1a().str("sample").hex();
+  EXPECT_EQ(hex.size(), 16u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+  EXPECT_EQ(hash::toHex(0), "0000000000000000");
+  EXPECT_EQ(hash::toHex(0xdeadbeefull), "00000000deadbeef");
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "support/strings.hpp"
@@ -15,6 +16,9 @@
 #endif
 #ifndef MT_MICROLAUNCHER_PATH
 #error "MT_MICROLAUNCHER_PATH must be defined by the build"
+#endif
+#ifndef MT_MICROTOOLS_PATH
+#error "MT_MICROTOOLS_PATH must be defined by the build"
 #endif
 
 namespace microtools {
@@ -231,6 +235,115 @@ TEST_F(ToolsTest, LauncherRejectsUnknownBackend) {
   EXPECT_EQ(r.exitCode, 1);
   EXPECT_NE(r.output.find("--backend must be sim or native"),
             std::string::npos);
+}
+
+TEST_F(ToolsTest, LauncherCampaignResumeSkipsCompletedRows) {
+  ASSERT_EQ(run(std::string(MT_MICROCREATOR_PATH) + " " + xmlPath_ +
+                " --output " + outDir_)
+                .exitCode,
+            0);
+  std::string csvPath = ::testing::TempDir() + "/tools_resume.csv";
+  std::remove(csvPath.c_str());
+  std::string command = std::string(MT_MICROLAUNCHER_PATH) + " --campaign " +
+                        outDir_ + " --jobs 2 --array-bytes 8192 --inner 1 "
+                        "--outer 2 --max-repetitions 6 --csv " + csvPath;
+
+  CommandResult first = run(command);
+  EXPECT_EQ(first.exitCode, 0) << first.output;
+  EXPECT_NE(first.output.find("0 skipped (already completed)"),
+            std::string::npos)
+      << first.output;
+  auto countLines = [&] {
+    std::ifstream in(csvPath);
+    std::string line;
+    int n = 0;
+    while (std::getline(in, line)) {
+      if (!line.empty()) ++n;
+    }
+    return n;
+  };
+  int linesAfterFirst = countLines();
+  EXPECT_EQ(linesAfterFirst, 31);  // header + 30 variants
+
+  // The restart must skip everything and leave the CSV untouched.
+  CommandResult second = run(command);
+  EXPECT_EQ(second.exitCode, 0) << second.output;
+  EXPECT_NE(second.output.find("30 skipped (already completed)"),
+            std::string::npos)
+      << second.output;
+  EXPECT_EQ(countLines(), linesAfterFirst);
+  std::remove(csvPath.c_str());
+}
+
+TEST_F(ToolsTest, ExploreSecondRunIsFullyCached) {
+  std::string small =
+      writeTempXml(testing::figure6Xml(1, 2, false), "tools_explore.xml");
+  std::string cacheDir = ::testing::TempDir() + "/tools_explore_cache";
+  std::filesystem::remove_all(cacheDir);
+  std::string command = std::string(MT_MICROTOOLS_PATH) + " explore " +
+                        small + " --array-bytes 16384 --inner 1 --outer 3 "
+                        "--max-repetitions 6 --top 5 --cache " + cacheDir;
+
+  CommandResult first = run(command);
+  EXPECT_EQ(first.exitCode, 0) << first.output;
+  EXPECT_NE(first.output.find("0 cache hit(s), 2 measured"),
+            std::string::npos)
+      << first.output;
+  EXPECT_NE(first.output.find("rank,variant,cycles_per_iteration_min"),
+            std::string::npos)
+      << first.output;
+
+  CommandResult second = run(command);
+  EXPECT_EQ(second.exitCode, 0) << second.output;
+  EXPECT_NE(second.output.find("2 cache hit(s), 0 measured"),
+            std::string::npos)
+      << second.output;
+  std::filesystem::remove_all(cacheDir);
+}
+
+TEST_F(ToolsTest, ExploreWritesCampaignCsvAndReportFile) {
+  std::string small =
+      writeTempXml(testing::figure6Xml(1, 2, false), "tools_explore2.xml");
+  std::string csvPath = ::testing::TempDir() + "/tools_explore.csv";
+  std::string reportPath = ::testing::TempDir() + "/tools_explore_report.csv";
+  std::remove(csvPath.c_str());
+  std::remove(reportPath.c_str());
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " explore " +
+                        small + " --no-cache --array-bytes 16384 --inner 1 "
+                        "--outer 3 --max-repetitions 6 --csv " + csvPath +
+                        " --report " + reportPath);
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  std::ifstream csvIn(csvPath);
+  ASSERT_TRUE(csvIn.good());
+  std::string csvText((std::istreambuf_iterator<char>(csvIn)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(csvText.find("sequence,variant,status"), std::string::npos);
+  std::ifstream reportIn(reportPath);
+  ASSERT_TRUE(reportIn.good());
+  std::string reportText((std::istreambuf_iterator<char>(reportIn)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(reportText.find("rank,variant"), std::string::npos);
+  std::remove(csvPath.c_str());
+  std::remove(reportPath.c_str());
+}
+
+TEST_F(ToolsTest, MicrotoolsUsageAndUnknownSubcommand) {
+  CommandResult bare = run(std::string(MT_MICROTOOLS_PATH));
+  EXPECT_EQ(bare.exitCode, 2);
+  EXPECT_NE(bare.output.find("usage: microtools"), std::string::npos);
+
+  CommandResult help = run(std::string(MT_MICROTOOLS_PATH) + " help");
+  EXPECT_EQ(help.exitCode, 0);
+  EXPECT_NE(help.output.find("explore"), std::string::npos);
+
+  CommandResult unknown = run(std::string(MT_MICROTOOLS_PATH) + " frobnicate");
+  EXPECT_EQ(unknown.exitCode, 2);
+  EXPECT_NE(unknown.output.find("unknown subcommand"), std::string::npos);
+
+  CommandResult explore =
+      run(std::string(MT_MICROTOOLS_PATH) + " explore --help");
+  EXPECT_EQ(explore.exitCode, 0);
+  EXPECT_NE(explore.output.find("--no-cache"), std::string::npos);
 }
 
 TEST_F(ToolsTest, HelpPagesWork) {
