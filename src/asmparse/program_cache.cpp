@@ -1,0 +1,63 @@
+#include "asmparse/program_cache.hpp"
+
+#include "support/hash.hpp"
+
+namespace microtools::asmparse {
+
+ProgramCache& ProgramCache::global() {
+  static ProgramCache cache;
+  return cache;
+}
+
+CachedProgram ProgramCache::get(const std::string& asmText,
+                                const std::string& functionName) {
+  hash::Fnv1a h;
+  h.str(asmText).str(functionName);
+  std::uint64_t key = h.value();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = buckets_.find(key);
+    if (it != buckets_.end()) {
+      for (const Entry& e : it->second) {
+        if (e.asmText == asmText && e.functionName == functionName) {
+          return {e.program, key};
+        }
+      }
+    }
+  }
+
+  // Parse outside the lock; a racing duplicate parse is harmless and the
+  // loser's entry simply joins the bucket.
+  auto program = std::make_shared<Program>(parseAssembly(asmText));
+  if (!functionName.empty()) program->functionName = functionName;
+  std::shared_ptr<const Program> shared = std::move(program);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ >= kMaxEntries) {
+    buckets_.clear();
+    count_ = 0;
+  }
+  auto& bucket = buckets_[key];
+  for (const Entry& e : bucket) {
+    if (e.asmText == asmText && e.functionName == functionName) {
+      return {e.program, key};  // another thread won the race
+    }
+  }
+  bucket.push_back(Entry{asmText, functionName, shared});
+  ++count_;
+  return {shared, key};
+}
+
+std::size_t ProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+void ProgramCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buckets_.clear();
+  count_ = 0;
+}
+
+}  // namespace microtools::asmparse

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asmparse/asmparse.hpp"
+
+namespace microtools::asmparse {
+
+/// A decoded program plus the content id of the source it came from.
+/// The id doubles as the program half of SimBackend's memoization keys and
+/// of the campaign measurement-cache keys, so "same id" means "same decoded
+/// kernel" everywhere.
+struct CachedProgram {
+  std::shared_ptr<const Program> program;
+  std::uint64_t contentId = 0;
+};
+
+/// Process-wide, thread-safe cache of decoded programs, keyed by the FNV-1a
+/// hash of (assembly text, function name) and verified against the full text
+/// so hash collisions can never alias two kernels.
+///
+/// Campaign runners parse the same generated variant once per worker per
+/// repetition without this; with it, parseAssembly runs once per distinct
+/// kernel for the life of the process.
+class ProgramCache {
+ public:
+  /// The shared instance used by the simulator backend.
+  static ProgramCache& global();
+
+  /// Returns the decoded program for `asmText` with `functionName` applied
+  /// (when non-empty) as the entry point, parsing at most once per distinct
+  /// (text, name) pair.
+  CachedProgram get(const std::string& asmText,
+                    const std::string& functionName);
+
+  /// Number of distinct programs currently cached.
+  std::size_t size() const;
+
+  /// Drops every entry (outstanding shared_ptrs stay valid).
+  void clear();
+
+ private:
+  struct Entry {
+    std::string asmText;
+    std::string functionName;
+    std::shared_ptr<const Program> program;
+  };
+
+  // Generated kernels are small (a few KiB); the cap only guards pathological
+  // campaigns. Reaching it drops the whole cache rather than tracking LRU.
+  static constexpr std::size_t kMaxEntries = 4096;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace microtools::asmparse

@@ -40,10 +40,18 @@ struct InvokeResult {
 /// Pinning policy for fork-mode runs.
 enum class PinPolicy { Compact, Scatter };
 
+class Backend;
+
 /// Opaque loaded-kernel handle; concrete backends subclass it.
 class KernelHandle {
  public:
   virtual ~KernelHandle() = default;
+
+  /// The backend that created this handle, set once in load(). Backends
+  /// validate it with a pointer comparison and then downcast statically —
+  /// a handle whose origin matches is by construction the backend's own
+  /// concrete type, so the per-invoke hot path needs no RTTI.
+  Backend* origin = nullptr;
 };
 
 /// Execution backend abstraction.
@@ -102,8 +110,13 @@ class Backend {
                                     const KernelRequest& request, int threads,
                                     int repetitions) = 0;
 
-  /// Drops warm state between experiments where the backend can (simulator
-  /// caches; a no-op natively).
+  /// Returns the backend to a cold-machine state where the backend can (a
+  /// no-op natively). Contract: after reset() the backend must reproduce
+  /// cold-machine numbers bit-identically — every form of warm state,
+  /// including caches, advancing clocks and any memoized invoke results,
+  /// must be dropped or invalidated. The campaign runner resets before
+  /// every variant and relies on results being independent of what a worker
+  /// ran previously.
   virtual void reset() {}
 };
 

@@ -315,7 +315,14 @@ ExploreResult runExplore(const ExploreOptions& options,
     }
     sim::MachineConfig config = archByName(options.arch).config;
     if (options.coreGHz) config.coreGHz = *options.coreGHz;
-    factory = [config](int) { return std::make_unique<SimBackend>(config); };
+    SimBackendOptions simOptions;
+    if (options.simExact) {
+      simOptions.steadyState = false;
+      simOptions.memoize = false;
+    }
+    factory = [config, simOptions](int) {
+      return std::make_unique<SimBackend>(config, simOptions);
+    };
   }
   if (backendId.empty()) {
     backendId = options.backend == "sim" ? "sim:" + options.arch
@@ -323,6 +330,10 @@ ExploreResult runExplore(const ExploreOptions& options,
     if (options.coreGHz) {
       backendId += strings::format("@%.3fGHz", *options.coreGHz);
     }
+    // Exact-mode results are bit-identical to fast-mode ones, but sharing a
+    // cache identity would let one serve the other's entries and make any
+    // fast-vs-exact comparison vacuous. Keep them separate.
+    if (options.backend == "sim" && options.simExact) backendId += ":exact";
   }
 
   CampaignOptions campaign = options.campaign;

@@ -81,6 +81,12 @@ struct ExploreOptions {
   std::optional<double> coreGHz;
   CampaignOptions campaign;  ///< jobs/protocol/adaptive/timeout knobs
 
+  /// Escape hatch (`--sim-exact`): force the simulator backend to cycle-
+  /// simulate every invoke — no steady-state extrapolation, no warm-invoke
+  /// memoization. Results are bit-identical to the default fast path; this
+  /// exists to prove that, and to debug the fast path when it isn't.
+  bool simExact = false;
+
   /// Overrides the backend construction (tests inject counting backends).
   /// When empty, a SimBackend factory is built from `arch`/`coreGHz`
   /// ("native" requires an explicit factory — the CLI provides one).

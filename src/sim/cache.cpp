@@ -1,5 +1,6 @@
 #include "sim/cache.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "support/error.hpp"
@@ -99,6 +100,27 @@ void CacheLevel::clear() {
   clock_ = 0;
   hits_ = 0;
   misses_ = 0;
+}
+
+void CacheLevel::hashState(hash::Fnv1a& h) const {
+  h.u64(sets_).u64(static_cast<std::uint64_t>(ways_));
+  std::vector<const Way*> valid;
+  valid.reserve(static_cast<std::size_t>(ways_));
+  for (std::uint64_t set = 0; set < sets_; ++set) {
+    const Way* base = &ways_storage_[set * static_cast<std::uint64_t>(ways_)];
+    valid.clear();
+    for (int w = 0; w < ways_; ++w) {
+      if (base[w].valid) valid.push_back(&base[w]);
+    }
+    if (valid.empty()) continue;  // empty sets hash as absent
+    // Recency order (oldest first): the victim scan and every future hit
+    // depend only on this ordering, never on the absolute lastUse values.
+    std::sort(valid.begin(), valid.end(), [](const Way* a, const Way* b) {
+      return a->lastUse < b->lastUse;
+    });
+    h.u64(set).u64(valid.size());
+    for (const Way* w : valid) h.u64(w->tag);
+  }
 }
 
 }  // namespace microtools::sim

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/hash.hpp"
+
 namespace microtools::sim {
 
 /// A set-associative cache with true-LRU replacement, operating on line
@@ -44,6 +46,13 @@ class CacheLevel {
   /// Statistics (cumulative since construction/clear).
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+
+  /// Mixes the replacement-relevant state into `h`: per set, the valid ways
+  /// ordered by recency rank. The absolute LRU clock is deliberately
+  /// excluded — two caches whose contents and recency *ordering* agree
+  /// behave identically forever, which is what warm-invoke memoization
+  /// needs to compare across invocations.
+  void hashState(hash::Fnv1a& h) const;
 
   static constexpr std::uint64_t kNoEviction = ~0ull;
 

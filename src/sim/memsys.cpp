@@ -257,4 +257,64 @@ std::uint64_t MemorySystem::levelCount(MemLevel level) const {
   return levelCounts_[static_cast<int>(level)];
 }
 
+std::uint64_t MemorySystem::stateFingerprint(std::uint64_t clock) const {
+  // Busy-times in the past are equivalent to "free now": every consumer
+  // computes max(cycle, free), so any value <= clock behaves like clock.
+  auto rel = [clock](std::uint64_t t) { return t > clock ? t - clock : 0; };
+  hash::Fnv1a h;
+  h.u64(cores_.size()).u64(sockets_.size());
+  for (const CorePrivate& core : cores_) {
+    core.l1.hashState(h);
+    core.l2.hashState(h);
+    h.u64(rel(core.l2PortFree));
+    h.u64(core.lastMissLine);
+    h.u64(static_cast<std::uint64_t>(core.streak));
+    // Arrived-but-unconsumed fills still gate maybePrefetch via their map
+    // presence, so they are hashed (with relative arrival 0) rather than
+    // dropped.
+    h.u64(core.pendingFills.size());
+    for (const auto& [line, arrival] : core.pendingFills) {
+      h.u64(line).u64(rel(arrival));
+    }
+  }
+  for (const Socket& socket : sockets_) {
+    socket.l3.hashState(h);
+    h.u64(rel(socket.l3PortFree));
+    h.u64(socket.channelFree.size());
+    for (std::uint64_t f : socket.channelFree) h.u64(rel(f));
+  }
+  h.u64(homeRanges_.size());
+  for (const HomeRange& r : homeRanges_) {
+    h.u64(r.base).u64(r.size).u64(static_cast<std::uint64_t>(r.socket));
+  }
+  return h.value();
+}
+
+void MemorySystem::creditReplayedAccesses(const std::uint64_t levelDeltas[5],
+                                          std::uint64_t prefetchDelta) {
+  for (int i = 0; i < 5; ++i) levelCounts_[i] += levelDeltas[i];
+  prefetches_ += prefetchDelta;
+}
+
+bool MemorySystem::refreshL1(int coreId, std::uint64_t addr, int bytes) {
+  CorePrivate& core = cores_[static_cast<std::size_t>(coreId)];
+  std::uint64_t firstLine = lineOf(addr);
+  std::uint64_t lastLine =
+      lineOf(addr + static_cast<std::uint64_t>(bytes) - 1);
+  bool ok = core.l1.lookup(firstLine);
+  if (lastLine != firstLine) ok = core.l1.lookup(lastLine) && ok;
+  return ok;
+}
+
+void MemorySystem::translateInFlight(std::uint64_t delta) {
+  for (CorePrivate& core : cores_) {
+    core.l2PortFree += delta;
+    for (auto& [line, arrival] : core.pendingFills) arrival += delta;
+  }
+  for (Socket& socket : sockets_) {
+    socket.l3PortFree += delta;
+    for (std::uint64_t& f : socket.channelFree) f += delta;
+  }
+}
+
 }  // namespace microtools::sim

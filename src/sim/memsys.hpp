@@ -64,6 +64,41 @@ class MemorySystem {
   /// Total prefetches issued by the L2 streamers.
   std::uint64_t prefetchCount() const { return prefetches_; }
 
+  /// Digest of all behavior-relevant state, normalized to be invariant
+  /// under time translation: cache contents with LRU *ranks* (not absolute
+  /// use clocks), prefetcher streaks, in-flight fills and port/channel
+  /// busy-times expressed relative to `clock` (anything already free hashes
+  /// as "free now"). Two MemorySystems with equal fingerprints at their
+  /// respective clocks respond identically to identical future access
+  /// streams — the foundation of SimBackend's warm-invoke memoization.
+  /// Statistics (levelCounts, prefetch and hit/miss counters) are excluded:
+  /// they never influence timing.
+  std::uint64_t stateFingerprint(std::uint64_t clock) const;
+
+  /// Credits `count` L1 demand hits to the statistics without simulating
+  /// them — used when CoreSim extrapolates a steady-state loop tail (the
+  /// skipped accesses are proven L1 hits) and when SimBackend replays a
+  /// memoized invoke, so counters track full simulation exactly.
+  void creditReplayedAccesses(const std::uint64_t levelDeltas[5],
+                              std::uint64_t prefetchDelta);
+
+  /// Replays the L1 recency effect of a demand access that is known to hit
+  /// L1: the covered line(s) get their LRU position refreshed exactly as
+  /// the real access would have done, with no time charged. Steady-state
+  /// extrapolation uses this for the skipped iterations' accesses — they
+  /// can never miss (proven beforehand), but their ordering determines the
+  /// final LRU state, which later invokes in a warm protocol observe.
+  /// Returns false if a covered line was absent (caller bug).
+  bool refreshL1(int coreId, std::uint64_t addr, int bytes);
+
+  /// Shifts every pending busy-time and fill arrival forward by `delta`
+  /// cycles. Used when a memoized invoke is replayed: the global clock
+  /// advances by the invoke's duration without simulation, and shifting the
+  /// in-flight state by the same amount keeps its position relative to the
+  /// clock — and therefore the state fingerprint — exactly what full
+  /// simulation would have produced.
+  void translateInFlight(std::uint64_t delta);
+
   int socketOfCore(int coreId) const;
 
  private:

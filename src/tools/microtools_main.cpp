@@ -70,6 +70,9 @@ cli::Parser makeExploreParser() {
   parser.addString("cache", "Measurement cache directory",
                    ".microtools-cache");
   parser.addFlag("no-cache", "Disable the measurement cache");
+  parser.addFlag("sim-exact",
+                 "Force full cycle simulation (no steady-state extrapolation "
+                 "or warm-invoke memoization); bit-identical, only slower");
   parser.addInt("top", "Rank the K best variants (0 = all)", 10);
   parser.addString("csv",
                    "Stream the full campaign CSV to this file (append-safe)");
@@ -127,6 +130,7 @@ int runExploreCommand(int argc, char** argv) {
   }
   options.cacheDir = parser.getString("cache");
   options.useCache = !parser.getFlag("no-cache");
+  options.simExact = parser.getFlag("sim-exact");
   if (parser.getFlag("verbose")) log::setLevel(log::Level::Info);
 
   if (options.backend == "native") {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <filesystem>
@@ -41,7 +43,11 @@ CommandResult run(const std::string& command) {
 }
 
 std::string writeTempXml(const std::string& content, const char* name) {
-  std::string path = ::testing::TempDir() + "/" + name;
+  // ctest runs each TEST as its own process, possibly in parallel; a
+  // per-process path keeps concurrent tests from reading each other's
+  // half-written files.
+  std::string path = ::testing::TempDir() + "/" +
+                     std::to_string(::getpid()) + "_" + name;
   std::ofstream out(path);
   out << content;
   return path;
@@ -51,7 +57,8 @@ class ToolsTest : public ::testing::Test {
  protected:
   void SetUp() override {
     xmlPath_ = writeTempXml(testing::figure6Xml(1, 4), "tools_test.xml");
-    outDir_ = ::testing::TempDir() + "/tools_test_out";
+    outDir_ = ::testing::TempDir() + "/tools_test_out_" +
+              std::to_string(::getpid());
   }
 
   std::string xmlPath_;
