@@ -1,0 +1,180 @@
+// Throughput bench of the native compile path: compiles the same
+// loadstore variant set three ways — serial per-variant invocations (the
+// pre-batching behavior), batched cold (groups of variants per compiler
+// invocation into a fresh compile cache), and a warm-cache rerun — and
+// reports variants/second for each, the batched-vs-serial speedup, the
+// number of compiler processes the warm rerun spawned (must be zero), and
+// whether every kernel computes identical results on all three paths.
+//
+// Emits BENCH_native_compile.json for CI's regression gate and exits
+// non-zero when the warm rerun spawned a process or results diverge.
+
+#include <cstdlib>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "creator/creator.hpp"
+#include "native/compile.hpp"
+
+using namespace microtools;
+
+namespace {
+
+constexpr int kBatchSize = 8;  // the campaign's --compile-batch default
+constexpr int kTripCount = 1024;
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs every kernel once and records its returned iteration count — the
+/// cross-path identity check: the same variant must compute the same value
+/// whether it was compiled serially, batched, or served from the cache.
+std::vector<int> runAll(const std::vector<native::CompiledKernel>& kernels) {
+  void* raw = nullptr;
+  if (posix_memalign(&raw, 4096, 1 << 20) != 0) {
+    throw McError("cannot allocate bench array");
+  }
+  std::vector<int> iterations;
+  iterations.reserve(kernels.size());
+  for (const native::CompiledKernel& kernel : kernels) {
+    void* arrays[1] = {raw};
+    iterations.push_back(kernel.call(kTripCount, arrays, 1));
+  }
+  std::free(raw);
+  return iterations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath = argc > 1 ? argv[1] : "BENCH_native_compile.json";
+
+  // loadstore_small.xml-scale batch: one movaps load kernel per unroll
+  // factor, the paper's §5.1 sweep shape.
+  creator::MicroCreator mc;
+  auto programs =
+      mc.generateFromText(bench::loadStoreKernelXml("movaps", 1, 24));
+  std::vector<launcher::SourceUnit> units;
+  for (const creator::GeneratedProgram& p : programs) {
+    units.push_back(launcher::SourceUnit{"asm", p.asmText, p.functionName});
+  }
+  std::size_t variants = units.size();
+
+  bench::header(
+      "native compile throughput (serial vs batched vs warm cache)", "host",
+      "batching >= 3x variants/sec over per-variant compiles; a warm cache "
+      "rerun spawns zero compiler processes with identical kernel results");
+
+  namespace fs = std::filesystem;
+  std::string cacheDir =
+      (fs::temp_directory_path() /
+       ("microtools_bench_socache_" + std::to_string(getpid())))
+          .string();
+  fs::remove_all(cacheDir);
+
+  // Serial: one compiler invocation per variant, no cache.
+  std::uint64_t spawns0 = native::spawnCount();
+  double t0 = now();
+  std::vector<native::CompiledKernel> serialKernels;
+  for (const launcher::SourceUnit& unit : units) {
+    serialKernels.push_back(
+        native::CompiledKernel(unit.text, unit.kind, unit.functionName));
+  }
+  double serialSeconds = now() - t0;
+  std::uint64_t serialSpawns = native::spawnCount() - spawns0;
+
+  // Batched cold: kBatchSize variants per invocation into a fresh cache.
+  auto compileBatched = [&units, &cacheDir] {
+    native::CompileBatch batch(native::CompileOptions{cacheDir});
+    std::vector<native::CompiledKernel> kernels;
+    for (std::size_t begin = 0; begin < units.size(); begin += kBatchSize) {
+      std::size_t end = std::min(begin + kBatchSize, units.size());
+      std::vector<launcher::SourceUnit> group(units.begin() + begin,
+                                              units.begin() + end);
+      for (auto& kernel : batch.compile(group)) {
+        kernels.push_back(std::move(*kernel));
+      }
+    }
+    return kernels;
+  };
+
+  spawns0 = native::spawnCount();
+  t0 = now();
+  std::vector<native::CompiledKernel> batchedKernels = compileBatched();
+  double batchedSeconds = now() - t0;
+  std::uint64_t batchedSpawns = native::spawnCount() - spawns0;
+
+  // Warm rerun: same batches, same cache; a fresh process is simulated by
+  // dropping the in-memory compiler-identity memo — the persisted
+  // compiler.id record must make even the --version probe unnecessary.
+  native::clearCompilerIdentityMemo();
+  spawns0 = native::spawnCount();
+  t0 = now();
+  std::vector<native::CompiledKernel> warmKernels = compileBatched();
+  double warmSeconds = now() - t0;
+  std::uint64_t warmSpawns = native::spawnCount() - spawns0;
+
+  std::vector<int> serialRuns = runAll(serialKernels);
+  std::vector<int> batchedRuns = runAll(batchedKernels);
+  std::vector<int> warmRuns = runAll(warmKernels);
+  bool identical = serialRuns == batchedRuns && serialRuns == warmRuns;
+
+  double serialRate = serialSeconds > 0 ? variants / serialSeconds : 0.0;
+  double batchedRate = batchedSeconds > 0 ? variants / batchedSeconds : 0.0;
+  double warmRate = warmSeconds > 0 ? variants / warmSeconds : 0.0;
+  double coldSpeedup = batchedSeconds > 0 ? serialSeconds / batchedSeconds
+                                          : 0.0;
+
+  std::printf("variants: %zu (batch size %d)\n", variants, kBatchSize);
+  std::printf("serial:       %.3f s  (%.1f variants/s, %llu spawns)\n",
+              serialSeconds, serialRate,
+              static_cast<unsigned long long>(serialSpawns));
+  std::printf("batched cold: %.3f s  (%.1f variants/s, %llu spawns)\n",
+              batchedSeconds, batchedRate,
+              static_cast<unsigned long long>(batchedSpawns));
+  std::printf("warm cache:   %.3f s  (%.1f variants/s, %llu spawns)\n",
+              warmSeconds, warmRate,
+              static_cast<unsigned long long>(warmSpawns));
+  std::printf("cold speedup: %.2fx\n", coldSpeedup);
+
+  bench::expectShape(coldSpeedup >= 3.0,
+                     "batched cold compilation >= 3x variants/sec vs serial");
+  bench::expectShape(warmSpawns == 0,
+                     "warm-cache rerun performs zero compiler invocations");
+  bench::expectShape(identical,
+                     "kernel results identical across serial/batched/cached");
+
+  std::ofstream json(jsonPath, std::ios::binary);
+  json.setf(std::ios::fixed);
+  json.precision(6);
+  json << "{\n"
+       << "  \"variants\": " << variants << ",\n"
+       << "  \"batch_size\": " << kBatchSize << ",\n"
+       << "  \"serial_seconds\": " << serialSeconds << ",\n"
+       << "  \"batched_seconds\": " << batchedSeconds << ",\n"
+       << "  \"warm_seconds\": " << warmSeconds << ",\n"
+       << "  \"serial_variants_per_sec\": " << serialRate << ",\n"
+       << "  \"batched_variants_per_sec\": " << batchedRate << ",\n"
+       << "  \"warm_variants_per_sec\": " << warmRate << ",\n"
+       << "  \"serial_spawns\": " << serialSpawns << ",\n"
+       << "  \"batched_spawns\": " << batchedSpawns << ",\n"
+       << "  \"warm_spawns\": " << warmSpawns << ",\n"
+       << "  \"cold_speedup\": " << coldSpeedup << ",\n"
+       << "  \"identical_results\": " << (identical ? "true" : "false")
+       << "\n"
+       << "}\n";
+  std::printf("wrote %s\n", jsonPath.c_str());
+
+  fs::remove_all(cacheDir);
+  bench::finish();
+  // Zero-spawn warm reruns and cross-path identity are hard contracts.
+  return (warmSpawns == 0 && identical) ? 0 : 1;
+}

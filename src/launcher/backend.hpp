@@ -40,6 +40,14 @@ struct InvokeResult {
 /// Pinning policy for fork-mode runs.
 enum class PinPolicy { Compact, Scatter };
 
+/// One kernel source for batch loading: Backend::loadSource's triple as a
+/// value, so a whole campaign batch can be handed to the backend at once.
+struct SourceUnit {
+  std::string kind = "asm";  ///< asm|c (the native backend also takes "so")
+  std::string text;          ///< kernel source (the .so path for kind "so")
+  std::string functionName = "microkernel";
+};
+
 class Backend;
 
 /// Opaque loaded-kernel handle; concrete backends subclass it.
@@ -86,6 +94,40 @@ class Backend {
     if (kind == "asm") return load(text, functionName);
     throw ExecutionError("backend '" + name() + "' cannot load '" + kind +
                          "' kernels");
+  }
+
+  /// Loads a batch of kernels at once. The native backend overrides this to
+  /// compile the whole batch with ONE compiler invocation into one shared
+  /// object (entry symbols uniquified per unit); the default simply loops
+  /// over loadSource(), so backends with cheap loads (the simulator) need
+  /// nothing special. A unit that fails to load comes back as a null entry
+  /// — callers that need the diagnostic reload that unit individually.
+  virtual std::vector<std::unique_ptr<KernelHandle>> loadBatch(
+      const std::vector<SourceUnit>& units) {
+    std::vector<std::unique_ptr<KernelHandle>> handles;
+    handles.reserve(units.size());
+    for (const SourceUnit& unit : units) {
+      try {
+        handles.push_back(loadSource(unit.kind, unit.text, unit.functionName));
+      } catch (const McError&) {
+        handles.push_back(nullptr);
+      }
+    }
+    return handles;
+  }
+
+  /// Ahead-of-time preparation for the campaign's pipelined compile stage:
+  /// maps source units to equivalent units that loadSource() can consume
+  /// more cheaply. The native backend batch-compiles the units with one
+  /// compiler invocation and returns "so" units pointing at the shared
+  /// object, so pinned measurement workers only pay a dlopen. Must be safe
+  /// to call concurrently with invoke()/loadSource() on the same backend.
+  /// The default (and the simulator's) preparation is the identity — loads
+  /// are already cheap. A unit that cannot be prepared comes back
+  /// unchanged: the measuring worker's own loadSource() surfaces the
+  /// diagnostic, keeping error reporting identical to the unpipelined path.
+  virtual std::vector<SourceUnit> prepareBatch(std::vector<SourceUnit> units) {
+    return units;
   }
 
   /// One timed kernel call.

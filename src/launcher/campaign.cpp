@@ -1,12 +1,16 @@
 #include "launcher/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -16,6 +20,58 @@
 namespace microtools::launcher {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// One pipeline item: a variant whose source has been prepared (e.g. batch
+/// compiled to an "so" unit by the native backend) and is ready to measure.
+struct PreparedVariant {
+  std::size_t index = 0;  ///< position in the campaign's variant vector
+  SourceUnit unit;
+};
+
+/// Bounded MPMC queue between the compile producers and the measurement
+/// workers. push() blocks while the queue is at capacity (bounding how far
+/// compilation can run ahead); pop() blocks until an item arrives or every
+/// producer has finished, then returns false.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  void push(PreparedVariant item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    notFull_.wait(lock, [this] { return items_.size() < capacity_; });
+    items_.push_back(std::move(item));
+    notEmpty_.notify_one();
+  }
+
+  bool pop(PreparedVariant& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    notFull_.notify_one();
+    return true;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    notEmpty_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable notFull_;
+  std::condition_variable notEmpty_;
+  std::deque<PreparedVariant> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // CampaignCsvSink
@@ -66,6 +122,12 @@ CampaignRunner::CampaignRunner(BackendFactory factory, CampaignOptions options)
     : factory_(std::move(factory)), options_(std::move(options)) {
   if (!factory_) throw McError("campaign runner requires a backend factory");
   if (options_.jobs < 1) throw McError("campaign requires --jobs >= 1");
+  if (options_.compileJobs < 0) {
+    throw McError("campaign requires --compile-jobs >= 0");
+  }
+  if (options_.compileBatch < 1) {
+    throw McError("campaign requires --compile-batch >= 1");
+  }
 }
 
 VariantResult CampaignRunner::runOne(Backend& backend,
@@ -173,21 +235,110 @@ std::vector<VariantResult> CampaignRunner::run(
     backends.push_back(std::move(backend));
   }
 
+  // Measures variant `i` (whose source may have been rewritten by a compile
+  // producer) on the given worker's backend. The cache is always written
+  // with the ORIGINAL variant: a prepared "so" unit is a process-local
+  // artifact and must never leak into the content-addressed cache key.
+  auto measureTask = [this, &variants, &results, &backends, &request, sink](
+                         int worker, std::size_t i,
+                         const CampaignVariant& prepared) {
+    KernelRequest workerRequest = request;
+    if (options_.pinWorkers) workerRequest.core = worker;
+    results[i] = runOne(*backends[static_cast<std::size_t>(worker)], prepared,
+                        i, workerRequest);
+    if (results[i].status == "ok" && options_.cacheStore) {
+      options_.cacheStore(variants[i], results[i]);
+    }
+    if (sink) sink->append(results[i]);
+  };
+
   threads::ThreadPool pool(jobs);
-  for (std::size_t i : pending) {
-    pool.submit([this, &variants, &results, &backends, &request, sink,
-                 i](int worker) {
-      KernelRequest workerRequest = request;
-      if (options_.pinWorkers) workerRequest.core = worker;
-      results[i] = runOne(*backends[static_cast<std::size_t>(worker)],
-                          variants[i], i, workerRequest);
-      if (results[i].status == "ok" && options_.cacheStore) {
-        options_.cacheStore(variants[i], results[i]);
+
+  if (options_.compileJobs <= 0) {
+    for (std::size_t i : pending) {
+      pool.submit([&measureTask, &variants, i](int worker) {
+        measureTask(worker, i, variants[i]);
+      });
+    }
+    pool.wait();
+    return results;
+  }
+
+  // Pipelined path: compile producers run prepareBatch() on groups of
+  // variants and stream the prepared units — individually, for worker load
+  // balance — through a bounded queue into the measurement pool. A variant
+  // whose preparation failed arrives unchanged and fails (with the real
+  // diagnostic) in the measurement worker's own loadSource, exactly like
+  // the unpipelined path.
+  std::size_t batchSize = static_cast<std::size_t>(options_.compileBatch);
+  std::size_t batches = (pending.size() + batchSize - 1) / batchSize;
+  int compileJobs =
+      std::min<int>(options_.compileJobs, static_cast<int>(batches));
+
+  std::vector<std::unique_ptr<Backend>> compileBackends;
+  compileBackends.reserve(static_cast<std::size_t>(compileJobs));
+  for (int j = 0; j < compileJobs; ++j) {
+    std::unique_ptr<Backend> backend = factory_(jobs + j);
+    if (!backend) throw McError("backend factory returned null");
+    compileBackends.push_back(std::move(backend));
+  }
+
+  // Capacity bounds the compile lead: roughly one in-flight batch per
+  // producer plus a batch of ready work per measurement worker.
+  BoundedQueue queue(batchSize *
+                     static_cast<std::size_t>(compileJobs + jobs));
+  std::atomic<std::size_t> nextBatch{0};
+  std::atomic<int> liveProducers{compileJobs};
+
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<std::size_t>(compileJobs));
+  for (int j = 0; j < compileJobs; ++j) {
+    producers.emplace_back([&, j] {
+      Backend& backend = *compileBackends[static_cast<std::size_t>(j)];
+      std::size_t b;
+      while ((b = nextBatch.fetch_add(1)) < batches) {
+        std::size_t begin = b * batchSize;
+        std::size_t end = std::min(begin + batchSize, pending.size());
+        std::vector<SourceUnit> units;
+        units.reserve(end - begin);
+        for (std::size_t k = begin; k < end; ++k) {
+          const CampaignVariant& v = variants[pending[k]];
+          units.push_back(SourceUnit{v.kind, v.source, v.functionName});
+        }
+        std::vector<SourceUnit> prepared;
+        try {
+          prepared = backend.prepareBatch(units);
+        } catch (const McError& e) {
+          // prepareBatch contractually degrades instead of throwing; treat
+          // a throwing backend the same way — measure the originals.
+          log::warn("prepareBatch failed (" + e.message() +
+                    "); measuring unprepared sources");
+          prepared = units;
+        }
+        if (prepared.size() != units.size()) prepared = std::move(units);
+        for (std::size_t k = begin; k < end; ++k) {
+          queue.push(PreparedVariant{pending[k],
+                                     std::move(prepared[k - begin])});
+        }
       }
-      if (sink) sink->append(results[i]);
+      if (liveProducers.fetch_sub(1) == 1) queue.close();
+    });
+  }
+
+  for (int w = 0; w < jobs; ++w) {
+    pool.submit([&measureTask, &variants, &queue](int worker) {
+      PreparedVariant item;
+      while (queue.pop(item)) {
+        CampaignVariant prepared = variants[item.index];
+        prepared.kind = std::move(item.unit.kind);
+        prepared.source = std::move(item.unit.text);
+        prepared.functionName = std::move(item.unit.functionName);
+        measureTask(worker, item.index, prepared);
+      }
     });
   }
   pool.wait();
+  for (std::thread& producer : producers) producer.join();
   return results;
 }
 

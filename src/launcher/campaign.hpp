@@ -59,6 +59,16 @@ struct CampaignOptions {
   int variantTimeoutMs = 0;    ///< cooperative per-variant timeout (0: none)
   bool pinWorkers = false;     ///< pin worker w's requests to core w (native)
 
+  /// Pipelined compilation: `compileJobs` producer threads call
+  /// Backend::prepareBatch() on groups of `compileBatch` variants and feed a
+  /// bounded queue ahead of the measurement workers, so compiling variant
+  /// N+k overlaps measuring variant N and pinned workers never block on the
+  /// compiler. 0 disables the pipeline (each worker compiles inline, the
+  /// pre-PR-4 behavior). Results are bit-identical either way: preparation
+  /// only transforms sources, never measures.
+  int compileJobs = 0;
+  int compileBatch = 8;  ///< variants per prepareBatch() call (>= 1)
+
   CacheLookup cacheLookup;     ///< pre-measurement cache probe (optional)
   CacheStore cacheStore;       ///< post-measurement cache write (optional)
 
@@ -69,7 +79,10 @@ struct CampaignOptions {
   std::set<std::pair<std::size_t, std::string>> completed;
 };
 
-/// Creates the Backend a given worker owns for the whole campaign.
+/// Creates the Backend a given worker owns for the whole campaign. Workers
+/// 0..jobs-1 are measurement workers; when the compile pipeline is on
+/// (CampaignOptions::compileJobs > 0), workers jobs..jobs+compileJobs-1 are
+/// compile producers that only ever call prepareBatch() on their backend.
 using BackendFactory = std::function<std::unique_ptr<Backend>(int worker)>;
 
 /// Streams finished variant rows to a CSV file or stream as they complete,

@@ -89,6 +89,16 @@ cli::Parser makeLauncherParser() {
                 "Campaign: total outer-repetition budget per variant", 40);
   parser.addInt("variant-timeout-ms",
                 "Campaign: per-variant wall-clock budget (0 = none)", 0);
+  parser.addInt("compile-jobs",
+                "Campaign: compile-pipeline producer threads that batch-"
+                "compile variants ahead of the measurement workers (0 = "
+                "compile inline)",
+                0);
+  parser.addInt("compile-batch",
+                "Campaign: variants grouped into one compiler invocation", 8);
+  parser.addString("compile-cache-dir",
+                   "Content-addressed cache of compiled .so artifacts "
+                   "(native backend; empty = no cache)");
   parser.addString("backend", "Execution backend: sim|native", "sim");
   parser.addString("arch", "Simulated machine (see --list-arch)",
                    "nehalem_x5650_2s");
@@ -144,6 +154,11 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   o.maxCv = parser.getDouble("max-cv");
   o.maxRepetitions = static_cast<int>(parser.getInt("max-repetitions"));
   o.variantTimeoutMs = static_cast<int>(parser.getInt("variant-timeout-ms"));
+  o.compileJobs = static_cast<int>(parser.getInt("compile-jobs"));
+  o.compileBatch = static_cast<int>(parser.getInt("compile-batch"));
+  if (parser.has("compile-cache-dir")) {
+    o.compileCacheDir = parser.getString("compile-cache-dir");
+  }
   o.backend = parser.getString("backend");
   o.arch = parser.getString("arch");
   if (parser.has("core-ghz")) o.coreGHz = parser.getDouble("core-ghz");
@@ -169,6 +184,12 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   }
   if (o.variantTimeoutMs < 0) {
     throw ParseError("--variant-timeout-ms must be >= 0");
+  }
+  if (o.compileJobs < 0) {
+    throw ParseError("--compile-jobs must be >= 0");
+  }
+  if (o.compileBatch < 1) {
+    throw ParseError("--compile-batch must be >= 1");
   }
   return o;
 }

@@ -70,6 +70,9 @@ struct LauncherOptions {
   double maxCv = 0.05;         ///< adaptive repetition CV target
   int maxRepetitions = 40;     ///< total outer-repetition budget per variant
   int variantTimeoutMs = 0;    ///< per-variant wall-clock budget (0 = none)
+  int compileJobs = 0;         ///< compile-pipeline producer threads (0 = off)
+  int compileBatch = 8;        ///< variants per batched compiler invocation
+  std::string compileCacheDir; ///< persistent .so cache ("" = no cache)
 
   // -- backend / machine ---------------------------------------------------------
   std::string backend = "sim";   ///< sim|native

@@ -106,6 +106,9 @@ struct NativeBackend::NativeKernel final : public launcher::KernelHandle {
 
 NativeBackend::NativeBackend() = default;
 
+NativeBackend::NativeBackend(NativeBackendOptions options)
+    : options_(std::move(options)) {}
+
 NativeBackend::NativeKernel& NativeBackend::unwrap(
     launcher::KernelHandle& kernel) {
   return dynamic_cast<NativeKernel&>(kernel);
@@ -113,20 +116,26 @@ NativeBackend::NativeKernel& NativeBackend::unwrap(
 
 std::unique_ptr<launcher::KernelHandle> NativeBackend::load(
     const std::string& asmText, const std::string& functionName) {
-  return std::make_unique<NativeKernel>(
-      CompiledKernel(asmText, "asm", functionName));
+  auto handle = std::make_unique<NativeKernel>(CompiledKernel(
+      asmText, "asm", functionName, CompileOptions{options_.compileCacheDir}));
+  handle->origin = this;
+  return handle;
 }
 
 std::unique_ptr<launcher::KernelHandle> NativeBackend::loadCSource(
     const std::string& cText, const std::string& functionName) {
-  return std::make_unique<NativeKernel>(
-      CompiledKernel(cText, "c", functionName));
+  auto handle = std::make_unique<NativeKernel>(CompiledKernel(
+      cText, "c", functionName, CompileOptions{options_.compileCacheDir}));
+  handle->origin = this;
+  return handle;
 }
 
 std::unique_ptr<launcher::KernelHandle> NativeBackend::loadSharedObject(
     const std::string& path, const std::string& functionName) {
-  return std::make_unique<NativeKernel>(
+  auto handle = std::make_unique<NativeKernel>(
       CompiledKernel::fromSharedObject(path, functionName));
+  handle->origin = this;
+  return handle;
 }
 
 std::unique_ptr<launcher::KernelHandle> NativeBackend::loadSource(
@@ -136,6 +145,88 @@ std::unique_ptr<launcher::KernelHandle> NativeBackend::loadSource(
   if (kind == "c") return loadCSource(text, functionName);
   if (kind == "so") return loadSharedObject(text, functionName);
   throw ExecutionError("native backend cannot load '" + kind + "' kernels");
+}
+
+std::vector<std::unique_ptr<launcher::KernelHandle>> NativeBackend::loadBatch(
+    const std::vector<launcher::SourceUnit>& units) {
+  // Pre-built "so" units can't be batch-compiled; only asm/c batches where
+  // every unit is compilable go through the single-invocation path.
+  bool compilable = !units.empty();
+  for (const launcher::SourceUnit& unit : units) {
+    if (unit.kind != "asm" && unit.kind != "c") compilable = false;
+  }
+  if (compilable) {
+    try {
+      CompileBatch batch(CompileOptions{options_.compileCacheDir});
+      auto kernels = batch.compile(units);
+      std::vector<std::unique_ptr<launcher::KernelHandle>> handles;
+      handles.reserve(kernels.size());
+      bool allResolved = true;
+      for (auto& kernel : kernels) {
+        if (!kernel) {
+          allResolved = false;
+          break;
+        }
+        auto handle = std::make_unique<NativeKernel>(std::move(*kernel));
+        handle->origin = this;
+        handles.push_back(std::move(handle));
+      }
+      if (allResolved) return handles;
+      // A unit's symbol didn't resolve — recompile individually below so the
+      // bad unit gets its own diagnostic (null entry) without poisoning the
+      // rest.
+    } catch (const McError&) {
+      // The batched invocation failed as a whole (one bad variant breaks the
+      // single compiler run): isolate it by falling back to per-unit loads.
+    }
+  }
+  return Backend::loadBatch(units);
+}
+
+std::vector<launcher::SourceUnit> NativeBackend::prepareBatch(
+    std::vector<launcher::SourceUnit> units) {
+  bool compilable = !units.empty();
+  for (const launcher::SourceUnit& unit : units) {
+    if (unit.kind != "asm" && unit.kind != "c") compilable = false;
+  }
+  if (!compilable) return units;
+
+  CompileBatch batch(CompileOptions{options_.compileCacheDir});
+  std::vector<std::optional<CompiledKernel>> kernels;
+  bool batched = true;
+  try {
+    kernels = batch.compile(units);
+  } catch (const McError&) {
+    // Whole-batch compile failed; try each unit alone so only the broken
+    // one stays unprepared (its loadSource in the measurement worker will
+    // then produce the real diagnostic).
+    batched = false;
+    kernels.clear();
+    for (const launcher::SourceUnit& unit : units) {
+      try {
+        kernels.emplace_back(batch.compileOne(unit));
+      } catch (const McError&) {
+        kernels.emplace_back(std::nullopt);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (!kernels[i]) continue;
+    std::string path = kernels[i]->sharedObjectPath();
+    std::string fn = batched
+                         ? CompileBatch::uniquifiedName(units[i].functionName, i)
+                         : units[i].functionName;
+    if (options_.compileCacheDir.empty()) {
+      // No cache dir: the .so is a temporary owned by the SharedObject.
+      // Retain it so the file outlives this call and the returned path
+      // stays dlopen-able for the measurement workers.
+      std::lock_guard<std::mutex> lock(retainedMutex_);
+      retainedObjects_.push_back(kernels[i]->sharedObject());
+    }
+    units[i] = launcher::SourceUnit{"so", std::move(path), std::move(fn)};
+  }
+  return units;
 }
 
 InvokeResult NativeBackend::invoke(launcher::KernelHandle& kernel,

@@ -1,11 +1,19 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "launcher/backend.hpp"
 #include "native/compile.hpp"
 
 namespace microtools::native {
+
+/// Construction knobs for NativeBackend.
+struct NativeBackendOptions {
+  /// Passed through to every compilation (see CompileOptions::cacheDir):
+  /// content-addressed .so cache directory; empty = no persistent cache.
+  std::string compileCacheDir;
+};
 
 /// Hardware-backed execution: the faithful MicroLauncher path. Kernels are
 /// compiled to shared objects at run time, pinned with sched_setaffinity and
@@ -18,6 +26,7 @@ namespace microtools::native {
 class NativeBackend final : public launcher::Backend {
  public:
   NativeBackend();
+  explicit NativeBackend(NativeBackendOptions options);
 
   std::string name() const override { return "native"; }
 
@@ -38,6 +47,21 @@ class NativeBackend final : public launcher::Backend {
       const std::string& kind, const std::string& text,
       const std::string& functionName) override;
 
+  /// Batch compilation: all units in ONE compiler invocation / one shared
+  /// object (see CompileBatch). Falls back to per-unit compilation when the
+  /// batched invocation fails, so one broken variant cannot take down its
+  /// batch mates; a unit that still fails comes back as a null entry.
+  std::vector<std::unique_ptr<launcher::KernelHandle>> loadBatch(
+      const std::vector<launcher::SourceUnit>& units) override;
+
+  /// Batch-compiles asm/c units and rewrites them as "so" units pointing at
+  /// the compiled artifact, so the campaign's pinned measurement workers pay
+  /// only a dlopen. Thread-safe with respect to invoke()/loadSource(). With
+  /// no compile cache dir, this backend retains the temporary shared objects
+  /// until it is destroyed so the returned paths stay loadable.
+  std::vector<launcher::SourceUnit> prepareBatch(
+      std::vector<launcher::SourceUnit> units) override;
+
   launcher::InvokeResult invoke(launcher::KernelHandle& kernel,
                                 const launcher::KernelRequest& request) override;
 
@@ -54,6 +78,14 @@ class NativeBackend final : public launcher::Backend {
  private:
   struct NativeKernel;
   static NativeKernel& unwrap(launcher::KernelHandle& kernel);
+
+  NativeBackendOptions options_;
+
+  /// Shared objects kept alive for prepareBatch()'s "so" paths when there is
+  /// no persistent cache to hold them (see prepareBatch). Guarded: the
+  /// campaign calls prepareBatch from several compile workers at once.
+  std::mutex retainedMutex_;
+  std::vector<std::shared_ptr<SharedObject>> retainedObjects_;
 };
 
 }  // namespace microtools::native

@@ -44,7 +44,9 @@ std::string detectKind(const LauncherOptions& options) {
 
 std::unique_ptr<launcher::Backend> makeBackend(const LauncherOptions& o) {
   if (o.backend == "native") {
-    return std::make_unique<native::NativeBackend>();
+    native::NativeBackendOptions nb;
+    nb.compileCacheDir = o.compileCacheDir;
+    return std::make_unique<native::NativeBackend>(std::move(nb));
   }
   sim::MachineConfig config = launcher::archByName(o.arch).config;
   if (o.coreGHz) config.coreGHz = *o.coreGHz;
@@ -111,6 +113,8 @@ int runCampaign(const LauncherOptions& options) {
   campaign.maxCv = options.maxCv;
   campaign.maxRepetitions = options.maxRepetitions;
   campaign.variantTimeoutMs = options.variantTimeoutMs;
+  campaign.compileJobs = options.compileJobs;
+  campaign.compileBatch = options.compileBatch;
   // Native workers time on real cores: spread them so they don't fight
   // over one. The simulator pins inside its own machine model instead.
   campaign.pinWorkers = options.backend == "native";

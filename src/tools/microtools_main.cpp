@@ -55,6 +55,17 @@ cli::Parser makeExploreParser() {
                 "Total outer-repetition budget per variant", 40);
   parser.addInt("variant-timeout-ms",
                 "Per-variant wall-clock budget (0 = none)", 0);
+  parser.addInt("compile-jobs",
+                "Compile-pipeline producer threads that batch-compile "
+                "variants ahead of the measurement workers (native backend; "
+                "0 = compile inline)",
+                0);
+  parser.addInt("compile-batch",
+                "Variants grouped into one compiler invocation", 8);
+  parser.addString("compile-cache-dir",
+                   "Persistent .so compile cache for the native backend "
+                   "(default: <--cache>/so; --no-cache disables unless set "
+                   "explicitly)");
   parser.addInt("nbvectors",
                 "Arrays passed to the kernel (0 = derive from the generated "
                 "programs)",
@@ -110,6 +121,10 @@ int runExploreCommand(int argc, char** argv) {
       static_cast<int>(parser.getInt("max-repetitions"));
   options.campaign.variantTimeoutMs =
       static_cast<int>(parser.getInt("variant-timeout-ms"));
+  options.campaign.compileJobs =
+      static_cast<int>(parser.getInt("compile-jobs"));
+  options.campaign.compileBatch =
+      static_cast<int>(parser.getInt("compile-batch"));
   options.campaign.pinWorkers = options.backend == "native";
   options.nbVectors = static_cast<int>(parser.getInt("nbvectors"));
   options.arrayBytes =
@@ -134,8 +149,19 @@ int runExploreCommand(int argc, char** argv) {
   if (parser.getFlag("verbose")) log::setLevel(log::Level::Info);
 
   if (options.backend == "native") {
-    options.backendFactory = [](int) {
-      return std::make_unique<native::NativeBackend>();
+    // Compile cache: defaults to a "so" subdirectory of the measurement
+    // cache, so one --cache flag governs both; --no-cache turns it off
+    // unless the user asked for a compile cache dir explicitly.
+    std::string compileCacheDir;
+    if (parser.has("compile-cache-dir")) {
+      compileCacheDir = parser.getString("compile-cache-dir");
+    } else if (options.useCache) {
+      compileCacheDir = options.cacheDir + "/so";
+    }
+    options.backendFactory = [compileCacheDir](int) {
+      native::NativeBackendOptions nb;
+      nb.compileCacheDir = compileCacheDir;
+      return std::make_unique<native::NativeBackend>(std::move(nb));
     };
     options.backendId = "native";
   } else if (options.backend != "sim") {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <filesystem>
@@ -560,6 +561,146 @@ TEST(Campaign, VariantsFromProgramsKeepNamesAndEntryPoints) {
     EXPECT_EQ(variants[i].functionName, programs[i].functionName);
     EXPECT_EQ(variants[i].kind, "asm");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined compile stage
+// ---------------------------------------------------------------------------
+
+/// Delegates everything to an inner SimBackend (whose origin-checked handles
+/// it passes straight through) while counting prepareBatch calls and the
+/// units they carried — instrumentation for the compile pipeline.
+class PreparationCountingBackend final : public Backend {
+ public:
+  PreparationCountingBackend(std::shared_ptr<std::atomic<int>> batchCalls,
+                             std::shared_ptr<std::atomic<int>> preparedUnits)
+      : inner_(sim::nehalemX5650DualSocket()),
+        batchCalls_(std::move(batchCalls)),
+        preparedUnits_(std::move(preparedUnits)) {}
+
+  std::string name() const override { return inner_.name(); }
+  std::unique_ptr<KernelHandle> load(const std::string& asmText,
+                                     const std::string& fn) override {
+    return inner_.load(asmText, fn);
+  }
+  std::vector<SourceUnit> prepareBatch(
+      std::vector<SourceUnit> units) override {
+    batchCalls_->fetch_add(1);
+    preparedUnits_->fetch_add(static_cast<int>(units.size()));
+    return units;
+  }
+  InvokeResult invoke(KernelHandle& kernel,
+                      const KernelRequest& request) override {
+    return inner_.invoke(kernel, request);
+  }
+  double timerOverheadCycles() const override {
+    return inner_.timerOverheadCycles();
+  }
+  std::vector<InvokeResult> invokeFork(KernelHandle& kernel,
+                                       const KernelRequest& request,
+                                       int processes, int calls,
+                                       PinPolicy policy) override {
+    return inner_.invokeFork(kernel, request, processes, calls, policy);
+  }
+  InvokeResult invokeOpenMp(KernelHandle& kernel, const KernelRequest& request,
+                            int threads, int repetitions) override {
+    return inner_.invokeOpenMp(kernel, request, threads, repetitions);
+  }
+  void reset() override { inner_.reset(); }
+
+ private:
+  SimBackend inner_;
+  std::shared_ptr<std::atomic<int>> batchCalls_;
+  std::shared_ptr<std::atomic<int>> preparedUnits_;
+};
+
+TEST(Campaign, PipelinedResultsBitIdenticalAcrossCompileJobGrid) {
+  std::vector<CampaignVariant> variants = sixtyFourVariants();
+  KernelRequest request = smallRequest();
+
+  CampaignRunner baselineRunner(simFactory(), quickOptions(1));
+  std::vector<VariantResult> baseline =
+      baselineRunner.run(variants, request);
+  ASSERT_EQ(baseline.size(), 64u);
+  for (const VariantResult& r : baseline) {
+    ASSERT_EQ(r.status, "ok") << r.error;
+  }
+
+  struct Grid {
+    int jobs, compileJobs, compileBatch;
+  };
+  for (const Grid& g : {Grid{1, 1, 1}, Grid{2, 2, 3}, Grid{4, 3, 8},
+                        Grid{3, 1, 64}}) {
+    CampaignOptions options = quickOptions(g.jobs);
+    options.compileJobs = g.compileJobs;
+    options.compileBatch = g.compileBatch;
+    CampaignRunner runner(simFactory(), options);
+    std::vector<VariantResult> results = runner.run(variants, request);
+    ASSERT_EQ(results.size(), baseline.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].sequence, i);
+      EXPECT_EQ(CampaignRunner::csvRow(baseline[i]),
+                CampaignRunner::csvRow(results[i]))
+          << "jobs=" << g.jobs << " compileJobs=" << g.compileJobs
+          << " compileBatch=" << g.compileBatch << " variant " << i;
+    }
+  }
+}
+
+TEST(Campaign, PipelinedPathRoutesEveryVariantThroughPrepareBatch) {
+  auto batchCalls = std::make_shared<std::atomic<int>>(0);
+  auto preparedUnits = std::make_shared<std::atomic<int>>(0);
+  BackendFactory factory = [batchCalls, preparedUnits](int) {
+    return std::make_unique<PreparationCountingBackend>(batchCalls,
+                                                        preparedUnits);
+  };
+
+  std::vector<CampaignVariant> variants = eightVariants();
+  CampaignOptions options = quickOptions(2);
+  options.compileJobs = 2;
+  options.compileBatch = 3;
+  CampaignRunner runner(factory, options);
+  std::vector<VariantResult> results =
+      runner.run(variants, smallRequest());
+
+  int expectedBatches = static_cast<int>(
+      (variants.size() + 2) / 3);  // ceil(variants / compileBatch)
+  EXPECT_EQ(batchCalls->load(), expectedBatches);
+  EXPECT_EQ(preparedUnits->load(), static_cast<int>(variants.size()));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].sequence, i);
+    EXPECT_EQ(results[i].status, "ok") << results[i].error;
+  }
+}
+
+TEST(Campaign, PipelineOptionsAreValidated) {
+  CampaignOptions options = quickOptions(1);
+  options.compileJobs = -1;
+  EXPECT_THROW(CampaignRunner(simFactory(), options), McError);
+  options.compileJobs = 0;
+  options.compileBatch = 0;
+  EXPECT_THROW(CampaignRunner(simFactory(), options), McError);
+}
+
+TEST(Campaign, PipelinedCacheStoreSeesOriginalVariantSources) {
+  // The cache must be keyed by what the user asked to measure, not by the
+  // prepared artifact a compile producer happened to substitute.
+  std::vector<CampaignVariant> variants = eightVariants();
+  std::mutex mu;
+  std::set<std::string> storedSources;
+  CampaignOptions options = quickOptions(2);
+  options.compileJobs = 1;
+  options.compileBatch = 4;
+  options.cacheStore = [&](const CampaignVariant& v, const VariantResult&) {
+    std::lock_guard<std::mutex> lock(mu);
+    storedSources.insert(v.source);
+  };
+  CampaignRunner runner(simFactory(), options);
+  runner.run(variants, smallRequest());
+
+  std::set<std::string> originalSources;
+  for (const CampaignVariant& v : variants) originalSources.insert(v.source);
+  EXPECT_EQ(storedSources, originalSources);
 }
 
 }  // namespace

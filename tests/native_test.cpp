@@ -1,5 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "launcher/campaign.hpp"
 #include "launcher/protocol.hpp"
 #include "native/affinity.hpp"
 #include "native/compile.hpp"
@@ -11,8 +20,49 @@
 namespace microtools::native {
 namespace {
 
+namespace fs = std::filesystem;
+
 using testing::figure6Xml;
 using testing::generate;
+
+/// A fresh directory under the system temp dir, removed at scope exit.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    static int counter = 0;
+    path = (fs::temp_directory_path() /
+            ("microtools_native_test_" + std::to_string(getpid()) + "_" +
+             std::to_string(counter++)))
+               .string();
+    fs::remove_all(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// Sets $CC for the scope and drops the identity memo on both edges, so the
+/// override takes effect immediately and never leaks into later tests.
+struct ScopedCc {
+  explicit ScopedCc(const std::string& cc) {
+    const char* old = std::getenv("CC");
+    if (old) previous_ = old;
+    setenv("CC", cc.c_str(), 1);
+    clearCompilerIdentityMemo();
+  }
+  ~ScopedCc() {
+    if (previous_.empty()) {
+      unsetenv("CC");
+    } else {
+      setenv("CC", previous_.c_str(), 1);
+    }
+    clearCompilerIdentityMemo();
+  }
+
+ private:
+  std::string previous_;
+};
 
 // These tests execute real machine code on the host. Functional assertions
 // only — host timing is asserted merely to be positive/ordered loosely.
@@ -98,6 +148,191 @@ TEST(Compile, UnsupportedLanguageThrows) {
   EXPECT_THROW(CompiledKernel("x", "fortran", "f"), ExecutionError);
 }
 
+TEST(Compile, MoveSemanticsTransferOwnership) {
+  auto programs = generate(figure6Xml(4, 4, false));
+  std::vector<char> buffer(1 << 16, 0);
+  void* ptrs[1] = {buffer.data()};
+
+  CompiledKernel a(programs[0].asmText, "asm", "microkernel");
+  std::string soPath = a.sharedObjectPath();
+  EXPECT_FALSE(soPath.empty());
+
+  CompiledKernel b = std::move(a);  // move construction
+  EXPECT_EQ(b.sharedObjectPath(), soPath);
+  EXPECT_EQ(b.call(4096, ptrs, 1), 4096 / 16 + 1);
+
+  CompiledKernel c(programs[0].asmText, "asm", "microkernel");
+  c = std::move(b);  // move assignment over a live kernel
+  EXPECT_EQ(c.sharedObjectPath(), soPath);
+  EXPECT_EQ(c.call(4096, ptrs, 1), 4096 / 16 + 1);
+
+  c = std::move(c);  // self-move must not destroy the kernel
+  EXPECT_EQ(c.call(4096, ptrs, 1), 4096 / 16 + 1);
+}
+
+TEST(Compile, FailedCompilationLeavesNoTempFiles) {
+  std::string tmp = fs::temp_directory_path().string();
+  auto countTempFiles = [&tmp] {
+    std::size_t count = 0;
+    std::string prefix = "microtools_" + std::to_string(getpid()) + "_";
+    for (const fs::directory_entry& entry : fs::directory_iterator(tmp)) {
+      if (entry.path().filename().string().rfind(prefix, 0) == 0) ++count;
+    }
+    return count;
+  };
+  std::size_t before = countTempFiles();
+  EXPECT_THROW(CompiledKernel("this is not assembly", "asm", "f"),
+               ExecutionError);
+  EXPECT_THROW(CompiledKernel("not C either @!#", "c", "f"), ExecutionError);
+  EXPECT_EQ(countTempFiles(), before);
+}
+
+TEST(Compile, SignalDeathIsDiagnosable) {
+  // A compiler that dies by signal must produce an ExecutionError naming
+  // the signal, not a generic failure (the old popen/pclose path compared
+  // the raw status to 0 and lost that information).
+  TempDir dir;
+  fs::create_directories(dir.path);
+  std::string script = dir.path + "/killed-cc";
+  {
+    std::ofstream out(script);
+    out << "#!/bin/sh\nkill -SEGV $$\n";
+  }
+  chmod(script.c_str(), 0755);
+  ScopedCc cc(script);
+  try {
+    CompiledKernel kernel("whatever", "asm", "f");
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("compiler failed"), std::string::npos) << message;
+    EXPECT_NE(message.find("signal"), std::string::npos) << message;
+  }
+}
+
+TEST(Compile, MissingCompilerReportsSpawnFailure) {
+  ScopedCc cc("/nonexistent/compiler-binary");
+  EXPECT_THROW(CompiledKernel("x", "asm", "f"), ExecutionError);
+}
+
+TEST(Compile, RenameIdentifierRespectsBoundaries) {
+  EXPECT_EQ(CompileBatch::renameIdentifier(
+                "\t.globl f\n\t.type f, @function\nf:\n\t.size f, .-f\n", "f",
+                "f_mtb0"),
+            "\t.globl f_mtb0\n\t.type f_mtb0, @function\nf_mtb0:\n"
+            "\t.size f_mtb0, .-f_mtb0\n");
+  // Substrings of longer identifiers must survive.
+  EXPECT_EQ(CompileBatch::renameIdentifier("ff f fx _f f$", "f", "g"),
+            "ff g fx _f f$");
+  // '.' is a boundary (assembler directives and .-f expressions).
+  EXPECT_EQ(CompileBatch::renameIdentifier(".f f.b", "f", "g"), ".g g.b");
+}
+
+TEST(Compile, BatchUniquifiesDuplicateFunctionNames) {
+  // Two variants exporting the same entry symbol — the whole point of the
+  // rename: one shared object cannot hold two globals named "microkernel".
+  auto programs = generate(figure6Xml(2, 3, false));
+  ASSERT_GE(programs.size(), 2u);
+  std::vector<launcher::SourceUnit> units = {
+      {"asm", programs[0].asmText, "microkernel"},
+      {"asm", programs[1].asmText, "microkernel"},
+  };
+
+  compilerIdentity();  // resolve outside the measured window
+  std::uint64_t spawns = spawnCount();
+  CompileBatch batch;
+  auto kernels = batch.compile(units);
+  EXPECT_EQ(spawnCount() - spawns, 1u) << "batch must use ONE invocation";
+
+  ASSERT_EQ(kernels.size(), 2u);
+  ASSERT_TRUE(kernels[0].has_value());
+  ASSERT_TRUE(kernels[1].has_value());
+  EXPECT_EQ(kernels[0]->sharedObjectPath(), kernels[1]->sharedObjectPath());
+
+  // Each batch kernel must behave exactly like its serially compiled twin.
+  CompiledKernel ref0(programs[0].asmText, "asm", "microkernel");
+  CompiledKernel ref1(programs[1].asmText, "asm", "microkernel");
+  std::vector<char> buffer(1 << 16, 0);
+  void* ptrs[1] = {buffer.data()};
+  EXPECT_EQ(kernels[0]->call(4096, ptrs, 1), ref0.call(4096, ptrs, 1));
+  EXPECT_EQ(kernels[1]->call(4096, ptrs, 1), ref1.call(4096, ptrs, 1));
+  EXPECT_NE(kernels[0]->call(4096, ptrs, 1), kernels[1]->call(4096, ptrs, 1));
+}
+
+TEST(Compile, CacheHitMissAndCorruptionRoundTrip) {
+  TempDir cache;
+  auto programs = generate(figure6Xml(4, 4, false));
+  launcher::SourceUnit unit{"asm", programs[0].asmText, "microkernel"};
+  CompileOptions options{cache.path};
+  std::vector<char> buffer(1 << 16, 0);
+  void* ptrs[1] = {buffer.data()};
+
+  // Scoped so the shared object is unloaded again before the corruption
+  // stage below (a still-mapped library shares the inode the corruption
+  // overwrites — the real-world corruption scenario is between processes).
+  std::string cachedSo;
+  {
+    // Miss: compiles and publishes.
+    std::uint64_t spawns = spawnCount();
+    CompiledKernel cold = CompileBatch(options).compileOne(unit);
+    EXPECT_GE(spawnCount() - spawns, 1u);
+    EXPECT_EQ(cold.call(4096, ptrs, 1), 4096 / 16 + 1);
+    cachedSo = cold.sharedObjectPath();
+    EXPECT_EQ(fs::path(cachedSo).parent_path().string(), cache.path);
+
+    // Hit, simulating a fresh process: zero spawns — even the --version
+    // probe is served by the persisted compiler.id record.
+    clearCompilerIdentityMemo();
+    spawns = spawnCount();
+    CompiledKernel warm = CompileBatch(options).compileOne(unit);
+    EXPECT_EQ(spawnCount() - spawns, 0u);
+    EXPECT_EQ(warm.sharedObjectPath(), cachedSo);
+    EXPECT_EQ(warm.call(4096, ptrs, 1), 4096 / 16 + 1);
+
+    // A different source is a different key, not a collision.
+    auto other = generate(figure6Xml(2, 2, false));
+    CompiledKernel different =
+        CompileBatch(options).compileOne({"asm", other[0].asmText,
+                                          "microkernel"});
+    EXPECT_NE(different.sharedObjectPath(), cachedSo);
+  }
+
+  // Corruption: garbage where the .so was must recompile, never fail.
+  {
+    std::ofstream out(cachedSo, std::ios::binary | std::ios::trunc);
+    out << "garbage, not an ELF shared object";
+  }
+  std::uint64_t spawns = spawnCount();
+  CompiledKernel recompiled = CompileBatch(options).compileOne(unit);
+  EXPECT_GE(spawnCount() - spawns, 1u);
+  EXPECT_EQ(recompiled.call(4096, ptrs, 1), 4096 / 16 + 1);
+}
+
+TEST(Compile, BatchWarmCacheRerunSpawnsNothing) {
+  TempDir cache;
+  auto programs = generate(figure6Xml(1, 4, false));
+  std::vector<launcher::SourceUnit> units;
+  for (const auto& p : programs) {
+    units.push_back({"asm", p.asmText, p.functionName});
+  }
+  CompileOptions options{cache.path};
+  auto cold = CompileBatch(options).compile(units);
+  ASSERT_EQ(cold.size(), units.size());
+
+  clearCompilerIdentityMemo();  // simulate a fresh process
+  std::uint64_t spawns = spawnCount();
+  auto warm = CompileBatch(options).compile(units);
+  EXPECT_EQ(spawnCount() - spawns, 0u);
+
+  std::vector<char> buffer(1 << 16, 0);
+  void* ptrs[1] = {buffer.data()};
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    ASSERT_TRUE(cold[i].has_value());
+    ASSERT_TRUE(warm[i].has_value());
+    EXPECT_EQ(cold[i]->call(4096, ptrs, 1), warm[i]->call(4096, ptrs, 1));
+  }
+}
+
 TEST(Backend, InvokeReturnsIterationsAndPositiveCycles) {
   NativeBackend backend;
   auto programs = generate(figure6Xml(8, 8, false));
@@ -165,6 +400,104 @@ TEST(Backend, OpenMpRunsAllIterations) {
   launcher::InvokeResult r = backend.invokeOpenMp(*kernel, request, 2, 2);
   EXPECT_GT(r.iterations, 0u);
   EXPECT_GT(r.tscCycles, 0.0);
+}
+
+TEST(Backend, LoadBatchIsolatesBadUnits) {
+  NativeBackend backend;
+  auto programs = generate(figure6Xml(4, 4, false));
+  std::vector<launcher::SourceUnit> units = {
+      {"asm", programs[0].asmText, "microkernel"},
+      {"asm", "this is not assembly", "microkernel"},
+      {"asm", programs[0].asmText, "microkernel"},
+  };
+  auto handles = backend.loadBatch(units);
+  ASSERT_EQ(handles.size(), 3u);
+  ASSERT_NE(handles[0], nullptr);
+  EXPECT_EQ(handles[1], nullptr);  // the broken unit, not the whole batch
+  ASSERT_NE(handles[2], nullptr);
+
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{1 << 16, 4096, 0});
+  request.n = 4096;
+  launcher::InvokeResult a = backend.invoke(*handles[0], request);
+  launcher::InvokeResult b = backend.invoke(*handles[2], request);
+  EXPECT_EQ(a.iterations, static_cast<std::uint64_t>(4096 / 16 + 1));
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Backend, PrepareBatchYieldsLoadableSharedObjectUnits) {
+  // The campaign pipeline's contract: units prepared on one backend must be
+  // loadable by loadSource on ANOTHER backend instance (the measurement
+  // worker's), and a unit that cannot be prepared comes back unchanged.
+  NativeBackend compileBackend;
+  auto programs = generate(figure6Xml(1, 2, false));
+  std::vector<launcher::SourceUnit> units = {
+      {"asm", programs[0].asmText, "microkernel"},
+      {"asm", "broken (", "microkernel"},
+      {"asm", programs[1].asmText, "microkernel"},
+  };
+  auto prepared = compileBackend.prepareBatch(units);
+  ASSERT_EQ(prepared.size(), 3u);
+  EXPECT_EQ(prepared[0].kind, "so");
+  EXPECT_EQ(prepared[1].kind, "asm");  // unpreparable: unchanged
+  EXPECT_EQ(prepared[1].text, "broken (");
+  EXPECT_EQ(prepared[2].kind, "so");
+
+  NativeBackend measureBackend;
+  auto k0 = measureBackend.loadSource(prepared[0].kind, prepared[0].text,
+                                      prepared[0].functionName);
+  auto k2 = measureBackend.loadSource(prepared[2].kind, prepared[2].text,
+                                      prepared[2].functionName);
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{1 << 16, 4096, 0});
+  request.n = 4096;
+  EXPECT_EQ(measureBackend.invoke(*k0, request).iterations,
+            static_cast<std::uint64_t>(4096 / 4 + 1));  // unroll 1
+  EXPECT_EQ(measureBackend.invoke(*k2, request).iterations,
+            static_cast<std::uint64_t>(4096 / 8 + 1));  // unroll 2
+}
+
+TEST(Backend, PipelinedNativeCampaignMatchesInlineCompilation) {
+  auto programs = generate(figure6Xml(1, 6, false));
+  std::vector<launcher::CampaignVariant> variants =
+      launcher::variantsFromPrograms(programs);
+  ASSERT_GE(variants.size(), 6u);
+
+  TempDir cache;
+  launcher::BackendFactory factory = [&cache](int) {
+    NativeBackendOptions options;
+    options.compileCacheDir = cache.path;
+    return std::make_unique<NativeBackend>(std::move(options));
+  };
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{1 << 16, 4096, 0});
+  request.n = 4096;
+
+  auto runWith = [&](int compileJobs) {
+    launcher::CampaignOptions options;
+    options.jobs = 2;
+    options.protocol.innerRepetitions = 1;
+    options.protocol.outerRepetitions = 2;
+    options.maxCv = 0;  // fixed repetitions: host timing never converges
+    options.compileJobs = compileJobs;
+    options.compileBatch = 4;
+    launcher::CampaignRunner runner(factory, options);
+    return runner.run(variants, request);
+  };
+
+  std::vector<launcher::VariantResult> inline_ = runWith(0);
+  std::vector<launcher::VariantResult> pipelined = runWith(2);
+  ASSERT_EQ(inline_.size(), pipelined.size());
+  for (std::size_t i = 0; i < inline_.size(); ++i) {
+    EXPECT_EQ(pipelined[i].sequence, i);
+    EXPECT_EQ(inline_[i].status, "ok") << inline_[i].error;
+    EXPECT_EQ(pipelined[i].status, "ok") << pipelined[i].error;
+    // Host cycle counts jitter; the deterministic part — which kernel ran,
+    // how many iterations it reported — must agree exactly.
+    EXPECT_EQ(inline_[i].measurement.iterationsPerCall,
+              pipelined[i].measurement.iterationsPerCall)
+        << "variant " << i;
+  }
 }
 
 TEST(Backend, ValidatesForkAndOmpArguments) {
