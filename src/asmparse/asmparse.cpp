@@ -82,15 +82,26 @@ std::size_t Program::labelTarget(const std::string& label) const {
 
 namespace {
 
-/// Splits an operand list on commas that are outside parentheses.
-std::vector<std::string> splitOperands(std::string_view text) {
-  std::vector<std::string> out;
+/// One comma-separated operand plus its 0-based offset in the operand list.
+struct OperandPiece {
+  std::string text;
+  std::size_t offset = 0;
+};
+
+/// Splits an operand list on commas that are outside parentheses, keeping
+/// the position of each piece so diagnostics can point at the operand.
+std::vector<OperandPiece> splitOperands(std::string_view text) {
+  std::vector<OperandPiece> out;
   int depth = 0;
   std::size_t start = 0;
   for (std::size_t i = 0; i <= text.size(); ++i) {
     if (i == text.size() || (text[i] == ',' && depth == 0)) {
       auto piece = trim(text.substr(start, i - start));
-      if (!piece.empty()) out.emplace_back(piece);
+      if (!piece.empty()) {
+        out.push_back({std::string(piece),
+                       start + static_cast<std::size_t>(
+                                   piece.data() - text.substr(start).data())});
+      }
       start = i + 1;
     } else if (text[i] == '(') {
       ++depth;
@@ -101,37 +112,40 @@ std::vector<std::string> splitOperands(std::string_view text) {
   return out;
 }
 
-std::int64_t parseImmediateValue(std::string_view text, std::size_t line) {
+std::int64_t parseImmediateValue(std::string_view text, std::size_t line,
+                                 std::size_t column) {
   auto v = strings::parseInt(text);
   if (!v) {
-    throw ParseError("invalid immediate '" + std::string(text) + "'", line);
+    throw ParseError("invalid immediate '" + std::string(text) + "'", line,
+                     column);
   }
   return *v;
 }
 
-DecodedMem parseMemOperand(std::string_view text, std::size_t line) {
+DecodedMem parseMemOperand(std::string_view text, std::size_t line,
+                           std::size_t column) {
   DecodedMem mem;
   std::size_t open = text.find('(');
   if (open == std::string_view::npos) {
     // Absolute address.
-    mem.disp = parseImmediateValue(text, line);
+    mem.disp = parseImmediateValue(text, line, column);
     return mem;
   }
   auto dispText = trim(text.substr(0, open));
   if (!dispText.empty()) {
-    mem.disp = parseImmediateValue(dispText, line);
+    mem.disp = parseImmediateValue(dispText, line, column);
   }
   std::size_t close = text.rfind(')');
   if (close == std::string_view::npos || close < open) {
     throw ParseError("unbalanced parentheses in memory operand '" +
                          std::string(text) + "'",
-                     line);
+                     line, column);
   }
   auto inner = text.substr(open + 1, close - open - 1);
   std::vector<std::string> parts = strings::split(inner, ',');
   if (parts.empty() || parts.size() > 3) {
     throw ParseError("malformed memory operand '" + std::string(text) + "'",
-                     line);
+                     line, column);
   }
   auto baseText = trim(parts[0]);
   if (!baseText.empty()) {
@@ -139,7 +153,7 @@ DecodedMem parseMemOperand(std::string_view text, std::size_t line) {
     if (!reg) {
       throw ParseError("unknown base register '" + std::string(baseText) +
                            "'",
-                       line);
+                       line, column);
     }
     mem.base = *reg;
   }
@@ -150,7 +164,7 @@ DecodedMem parseMemOperand(std::string_view text, std::size_t line) {
       if (!reg) {
         throw ParseError("unknown index register '" + std::string(indexText) +
                              "'",
-                         line);
+                         line, column);
       }
       mem.index = *reg;
     }
@@ -160,7 +174,7 @@ DecodedMem parseMemOperand(std::string_view text, std::size_t line) {
     auto scale = strings::parseInt(scaleText);
     if (!scale || (*scale != 1 && *scale != 2 && *scale != 4 && *scale != 8)) {
       throw ParseError("invalid scale '" + std::string(scaleText) + "'",
-                       line);
+                       line, column);
     }
     mem.scale = static_cast<int>(*scale);
   }
@@ -168,15 +182,17 @@ DecodedMem parseMemOperand(std::string_view text, std::size_t line) {
 }
 
 DecodedOperand parseOperand(std::string_view text, bool branchContext,
-                            std::size_t line) {
-  if (text.empty()) throw ParseError("empty operand", line);
+                            std::size_t line, std::size_t column) {
+  if (text.empty()) throw ParseError("empty operand", line, column);
   if (text.front() == '$') {
-    return DecodedOperand::makeImm(parseImmediateValue(text.substr(1), line));
+    return DecodedOperand::makeImm(
+        parseImmediateValue(text.substr(1), line, column));
   }
   if (text.front() == '%') {
     auto reg = isa::parseRegister(text);
     if (!reg) {
-      throw ParseError("unknown register '" + std::string(text) + "'", line);
+      throw ParseError("unknown register '" + std::string(text) + "'", line,
+                       column);
     }
     return DecodedOperand::makeReg(*reg);
   }
@@ -186,7 +202,7 @@ DecodedOperand parseOperand(std::string_view text, bool branchContext,
     if (!label.empty() && label.front() == '.') label.erase(0, 1);
     return DecodedOperand::makeLabel(std::move(label));
   }
-  return DecodedOperand::makeMem(parseMemOperand(text, line));
+  return DecodedOperand::makeMem(parseMemOperand(text, line, column));
 }
 
 }  // namespace
@@ -229,24 +245,33 @@ Program parseAssembly(std::string_view text) {
       continue;
     }
 
-    // Instruction.
+    // Instruction. `lineText` is a view into this line's buffer, so the
+    // 1-based column of the mnemonic (and of each operand) falls out of
+    // pointer arithmetic against the untrimmed line.
+    std::size_t mnemonicColumn =
+        static_cast<std::size_t>(lineText.data() - lines[lineNo - 1].data()) +
+        1;
     auto firstSpace = lineText.find_first_of(" \t");
     std::string mnemonic(firstSpace == std::string_view::npos
                              ? lineText
                              : lineText.substr(0, firstSpace));
     const isa::InstrDesc* desc = isa::findInstruction(mnemonic);
     if (!desc) {
-      throw ParseError("unknown instruction '" + mnemonic + "'", lineNo);
+      throw ParseError("unknown instruction '" + mnemonic + "'", lineNo,
+                       mnemonicColumn);
     }
     DecodedInsn insn;
     insn.desc = desc;
     insn.mnemonic = mnemonic;
     insn.line = lineNo;
+    insn.column = mnemonicColumn;
     bool branchContext = isa::kindIsBranch(desc->kind);
     if (firstSpace != std::string_view::npos) {
-      for (const std::string& opText :
+      std::size_t operandsColumn = mnemonicColumn + firstSpace + 1;
+      for (const OperandPiece& piece :
            splitOperands(lineText.substr(firstSpace + 1))) {
-        insn.operands.push_back(parseOperand(opText, branchContext, lineNo));
+        insn.operands.push_back(parseOperand(piece.text, branchContext, lineNo,
+                                             operandsColumn + piece.offset));
       }
     }
     program.instructions.push_back(std::move(insn));

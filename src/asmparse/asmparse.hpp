@@ -46,6 +46,7 @@ struct DecodedInsn {
   std::string mnemonic;                  // as written (with size suffix)
   std::vector<DecodedOperand> operands;  // AT&T order
   std::size_t line = 0;                  // 1-based source line
+  std::size_t column = 0;                // 1-based column of the mnemonic
 
   /// Memory access classification (AT&T order: last operand is the
   /// destination).
@@ -72,8 +73,8 @@ struct Program {
 /// Parses an AT&T assembly translation unit of the subset MicroCreator
 /// emits (and hand-written kernels in the same style). Directives are
 /// skipped; the function name is taken from the .globl directive or the
-/// first non-local label. Throws ParseError with line numbers on anything
-/// unrecognizable.
+/// first non-local label. Throws ParseError carrying the 1-based line and
+/// column of the offending token on anything unrecognizable.
 Program parseAssembly(std::string_view text);
 
 }  // namespace microtools::asmparse

@@ -14,7 +14,7 @@ namespace microtools::creator {
 /// programs out" entry point (§3).
 class MicroCreator {
  public:
-  /// Constructs with the standard nineteen-pass pipeline.
+  /// Constructs with the standard twenty-pass pipeline.
   MicroCreator();
 
   /// Direct access to the pipeline for programmatic customization (the same

@@ -5,6 +5,7 @@
 #include "support/error.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
+#include "verify/verify.hpp"
 
 namespace microtools::creator {
 
@@ -69,11 +70,53 @@ class CodeEmission final : public Pass {
   }
 };
 
+/// Pass 20: static verification of every emitted program. A variant whose
+/// assembly carries an error-level diagnostic (ABI clobber, provable
+/// non-termination, uninitialized address register, ...) is dropped with a
+/// warning; warnings-only reports pass. Plugins can disable the pass via
+/// its gate ("Verification").
+class Verification final : public Pass {
+ public:
+  Verification() : Pass("Verification") {}
+
+  void run(GenerationState& state) override {
+    if (state.programs.empty()) return;
+    std::vector<GeneratedProgram> kept;
+    kept.reserve(state.programs.size());
+    for (GeneratedProgram& program : state.programs) {
+      verify::VerifyOptions options;
+      options.arrayCount = program.arrayCount;
+      verify::VerifyReport report =
+          verify::verifyAssembly(program.asmText, options);
+      if (report.ok()) {
+        kept.push_back(std::move(program));
+        continue;
+      }
+      log::warn("variant '" + program.name +
+                "' rejected by verification: " + report.shortSummary());
+      for (const verify::Diagnostic& d : report.diagnostics) {
+        if (d.severity == verify::Severity::Error) {
+          log::warn("  [" + d.rule + "] " + d.message);
+        }
+      }
+    }
+    if (kept.empty()) {
+      throw McError(
+          "verification rejected every generated variant; see warnings "
+          "above (disable the Verification pass gate to bypass)");
+    }
+    state.programs = std::move(kept);
+  }
+};
+
 }  // namespace
 
 namespace passes {
 std::unique_ptr<Pass> makeCodeEmission() {
   return std::make_unique<CodeEmission>();
+}
+std::unique_ptr<Pass> makeVerification() {
+  return std::make_unique<Verification>();
 }
 }  // namespace passes
 
@@ -98,6 +141,7 @@ PassManager PassManager::standardPipeline() {
   pm.addPass(passes::makeScheduling());
   pm.addPass(passes::makePeephole());
   pm.addPass(passes::makeCodeEmission());
+  pm.addPass(passes::makeVerification());
   return pm;
 }
 

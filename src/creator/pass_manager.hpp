@@ -13,7 +13,7 @@ namespace microtools::creator {
 /// re-gated without recompiling the tool.
 class PassManager {
  public:
-  /// Builds the default nineteen-pass pipeline of §3.2.
+  /// Builds the default twenty-pass pipeline: the nineteen passes of §3.2 plus the final Verification pass.
   static PassManager standardPipeline();
 
   PassManager() = default;

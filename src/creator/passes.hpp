@@ -6,7 +6,8 @@
 
 namespace microtools::creator::passes {
 
-/// Factories for the nineteen standard passes (§3.2), in pipeline order.
+/// Factories for the standard passes, in pipeline order: the nineteen of
+/// §3.2 plus the static Verification pass.
 /// PassManager::standardPipeline() assembles them; plugins may construct
 /// individual passes to re-insert after removal or replacement.
 
@@ -29,5 +30,6 @@ std::unique_ptr<Pass> makePrologueEpilogue();        // 16
 std::unique_ptr<Pass> makeScheduling();              // 17
 std::unique_ptr<Pass> makePeephole();                // 18
 std::unique_ptr<Pass> makeCodeEmission();            // 19
+std::unique_ptr<Pass> makeVerification();            // 20
 
 }  // namespace microtools::creator::passes

@@ -37,58 +37,63 @@ std::vector<InstrDesc> buildTable() {
        .isVector = true, .isFp = true, .latency = 1});
 
   // -- integer ALU ----------------------------------------------------------
-  for (const char* m : {"add", "sub", "and", "or", "xor", "neg", "not",
-                        "inc", "dec", "shl", "shr", "sar"}) {
+  // Binary and unary forms share the read-modify-write destination; `not`
+  // is the only ALU op in the subset that leaves the flags untouched.
+  for (const char* m : {"add", "sub", "and", "or", "xor", "neg", "inc",
+                        "dec", "shl", "shr", "sar"}) {
     add({.mnemonic = m, .kind = InstrKind::IntAlu, .latency = 1,
-         .suffixable = true});
+         .suffixable = true, .readsDest = true, .writesFlags = true});
   }
+  add({.mnemonic = "not", .kind = InstrKind::IntAlu, .latency = 1,
+       .suffixable = true, .readsDest = true});
   add({.mnemonic = "imul", .kind = InstrKind::IntMul, .latency = 3,
-       .suffixable = true});
+       .suffixable = true, .readsDest = true, .writesFlags = true});
   add({.mnemonic = "lea", .kind = InstrKind::Lea, .latency = 1,
        .suffixable = true});
 
   // -- comparisons ----------------------------------------------------------
   add({.mnemonic = "cmp", .kind = InstrKind::Compare, .latency = 1,
-       .suffixable = true});
+       .suffixable = true, .writesDest = false, .writesFlags = true});
   add({.mnemonic = "test", .kind = InstrKind::Compare, .latency = 1,
-       .suffixable = true});
+       .suffixable = true, .writesDest = false, .writesFlags = true});
 
   // -- SSE floating point ---------------------------------------------------
   add({.mnemonic = "addss", .kind = InstrKind::FpAdd, .memBytes = 4,
-       .isFp = true, .latency = 3});
+       .isFp = true, .latency = 3, .readsDest = true});
   add({.mnemonic = "addsd", .kind = InstrKind::FpAdd, .memBytes = 8,
-       .isFp = true, .latency = 3});
+       .isFp = true, .latency = 3, .readsDest = true});
   add({.mnemonic = "addps", .kind = InstrKind::FpAdd, .memBytes = 16,
        .requiresAlignment = true, .isVector = true, .isFp = true,
-       .latency = 3});
+       .latency = 3, .readsDest = true});
   add({.mnemonic = "addpd", .kind = InstrKind::FpAdd, .memBytes = 16,
        .requiresAlignment = true, .isVector = true, .isFp = true,
-       .latency = 3});
+       .latency = 3, .readsDest = true});
   add({.mnemonic = "mulss", .kind = InstrKind::FpMul, .memBytes = 4,
-       .isFp = true, .latency = 4});
+       .isFp = true, .latency = 4, .readsDest = true});
   add({.mnemonic = "mulsd", .kind = InstrKind::FpMul, .memBytes = 8,
-       .isFp = true, .latency = 5});
+       .isFp = true, .latency = 5, .readsDest = true});
   add({.mnemonic = "mulps", .kind = InstrKind::FpMul, .memBytes = 16,
        .requiresAlignment = true, .isVector = true, .isFp = true,
-       .latency = 4});
+       .latency = 4, .readsDest = true});
   add({.mnemonic = "mulpd", .kind = InstrKind::FpMul, .memBytes = 16,
        .requiresAlignment = true, .isVector = true, .isFp = true,
-       .latency = 5});
+       .latency = 5, .readsDest = true});
   add({.mnemonic = "divss", .kind = InstrKind::FpDiv, .memBytes = 4,
-       .isFp = true, .latency = 14});
+       .isFp = true, .latency = 14, .readsDest = true});
   add({.mnemonic = "divsd", .kind = InstrKind::FpDiv, .memBytes = 8,
-       .isFp = true, .latency = 22});
+       .isFp = true, .latency = 22, .readsDest = true});
   add({.mnemonic = "xorps", .kind = InstrKind::FpLogic, .memBytes = 16,
-       .isVector = true, .isFp = true, .latency = 1});
+       .isVector = true, .isFp = true, .latency = 1, .readsDest = true});
   add({.mnemonic = "xorpd", .kind = InstrKind::FpLogic, .memBytes = 16,
-       .isVector = true, .isFp = true, .latency = 1});
+       .isVector = true, .isFp = true, .latency = 1, .readsDest = true});
   add({.mnemonic = "pxor", .kind = InstrKind::FpLogic, .memBytes = 16,
-       .isVector = true, .isFp = true, .latency = 1});
+       .isVector = true, .isFp = true, .latency = 1, .readsDest = true});
 
   // -- control flow ---------------------------------------------------------
-  add({.mnemonic = "jmp", .kind = InstrKind::Jump});
+  add({.mnemonic = "jmp", .kind = InstrKind::Jump, .writesDest = false});
   auto branch = [&add](const char* m, Condition c) {
-    add({.mnemonic = m, .kind = InstrKind::CondBranch, .condition = c});
+    add({.mnemonic = m, .kind = InstrKind::CondBranch, .condition = c,
+         .writesDest = false, .readsFlags = true});
   };
   branch("je", Condition::E);
   branch("jz", Condition::E);
@@ -105,8 +110,8 @@ std::vector<InstrDesc> buildTable() {
   branch("js", Condition::S);
   branch("jns", Condition::NS);
 
-  add({.mnemonic = "ret", .kind = InstrKind::Ret});
-  add({.mnemonic = "nop", .kind = InstrKind::Nop});
+  add({.mnemonic = "ret", .kind = InstrKind::Ret, .writesDest = false});
+  add({.mnemonic = "nop", .kind = InstrKind::Nop, .writesDest = false});
   return t;
 }
 

@@ -48,6 +48,17 @@ struct InstrDesc {
   bool isFp = false;           // writes an XMM register
   int latency = 1;             // producer latency in core cycles
   bool suffixable = false;     // accepts AT&T b/w/l/q size suffixes
+
+  // -- def/use metadata (static verification & dependency analyses) ---------
+  // AT&T operand order: the last operand is the destination. `readsDest`
+  // marks read-modify-write destinations (add/sub/addss/...); pure moves and
+  // lea overwrite the destination without reading it. `writesDest` is false
+  // for instructions that only produce flags (cmp/test) or none at all
+  // (branches, ret, nop).
+  bool readsDest = false;      // destination operand is also a source
+  bool writesDest = true;      // destination operand is written
+  bool writesFlags = false;    // updates the status flags (SF/ZF/OF/CF)
+  bool readsFlags = false;     // consumes the status flags (jcc family)
 };
 
 /// Looks up a mnemonic, accepting AT&T size suffixes for the suffixable

@@ -19,6 +19,13 @@ struct ArraySpec {
   std::uint64_t offset = 0;
 };
 
+/// Guaranteed over-allocation beyond bytes + offset for every kernel array,
+/// on every backend. Count-down kernels (sub $k,%rdi; jge) legitimately
+/// over-read up to one unrolled stride past the array, so backends pad each
+/// allocation by at least one page and the static verifier (verify::
+/// LaunchContext::slackBytes) accepts accesses within the same slack.
+inline constexpr std::uint64_t kArraySlackBytes = 4096;
+
 /// One kernel invocation request.
 struct KernelRequest {
   int n = 0;                      ///< trip-count argument

@@ -16,6 +16,7 @@
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
+#include "verify/verify.hpp"
 
 namespace microtools::launcher {
 
@@ -71,7 +72,35 @@ class BoundedQueue {
   bool closed_ = false;
 };
 
+/// Maps the campaign's launch geometry onto the verifier's context so the
+/// MT-MEM bounds/alignment rules check exactly what the backends will
+/// allocate (including the kArraySlackBytes page of slack).
+verify::VerifyOptions verifyOptionsFor(const KernelRequest& request) {
+  verify::VerifyOptions options;
+  verify::LaunchContext context;
+  context.tripCount = request.n;
+  context.slackBytes = static_cast<std::size_t>(kArraySlackBytes);
+  context.arrays.reserve(request.arrays.size());
+  for (const ArraySpec& spec : request.arrays) {
+    verify::ArrayExtent extent;
+    extent.bytes = static_cast<std::size_t>(spec.bytes);
+    extent.alignment = static_cast<std::size_t>(spec.alignment);
+    extent.offset = static_cast<std::size_t>(spec.offset);
+    context.arrays.push_back(extent);
+  }
+  options.arrayCount = static_cast<int>(request.arrays.size());
+  options.context = std::move(context);
+  return options;
+}
+
 }  // namespace
+
+VerifyMode verifyModeFromName(const std::string& name) {
+  if (name == "off") return VerifyMode::Off;
+  if (name == "warn") return VerifyMode::Warn;
+  if (name == "strict") return VerifyMode::Strict;
+  throw McError("--verify must be off, warn, or strict (got '" + name + "')");
+}
 
 // ---------------------------------------------------------------------------
 // CampaignCsvSink
@@ -198,9 +227,17 @@ std::vector<VariantResult> CampaignRunner::run(
   std::vector<VariantResult> results(variants.size());
   if (variants.empty()) return results;
 
-  // Resolve resume skips and cache hits up front: when everything is
-  // already known, no backend is ever constructed — a fully cached rerun
-  // performs zero backend invocations.
+  // Pre-flight verification runs before the cache probe: a variant the
+  // strict gate rejects must never be measured, even from cache, and its
+  // verdict must reach the CSV.
+  verify::VerifyOptions verifyOptions;
+  if (options_.verify != VerifyMode::Off) {
+    verifyOptions = verifyOptionsFor(request);
+  }
+
+  // Resolve resume skips, verification skips and cache hits up front: when
+  // everything is already known, no backend is ever constructed — a fully
+  // cached rerun performs zero backend invocations.
   std::vector<std::size_t> pending;
   pending.reserve(variants.size());
   for (std::size_t i = 0; i < variants.size(); ++i) {
@@ -212,16 +249,44 @@ std::vector<VariantResult> CampaignRunner::run(
       r.note = "already completed in resumed CSV";
       continue;  // its row already exists in the file being resumed
     }
+    std::string verdict;
+    if (options_.verify != VerifyMode::Off && variants[i].kind == "asm") {
+      verify::VerifyReport report =
+          verify::verifyAssembly(variants[i].source, verifyOptions);
+      verdict = report.shortSummary();
+      if (!report.ok()) {
+        std::string detail;
+        for (const verify::Diagnostic& d : report.diagnostics) {
+          if (d.severity != verify::Severity::Error) continue;
+          if (!detail.empty()) detail += "; ";
+          detail += "[" + d.rule + "] " + d.message;
+        }
+        if (options_.verify == VerifyMode::Strict) {
+          r.status = "skipped";
+          r.verify = verdict;
+          r.error = "static verification failed: " + detail;
+          r.note = "skipped by --verify=strict";
+          log::warn("variant '" + r.name + "' skipped by verification: " +
+                    verdict);
+          if (sink) sink->append(r);
+          continue;  // never compiled, loaded, or measured
+        }
+        log::warn("variant '" + r.name + "' failed verification (" +
+                  verdict + "); measuring anyway (--verify=warn)");
+      }
+    }
     if (options_.cacheLookup && options_.cacheLookup(variants[i], r)) {
       r.sequence = i;
       r.name = variants[i].name;
       r.cached = true;
+      r.verify = verdict;
       if (sink) sink->append(r);
       continue;
     }
     r = VariantResult{};  // a miss may have partially filled the result
     r.sequence = i;
     r.name = variants[i].name;
+    r.verify = std::move(verdict);
     pending.push_back(i);
   }
   if (pending.empty()) return results;
@@ -244,8 +309,10 @@ std::vector<VariantResult> CampaignRunner::run(
                          const CampaignVariant& prepared) {
     KernelRequest workerRequest = request;
     if (options_.pinWorkers) workerRequest.core = worker;
+    std::string verdict = std::move(results[i].verify);
     results[i] = runOne(*backends[static_cast<std::size_t>(worker)], prepared,
                         i, workerRequest);
+    results[i].verify = std::move(verdict);
     if (results[i].status == "ok" && options_.cacheStore) {
       options_.cacheStore(variants[i], results[i]);
     }
@@ -355,6 +422,7 @@ std::vector<std::string> CampaignRunner::csvHeader() {
           "repetitions",
           "converged",
           "attempts",
+          "verify",
           "error",
           "cached",
           "note"};
@@ -379,6 +447,7 @@ std::vector<std::string> CampaignRunner::csvRow(const VariantResult& r) {
   cells.push_back(std::to_string(r.repetitions));
   cells.push_back(r.converged ? "1" : "0");
   cells.push_back(std::to_string(r.attempts));
+  cells.push_back(r.verify);
   cells.push_back(r.error);
   cells.push_back(r.cached ? "1" : "0");
   cells.push_back(r.note);

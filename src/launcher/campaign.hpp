@@ -38,6 +38,7 @@ struct VariantResult {
   int attempts = 1;           ///< 1, or 2 after a retry on ExecutionError
   bool cached = false;        ///< served from the measurement cache
   std::string note;           ///< diagnostic annotation (degenerate CV, resume)
+  std::string verify;  ///< pre-flight verdict ("ok", "E:.../W:...", or "")
 };
 
 /// Pre-measurement hook: return true and fill `out` to satisfy a variant
@@ -49,6 +50,17 @@ using CacheLookup =
 /// Post-measurement hook: persist a completed (status == "ok") result.
 using CacheStore = std::function<void(const CampaignVariant& variant,
                                       const VariantResult& result)>;
+
+/// Pre-flight static verification policy for "asm" variants (verify::).
+/// Off keeps the pre-PR-5 behavior bit-identical; Warn annotates the CSV
+/// `verify` column but still measures everything; Strict skips variants
+/// whose verification reports an error (ABI clobber, provable OOB, ...)
+/// before any compile or dlopen can crash the campaign.
+enum class VerifyMode { Off, Warn, Strict };
+
+/// Parses a --verify value ("off"|"warn"|"strict"); throws McError on
+/// anything else.
+VerifyMode verifyModeFromName(const std::string& name);
 
 /// Campaign execution knobs.
 struct CampaignOptions {
@@ -68,6 +80,12 @@ struct CampaignOptions {
   /// only transforms sources, never measures.
   int compileJobs = 0;
   int compileBatch = 8;  ///< variants per prepareBatch() call (>= 1)
+
+  /// Static pre-flight verification of "asm" variants. Library default is
+  /// Off (bit-compatible with earlier campaigns); the CLIs default to
+  /// Strict. Skipped variants get a CSV row with status "skipped" and the
+  /// rule summary in `verify`/`error`.
+  VerifyMode verify = VerifyMode::Off;
 
   CacheLookup cacheLookup;     ///< pre-measurement cache probe (optional)
   CacheStore cacheStore;       ///< post-measurement cache write (optional)

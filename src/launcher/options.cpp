@@ -99,6 +99,13 @@ cli::Parser makeLauncherParser() {
   parser.addString("compile-cache-dir",
                    "Content-addressed cache of compiled .so artifacts "
                    "(native backend; empty = no cache)");
+  parser.addString("verify",
+                   "Campaign: static pre-flight verification of assembly "
+                   "variants — strict skips variants with error-level "
+                   "diagnostics (ABI clobbers, provable out-of-bounds) "
+                   "before they can crash the campaign; warn only annotates "
+                   "the CSV; off disables the check",
+                   "strict");
   parser.addString("backend", "Execution backend: sim|native", "sim");
   parser.addString("arch", "Simulated machine (see --list-arch)",
                    "nehalem_x5650_2s");
@@ -159,6 +166,7 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   if (parser.has("compile-cache-dir")) {
     o.compileCacheDir = parser.getString("compile-cache-dir");
   }
+  o.verifyMode = parser.getString("verify");
   o.backend = parser.getString("backend");
   o.arch = parser.getString("arch");
   if (parser.has("core-ghz")) o.coreGHz = parser.getDouble("core-ghz");
@@ -190,6 +198,10 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   }
   if (o.compileBatch < 1) {
     throw ParseError("--compile-batch must be >= 1");
+  }
+  if (o.verifyMode != "off" && o.verifyMode != "warn" &&
+      o.verifyMode != "strict") {
+    throw ParseError("--verify must be off, warn, or strict");
   }
   return o;
 }

@@ -73,6 +73,7 @@ struct LauncherOptions {
   int compileJobs = 0;         ///< compile-pipeline producer threads (0 = off)
   int compileBatch = 8;        ///< variants per batched compiler invocation
   std::string compileCacheDir; ///< persistent .so cache ("" = no cache)
+  std::string verifyMode = "strict";  ///< pre-flight check: off|warn|strict
 
   // -- backend / machine ---------------------------------------------------------
   std::string backend = "sim";   ///< sim|native

@@ -46,7 +46,7 @@ struct AlignedBuffer {
     std::size_t alignment = 64;
     while (alignment < spec.alignment) alignment <<= 1;
     AlignedBuffer buf;
-    std::size_t total = spec.bytes + spec.offset + 64;
+    std::size_t total = spec.bytes + spec.offset + launcher::kArraySlackBytes;
     if (posix_memalign(&buf.raw, alignment, total) != 0) {
       throw ExecutionError("cannot allocate kernel array");
     }

@@ -22,18 +22,30 @@ class McError : public std::runtime_error {
 };
 
 /// Error raised while parsing an input artifact (XML, assembly, CLI text).
-/// Carries a 1-based line number when one is known (0 otherwise).
+/// Carries a 1-based line number when one is known (0 otherwise), and a
+/// 1-based column when the offending token's position is known too.
 class ParseError : public McError {
  public:
-  ParseError(std::string message, std::size_t line = 0)
-      : McError(line ? "line " + std::to_string(line) + ": " + message
-                     : std::move(message)),
-        line_(line) {}
+  ParseError(std::string message, std::size_t line = 0,
+             std::size_t column = 0)
+      : McError(render(message, line, column)),
+        line_(line),
+        column_(column) {}
 
   std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
 
  private:
+  static std::string render(const std::string& message, std::size_t line,
+                            std::size_t column) {
+    if (!line) return message;
+    if (!column) return "line " + std::to_string(line) + ": " + message;
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column) + ": " + message;
+  }
+
   std::size_t line_ = 0;
+  std::size_t column_ = 0;
 };
 
 /// Error raised when a kernel description is well-formed but semantically

@@ -115,6 +115,7 @@ int runCampaign(const LauncherOptions& options) {
   campaign.variantTimeoutMs = options.variantTimeoutMs;
   campaign.compileJobs = options.compileJobs;
   campaign.compileBatch = options.compileBatch;
+  campaign.verify = launcher::verifyModeFromName(options.verifyMode);
   // Native workers time on real cores: spread them so they don't fight
   // over one. The simulator pins inside its own machine model instead.
   campaign.pinWorkers = options.backend == "native";
@@ -150,8 +151,8 @@ int runCampaign(const LauncherOptions& options) {
     }
   }
   if (!options.csvOutput.empty()) {
-    std::printf("campaign: %zu variant(s), %d skipped (already completed), "
-                "%d failed\n",
+    std::printf("campaign: %zu variant(s), %d skipped (resumed or failed "
+                "verification), %d failed\n",
                 results.size(), skipped, failures);
   }
   if (failures > 0) {

@@ -9,13 +9,17 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
+#include "creator/creator.hpp"
 #include "launcher/explore.hpp"
 #include "launcher/sim_backend.hpp"
 #include "native/native_backend.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/strings.hpp"
+#include "verify/verify.hpp"
 
 using namespace microtools;
 
@@ -28,7 +32,11 @@ void printUsage() {
       "subcommands:\n"
       "  explore   generate every variant of an XML kernel description and\n"
       "            measure them in one run, with a content-addressed result\n"
-      "            cache (use `microtools explore --help` for options)\n");
+      "            cache (use `microtools explore --help` for options)\n"
+      "  lint      statically verify kernel assembly (.s files, or every\n"
+      "            variant generated from an XML description) against the\n"
+      "            MT-* rule catalog without executing anything (use\n"
+      "            `microtools lint --help` for options)\n");
 }
 
 cli::Parser makeExploreParser() {
@@ -84,6 +92,12 @@ cli::Parser makeExploreParser() {
   parser.addFlag("sim-exact",
                  "Force full cycle simulation (no steady-state extrapolation "
                  "or warm-invoke memoization); bit-identical, only slower");
+  parser.addString("verify",
+                   "Static pre-flight verification of generated variants — "
+                   "strict skips variants with error-level diagnostics "
+                   "before they can crash the campaign; warn only annotates "
+                   "the CSV; off disables the check",
+                   "strict");
   parser.addInt("top", "Rank the K best variants (0 = all)", 10);
   parser.addString("csv",
                    "Stream the full campaign CSV to this file (append-safe)");
@@ -126,6 +140,8 @@ int runExploreCommand(int argc, char** argv) {
   options.campaign.compileBatch =
       static_cast<int>(parser.getInt("compile-batch"));
   options.campaign.pinWorkers = options.backend == "native";
+  options.campaign.verify =
+      launcher::verifyModeFromName(parser.getString("verify"));
   options.nbVectors = static_cast<int>(parser.getInt("nbvectors"));
   options.arrayBytes =
       static_cast<std::uint64_t>(parser.getInt("array-bytes"));
@@ -203,6 +219,116 @@ int runExploreCommand(int argc, char** argv) {
   return result.failures == 0 ? 0 : 1;
 }
 
+cli::Parser makeLintParser() {
+  cli::Parser parser(
+      "microtools lint",
+      "Statically verifies kernel assembly against the MT-* rule catalog "
+      "(control flow and loop termination, SysV ABI compliance, register "
+      "def/use dataflow, symbolic bounds and alignment of every array "
+      "access) without assembling or executing anything. Inputs are .s "
+      "files, or .xml descriptions whose generated variants are each "
+      "verified. Exits 0 when no error-level diagnostic was reported, 1 "
+      "otherwise.");
+  parser.addString("input", "Kernel assembly (.s) or description (.xml); "
+                            "extra positional paths are linted too");
+  parser.addFlag("json", "Emit one JSON object per diagnostic (JSON lines)");
+  parser.addInt("nbvectors",
+                "Arrays passed to the kernel (0 = derive from the generated "
+                "program, or assume the SysV maximum for .s files)",
+                0);
+  parser.addInt("array-bytes", "Size of each array in bytes", 1 << 20);
+  parser.addInt("alignment", "Array base alignment in bytes", 4096);
+  parser.addInt("align-offset", "Extra offset added to each array base", 0);
+  parser.addInt("element-bytes",
+                "Bytes per array element (4 = float, 8 = double)", 4);
+  parser.addInt("n", "Kernel trip count (default: first array's elements)");
+  parser.addFlag("verbose", "Enable info logging");
+  return parser;
+}
+
+int runLintCommand(int argc, char** argv) {
+  cli::Parser parser = makeLintParser();
+  if (!parser.parse(argc, argv)) return 0;  // --help handled
+
+  std::vector<std::string> inputs = parser.positional();
+  if (parser.has("input")) {
+    inputs.insert(inputs.begin(), parser.getString("input"));
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "error: no input (.s or .xml) to lint "
+                         "(see --help)\n");
+    return 2;
+  }
+  if (parser.getFlag("verbose")) log::setLevel(log::Level::Info);
+
+  bool json = parser.getFlag("json");
+  auto arrayBytes = static_cast<std::size_t>(parser.getInt("array-bytes"));
+  auto alignment = static_cast<std::size_t>(parser.getInt("alignment"));
+  auto alignOffset = static_cast<std::size_t>(parser.getInt("align-offset"));
+  auto elementBytes = static_cast<std::size_t>(parser.getInt("element-bytes"));
+  int nbVectors = static_cast<int>(parser.getInt("nbvectors"));
+  if (elementBytes == 0) {
+    std::fprintf(stderr, "error: --element-bytes must be > 0\n");
+    return 2;
+  }
+  std::int64_t tripCount =
+      parser.has("n") ? static_cast<std::int64_t>(parser.getInt("n"))
+                      : static_cast<std::int64_t>(arrayBytes / elementBytes);
+
+  std::size_t totalErrors = 0;
+  std::size_t totalWarnings = 0;
+  std::size_t totalUnits = 0;
+
+  // Lints one assembly unit under the same launch geometry the explore
+  // driver would use (so lint verdicts match the campaign pre-flight).
+  auto lintUnit = [&](const std::string& label, const std::string& asmText,
+                      int arrayCount) {
+    verify::VerifyOptions options;
+    if (arrayCount > 0) options.arrayCount = arrayCount;
+    verify::LaunchContext context;
+    context.tripCount = tripCount;
+    int arrays = arrayCount > 0 ? arrayCount : 5;
+    for (int i = 0; i < arrays; ++i) {
+      context.arrays.push_back(
+          verify::ArrayExtent{arrayBytes, alignment, alignOffset});
+    }
+    options.context = std::move(context);
+    verify::VerifyReport report = verify::verifyAssembly(asmText, options);
+    totalErrors += report.errorCount();
+    totalWarnings += report.warningCount();
+    ++totalUnits;
+    std::string rendered = json ? verify::renderJsonLines(report, label)
+                                : verify::renderText(report, label);
+    std::fputs(rendered.c_str(), stdout);
+  };
+
+  for (const std::string& path : inputs) {
+    if (strings::endsWith(path, ".xml")) {
+      creator::MicroCreator creator;
+      // The pipeline's own Verification pass would silently drop the very
+      // variants lint exists to report on; run the raw emitted programs.
+      creator.passManager().removePass("Verification");
+      std::vector<creator::GeneratedProgram> programs =
+          creator.generateFromFile(path);
+      for (const creator::GeneratedProgram& p : programs) {
+        int arrays = nbVectors > 0 ? nbVectors : p.arrayCount;
+        lintUnit(path + ":" + p.name, p.asmText, arrays);
+      }
+    } else {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw McError("cannot open input file: " + path);
+      std::ostringstream oss;
+      oss << in.rdbuf();
+      lintUnit(path, oss.str(), nbVectors);
+    }
+  }
+  if (!json) {
+    std::printf("lint: %zu unit(s), %zu error(s), %zu warning(s)\n",
+                totalUnits, totalErrors, totalWarnings);
+  }
+  return totalErrors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +340,9 @@ int main(int argc, char** argv) {
   try {
     if (std::strcmp(argv[1], "explore") == 0) {
       return runExploreCommand(argc - 1, argv + 1);
+    }
+    if (std::strcmp(argv[1], "lint") == 0) {
+      return runLintCommand(argc - 1, argv + 1);
     }
     std::fprintf(stderr, "error: unknown subcommand '%s'\n\n", argv[1]);
     printUsage();

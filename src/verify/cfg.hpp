@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "asmparse/asmparse.hpp"
+#include "isa/instructions.hpp"
+#include "isa/registers.hpp"
+
+namespace microtools::verify {
+
+/// Instruction-granularity control-flow graph over an asmparse::Program.
+///
+/// MicroTools kernels are tiny (tens of instructions), so the CFG keeps one
+/// node per instruction instead of basic blocks; every dataflow pass below
+/// runs to fixpoint in a handful of sweeps regardless.
+struct Cfg {
+  /// successors[i]: indices of instructions control can reach from i.
+  /// ret has none; a fall-through past the last instruction (or a branch to
+  /// a trailing label) is recorded in fallsOffEnd instead.
+  std::vector<std::vector<std::size_t>> successors;
+  std::vector<std::vector<std::size_t>> predecessors;
+
+  /// reachable[i]: instruction i is reachable from the function entry.
+  std::vector<bool> reachable;
+
+  /// fallsOffEnd[i]: control can leave the function after i without a ret
+  /// (fall-through past the end, or a branch targeting a trailing label).
+  std::vector<bool> fallsOffEnd;
+};
+
+/// Builds the CFG. Throws ParseError when a branch references an unknown
+/// label (callers surface that as an MT-PARSE diagnostic).
+Cfg buildCfg(const asmparse::Program& program);
+
+/// One single-block loop: a conditional branch at `branchIndex` targeting an
+/// earlier instruction `headIndex`, with no other control flow inside
+/// [headIndex, branchIndex]. This is the only loop shape the analyses prove
+/// properties about; anything else degrades to "not provable" diagnostics.
+struct LoopInfo {
+  std::size_t headIndex = 0;    // first instruction of the body
+  std::size_t branchIndex = 0;  // the backward conditional branch
+  isa::Condition condition = isa::Condition::None;
+
+  /// Index of the last flag-writing instruction before the branch, inside
+  /// the body. nullopt: the loop condition is set outside the loop.
+  std::optional<std::size_t> flagSetter;
+
+  /// The register whose value the branch tests (from cmp/test or from the
+  /// flag-setting arithmetic itself). nullopt when the comparison shape is
+  /// not recognized.
+  std::optional<isa::PhysReg> inductionReg;
+
+  /// Immediate bound the induction register is compared against
+  /// (cmp $imm,%reg; test %r,%r and flag-setting arithmetic compare with 0).
+  std::optional<std::int64_t> boundImm;
+  /// Register bound (cmp %bound,%reg) -- only set when that register is not
+  /// written anywhere inside the body.
+  std::optional<isa::PhysReg> boundReg;
+
+  /// Net per-iteration change of the induction register over one full trip
+  /// around the body, when every write to it is a constant add/sub/inc/dec.
+  std::optional<std::int64_t> delta;
+
+  /// True when some write to the induction register sits between the flag
+  /// setter and the branch: the tested value then lags the recurrence and
+  /// the closed-form trip count no longer applies.
+  bool writeAfterTest = false;
+};
+
+/// Result of scanning a program for loops.
+struct LoopScan {
+  std::vector<LoopInfo> loops;
+  /// Indices of conditional/unconditional branches that do not form a
+  /// recognized single-block loop (forward branches, overlapping regions,
+  /// jumps into a loop body). Their termination behaviour is not analyzed.
+  std::vector<std::size_t> unanalyzedBranches;
+};
+
+LoopScan findLoops(const asmparse::Program& program, const Cfg& cfg);
+
+/// Net constant delta applied to architectural register `reg` by
+/// instruction `insn`: add/sub with an immediate source and inc/dec.
+/// Returns nullopt when the instruction writes `reg` any other way, and 0
+/// when it does not write `reg` at all.
+std::optional<std::int64_t> constantDelta(const asmparse::DecodedInsn& insn,
+                                          const isa::PhysReg& reg);
+
+/// True when no instruction in [first, last] writes `reg`.
+bool regionPreserves(const asmparse::Program& program, std::size_t first,
+                     std::size_t last, const isa::PhysReg& reg);
+
+/// Target instruction index of a jump/jcc (may equal instructions.size()
+/// for a trailing label); nullopt when the instruction has no label
+/// operand. Throws ParseError for an unknown label.
+std::optional<std::size_t> branchTargetIndex(const asmparse::Program& program,
+                                             const asmparse::DecodedInsn& insn);
+
+}  // namespace microtools::verify

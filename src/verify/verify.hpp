@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asmparse/asmparse.hpp"
+
+namespace microtools::verify {
+
+/// Diagnostic severity. Strict gating skips variants with errors only;
+/// warnings flag expected-but-noteworthy properties (dead loads in a
+/// load-bandwidth kernel) or facts the analysis cannot prove.
+enum class Severity : std::uint8_t { Warning, Error };
+
+std::string_view severityName(Severity s);
+
+/// One finding, tagged with a stable rule identifier from the catalog in
+/// DESIGN.md (MT-ABI01, MT-DF02, ...).
+struct Diagnostic {
+  std::string rule;
+  Severity severity = Severity::Warning;
+  std::string message;
+  std::size_t line = 0;    // 1-based; 0 when not tied to a source position
+  std::size_t column = 0;  // 1-based; 0 when unknown
+};
+
+/// Geometry of one argument array as the launcher will allocate it,
+/// mirroring launcher ArraySpec without depending on launcher headers.
+struct ArrayExtent {
+  std::size_t bytes = 0;      // requested extent
+  std::size_t alignment = 1;  // base alignment guarantee
+  std::size_t offset = 0;     // byte offset added to the aligned base
+};
+
+/// Concrete launch parameters for the bounds/alignment rules. Both backends
+/// over-allocate each array by at least `slackBytes` beyond bytes + offset
+/// (launcher::kArraySlackBytes -- kept equal by a launcher-side test), so
+/// the trailing up-to-one-stride over-read of a count-down loop is in
+/// bounds by construction; accesses beyond the slack are real faults.
+struct LaunchContext {
+  std::int64_t tripCount = 0;  // the n argument (%rdi)
+  std::vector<ArrayExtent> arrays;
+  std::size_t slackBytes = 4096;
+};
+
+struct VerifyOptions {
+  /// Number of array-pointer arguments the kernel receives after n
+  /// (MicroCreator's GeneratedProgram::arrayCount). When absent, all six
+  /// SysV integer argument registers are assumed defined on entry.
+  std::optional<int> arrayCount;
+
+  /// Launch geometry. The MT-MEM rules only run when present; structural
+  /// rules (CFG/ABI/dataflow) never need it.
+  std::optional<LaunchContext> context;
+};
+
+struct VerifyReport {
+  std::vector<Diagnostic> diagnostics;
+
+  std::size_t errorCount() const;
+  std::size_t warningCount() const;
+  bool ok() const { return errorCount() == 0; }
+
+  /// Compact single-cell form for CSV columns: "ok" when clean, else
+  /// "E:<rules>;W:<rules>" with deduplicated, sorted rule IDs
+  /// (e.g. "E:MT-ABI01;W:MT-DF04").
+  std::string shortSummary() const;
+};
+
+/// Runs every applicable rule over a parsed program.
+VerifyReport verifyProgram(const asmparse::Program& program,
+                           const VerifyOptions& options = {});
+
+/// Parses then verifies; a ParseError becomes a single MT-PARSE error
+/// diagnostic instead of propagating.
+VerifyReport verifyAssembly(std::string_view asmText,
+                            const VerifyOptions& options = {});
+
+/// Human-readable rendering, one "source:line:col: severity: [rule] msg"
+/// row per diagnostic plus a summary line.
+std::string renderText(const VerifyReport& report, std::string_view source);
+
+/// JSON-lines rendering: one object per diagnostic with keys
+/// source/rule/severity/line/column/message.
+std::string renderJsonLines(const VerifyReport& report,
+                            std::string_view source);
+
+}  // namespace microtools::verify

@@ -116,6 +116,29 @@ TEST(AsmParse, UnknownInstructionThrowsWithLine) {
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    // The mnemonic starts after one leading space: column 2.
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 2u);
+  }
+}
+
+TEST(AsmParse, InstructionsCarryLineAndColumn) {
+  Program p = parseAssembly("f:\n nop\n\tadd $8, %rsi\n ret\n");
+  ASSERT_EQ(p.instructions.size(), 3u);
+  EXPECT_EQ(p.instructions[0].line, 2u);
+  EXPECT_EQ(p.instructions[0].column, 2u);  // one leading space
+  EXPECT_EQ(p.instructions[1].line, 3u);
+  EXPECT_EQ(p.instructions[1].column, 2u);  // one leading tab
+  EXPECT_EQ(p.instructions[2].line, 4u);
+}
+
+TEST(AsmParse, OperandErrorsCarryColumn) {
+  try {
+    parseAssembly("f:\n mov %qqq, %rax\n ret\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_GT(e.column(), 2u);  // points into the operand, past the mnemonic
   }
 }
 

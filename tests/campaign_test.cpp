@@ -19,6 +19,7 @@
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "test_helpers.hpp"
+#include "verify/verify.hpp"
 
 namespace microtools::launcher {
 namespace {
@@ -701,6 +702,106 @@ TEST(Campaign, PipelinedCacheStoreSeesOriginalVariantSources) {
   std::set<std::string> originalSources;
   for (const CampaignVariant& v : variants) originalSources.insert(v.source);
   EXPECT_EQ(storedSources, originalSources);
+}
+
+// ---------------------------------------------------------------------------
+// Pre-flight verification
+// ---------------------------------------------------------------------------
+
+/// A syntactically valid kernel that clobbers the callee-saved %rbx without
+/// saving it — exactly the kind of variant that crashes its host process
+/// after dlopen; the strict gate must skip it before any backend sees it.
+CampaignVariant abiClobberingVariant() {
+  CampaignVariant v;
+  v.name = "clobbers_rbx";
+  v.kind = "asm";
+  v.source =
+      "microkernel:\n"
+      "  mov $7, %rbx\n"
+      "  mov $5, %eax\n"
+      "  ret\n";
+  v.functionName = "microkernel";
+  return v;
+}
+
+TEST(CampaignVerify, StrictSkipsAbiClobberingVariantWithReasonInCsv) {
+  std::vector<CampaignVariant> variants = eightVariants();
+  variants.push_back(abiClobberingVariant());
+  std::size_t badIndex = variants.size() - 1;
+
+  CampaignOptions options = quickOptions(2);
+  options.verify = VerifyMode::Strict;
+  std::ostringstream csv;
+  CampaignCsvSink sink(csv);
+  CampaignRunner runner(simFactory(), options);
+  std::vector<VariantResult> results =
+      runner.run(variants, smallRequest(), &sink);
+
+  // The campaign completes: every clean variant is measured normally.
+  // Pure-load kernels legitimately carry dead-load warnings; strict mode
+  // only gates on errors.
+  for (std::size_t i = 0; i < badIndex; ++i) {
+    EXPECT_EQ(results[i].status, "ok") << results[i].error;
+    EXPECT_FALSE(results[i].verify.empty());
+    EXPECT_EQ(results[i].verify.find("E:"), std::string::npos)
+        << results[i].verify;
+  }
+
+  // The bad one is skipped with the rule in both the verdict and the error.
+  const VariantResult& bad = results[badIndex];
+  EXPECT_EQ(bad.status, "skipped");
+  EXPECT_NE(bad.verify.find("MT-ABI01"), std::string::npos) << bad.verify;
+  EXPECT_NE(bad.error.find("MT-ABI01"), std::string::npos) << bad.error;
+  EXPECT_EQ(bad.attempts, 1);
+
+  // Its CSV row exists, carries the verdict, and the header has the column.
+  std::string text = csv.str();
+  EXPECT_NE(text.find(",verify,"), std::string::npos);
+  std::string row;
+  std::istringstream lines(text);
+  while (std::getline(lines, row)) {
+    if (row.find("clobbers_rbx") != std::string::npos) break;
+  }
+  EXPECT_NE(row.find("skipped"), std::string::npos) << row;
+  EXPECT_NE(row.find("MT-ABI01"), std::string::npos) << row;
+}
+
+TEST(CampaignVerify, WarnModeMeasuresFlaggedVariantsAndAnnotates) {
+  std::vector<CampaignVariant> variants = {abiClobberingVariant()};
+  CampaignOptions options = quickOptions(1);
+  options.verify = VerifyMode::Warn;
+  CampaignRunner runner(simFactory(), options);
+  std::vector<VariantResult> results = runner.run(variants, smallRequest());
+  ASSERT_EQ(results.size(), 1u);
+  // Warn does not gate: the simulator still measures the variant...
+  EXPECT_EQ(results[0].status, "ok") << results[0].error;
+  // ...but the verdict lands in the CSV column.
+  EXPECT_NE(results[0].verify.find("MT-ABI01"), std::string::npos);
+}
+
+TEST(CampaignVerify, OffModeLeavesVerdictEmpty) {
+  std::vector<CampaignVariant> variants = {abiClobberingVariant()};
+  CampaignOptions options = quickOptions(1);  // verify defaults to Off
+  CampaignRunner runner(simFactory(), options);
+  std::vector<VariantResult> results = runner.run(variants, smallRequest());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, "ok") << results[0].error;
+  EXPECT_TRUE(results[0].verify.empty());
+}
+
+TEST(CampaignVerify, ModeNamesParse) {
+  EXPECT_EQ(verifyModeFromName("off"), VerifyMode::Off);
+  EXPECT_EQ(verifyModeFromName("warn"), VerifyMode::Warn);
+  EXPECT_EQ(verifyModeFromName("strict"), VerifyMode::Strict);
+  EXPECT_THROW(verifyModeFromName("lenient"), McError);
+}
+
+TEST(CampaignVerify, VerifierSlackMatchesLauncherSlack) {
+  // verify::LaunchContext promises its default slack equals the launcher's
+  // guaranteed over-allocation; a drift here would let the verifier accept
+  // accesses the backends do not actually pad for.
+  EXPECT_EQ(verify::LaunchContext{}.slackBytes,
+            static_cast<std::size_t>(kArraySlackBytes));
 }
 
 }  // namespace

@@ -481,11 +481,11 @@ TEST(Validation, DefaultsLastInductionToFinalOne) {
 // PassManager surface
 // ---------------------------------------------------------------------------
 
-TEST(PassManager, StandardPipelineHasNineteenPasses) {
+TEST(PassManager, StandardPipelineHasTwentyPasses) {
   PassManager pm = PassManager::standardPipeline();
-  EXPECT_EQ(pm.size(), 19u);
+  EXPECT_EQ(pm.size(), 20u);
   EXPECT_EQ(pm.passNames().front(), "ValidateDescription");
-  EXPECT_EQ(pm.passNames().back(), "CodeEmission");
+  EXPECT_EQ(pm.passNames().back(), "Verification");
 }
 
 TEST(PassManager, AddBeforeAfterRemoveReplace) {
@@ -508,7 +508,7 @@ TEST(PassManager, AddBeforeAfterRemoveReplace) {
                               "Replacement", [](GenerationState&) {}));
   EXPECT_EQ(pm.find("After"), nullptr);
   EXPECT_NE(pm.find("Replacement"), nullptr);
-  EXPECT_EQ(pm.size(), 20u);
+  EXPECT_EQ(pm.size(), 21u);  // 20 standard + the surviving added pass
 }
 
 TEST(PassManager, UnknownAnchorsThrow) {

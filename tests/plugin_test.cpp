@@ -18,7 +18,7 @@ TEST(Plugin, LoadsAndRegistersPass) {
   auto names = mc.passManager().passNames();
   EXPECT_NE(std::find(names.begin(), names.end(), "PluginTagger"),
             names.end());
-  EXPECT_EQ(mc.passManager().size(), 20u);
+  EXPECT_EQ(mc.passManager().size(), 21u);  // 20 standard + PluginTagger
 }
 
 TEST(Plugin, PluginPassRunsAndTagsKernels) {

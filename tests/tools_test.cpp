@@ -257,7 +257,7 @@ TEST_F(ToolsTest, LauncherCampaignResumeSkipsCompletedRows) {
 
   CommandResult first = run(command);
   EXPECT_EQ(first.exitCode, 0) << first.output;
-  EXPECT_NE(first.output.find("0 skipped (already completed)"),
+  EXPECT_NE(first.output.find("0 skipped (resumed or failed verification)"),
             std::string::npos)
       << first.output;
   auto countLines = [&] {
@@ -275,7 +275,7 @@ TEST_F(ToolsTest, LauncherCampaignResumeSkipsCompletedRows) {
   // The restart must skip everything and leave the CSV untouched.
   CommandResult second = run(command);
   EXPECT_EQ(second.exitCode, 0) << second.output;
-  EXPECT_NE(second.output.find("30 skipped (already completed)"),
+  EXPECT_NE(second.output.find("30 skipped (resumed or failed verification)"),
             std::string::npos)
       << second.output;
   EXPECT_EQ(countLines(), linesAfterFirst);
@@ -351,6 +351,43 @@ TEST_F(ToolsTest, MicrotoolsUsageAndUnknownSubcommand) {
       run(std::string(MT_MICROTOOLS_PATH) + " explore --help");
   EXPECT_EQ(explore.exitCode, 0);
   EXPECT_NE(explore.output.find("--no-cache"), std::string::npos);
+}
+
+TEST_F(ToolsTest, LintVerifiesEveryGeneratedVariantCleanly) {
+  // The CI smoke check: every variant MicroCreator generates from the
+  // bundled example must lint with zero error-level diagnostics.
+  CommandResult r =
+      run(std::string(MT_MICROTOOLS_PATH) + " lint " + xmlPath_);
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("lint: 30 unit(s), 0 error(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(ToolsTest, LintFlagsBadAssemblyWithRuleIdAndExitCode) {
+  std::string bad = writeTempXml(
+      "microkernel:\n"
+      "  mov $7, %rbx\n"
+      "  mov $5, %eax\n"
+      "  ret\n",
+      "tools_lint_bad.s");
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " lint " + bad);
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("MT-ABI01"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("error"), std::string::npos) << r.output;
+
+  CommandResult json =
+      run(std::string(MT_MICROTOOLS_PATH) + " lint --json " + bad);
+  EXPECT_EQ(json.exitCode, 1) << json.output;
+  EXPECT_NE(json.output.find("\"rule\":\"MT-ABI01\""), std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("\"severity\":\"error\""), std::string::npos)
+      << json.output;
+}
+
+TEST_F(ToolsTest, LintRequiresAnInput) {
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " lint");
+  EXPECT_EQ(r.exitCode, 2);
+  EXPECT_NE(r.output.find("no input"), std::string::npos);
 }
 
 TEST_F(ToolsTest, HelpPagesWork) {
