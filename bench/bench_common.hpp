@@ -15,6 +15,7 @@
 #include "launcher/launcher.hpp"
 #include "launcher/sim_backend.hpp"
 #include "sim/arch.hpp"
+#include "support/envinfo.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -104,6 +105,28 @@ inline void header(const std::string& title, const std::string& machine,
   std::printf("==== %s ====\n", title.c_str());
   std::printf("machine: %s\n", machine.c_str());
   std::printf("paper expectation: %s\n", paperExpectation.c_str());
+}
+
+/// JSON object fragment recording the machine the bench ran on, so a
+/// BENCH_*.json baseline carries its own measurement conditions (same
+/// fields as the campaign CSVs' "# env.*" preamble).
+inline std::string envJsonObject(const std::string& indent = "  ") {
+  env::EnvSnapshot snapshot = env::captureEnv();
+  std::string out = "{";
+  for (std::size_t i = 0; i < snapshot.fields.size(); ++i) {
+    std::string value = snapshot.fields[i].value;
+    // The env values are single-line by construction; escape the two
+    // characters that could still break a JSON string.
+    std::string escaped;
+    for (char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    out += (i ? ",\n" : "\n") + indent + "  \"" + snapshot.fields[i].key +
+           "\": \"" + escaped + "\"";
+  }
+  out += "\n" + indent + "}";
+  return out;
 }
 
 inline int finish() {

@@ -169,7 +169,8 @@ int main(int argc, char** argv) {
        << "  \"warm_spawns\": " << warmSpawns << ",\n"
        << "  \"cold_speedup\": " << coldSpeedup << ",\n"
        << "  \"identical_results\": " << (identical ? "true" : "false")
-       << "\n"
+       << ",\n"
+       << "  \"env\": " << bench::envJsonObject() << "\n"
        << "}\n";
   std::printf("wrote %s\n", jsonPath.c_str());
 

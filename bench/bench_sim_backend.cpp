@@ -104,7 +104,8 @@ int main(int argc, char** argv) {
        << "  \"exact_variants_per_sec\": "
        << (exactSeconds > 0 ? variants / exactSeconds : 0.0) << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
-       << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"env\": " << bench::envJsonObject() << "\n"
        << "}\n";
   std::printf("wrote %s\n", jsonPath.c_str());
 

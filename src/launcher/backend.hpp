@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,10 +39,28 @@ struct KernelRequest {
   std::uint64_t chunkStrideBytes = 4;
 };
 
+/// Hardware-counter sample accompanying one invocation. `valid` is false —
+/// and every value NaN — when no counter group is available (no perf, VM
+/// without a PMU, perf_event_paranoid, non-native backend); an individual
+/// value stays NaN when its event did not fit the PMU's counter budget.
+/// Callers aggregate with plain arithmetic: NaN propagates, so a metric
+/// derived from an absent event is itself absent.
+struct InvokeCounters {
+  bool valid = false;
+  double cycles = std::numeric_limits<double>::quiet_NaN();
+  double instructions = std::numeric_limits<double>::quiet_NaN();
+  double l1dAccesses = std::numeric_limits<double>::quiet_NaN();
+  double l1dMisses = std::numeric_limits<double>::quiet_NaN();
+  double llcAccesses = std::numeric_limits<double>::quiet_NaN();
+  double llcMisses = std::numeric_limits<double>::quiet_NaN();
+  double stalledCycles = std::numeric_limits<double>::quiet_NaN();
+};
+
 /// Timing sample for one or more kernel calls.
 struct InvokeResult {
   double tscCycles = 0.0;         ///< elapsed invariant-TSC cycles
   std::uint64_t iterations = 0;   ///< iteration count the kernel returned
+  InvokeCounters counters;        ///< perf-counter window over the call(s)
 };
 
 /// Pinning policy for fork-mode runs.

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace microtools::launcher {
+
+/// Knobs of the campaign-CSV comparison (`microtools bench-diff`).
+struct BenchDiffOptions {
+  /// Campaign CSV column compared per variant. Any numeric column works;
+  /// the default is the median cycles/iteration (robust to outlier rows).
+  std::string metric = "cycles_per_iteration_median";
+
+  /// Minimum relative delta worth flagging at all (5% default).
+  double relThreshold = 0.05;
+
+  /// Noise multiplier: the effective threshold per variant is
+  /// max(relThreshold, cvMultiplier * pooledCv) where pooledCv =
+  /// sqrt(cvOld^2 + cvNew^2) — the μOpTime-style rule that a delta inside
+  /// the combined measurement noise proves nothing.
+  double cvMultiplier = 3.0;
+};
+
+/// Per-variant rollup of one CSV file: all status-ok rows for the variant
+/// collapsed into robust statistics of the chosen metric.
+struct VariantRollup {
+  std::size_t samples = 0;  ///< ok rows contributing
+  double median = std::numeric_limits<double>::quiet_NaN();
+  double p95 = std::numeric_limits<double>::quiet_NaN();
+  /// Noise estimate: max of the across-row CV of the metric and the median
+  /// of the rows' own `cv` column (within-measurement noise) — whichever
+  /// source of noise is larger bounds what a delta can prove.
+  double cv = 0.0;
+};
+
+/// One variant present in both files, with its verdict.
+struct BenchDiffEntry {
+  std::string name;
+  VariantRollup before;
+  VariantRollup after;
+  double delta = 0.0;    ///< (after.median - before.median) / before.median
+  double allowed = 0.0;  ///< effective threshold for this variant
+  std::string verdict;   ///< "ok" | "improved" | "regression"
+};
+
+/// The full comparison of two campaign CSVs.
+struct BenchDiffReport {
+  std::string metric;
+  std::vector<BenchDiffEntry> entries;    ///< common variants, input order
+  std::vector<std::string> onlyOld;       ///< variants missing from new.csv
+  std::vector<std::string> onlyNew;       ///< variants missing from old.csv
+  std::vector<std::string> envChanges;    ///< "key: old-value -> new-value"
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+};
+
+/// Joins two campaign CSV files by variant name and applies the noise-aware
+/// threshold to each common variant. Throws McError when a file cannot be
+/// read, has no recognizable campaign header, lacks the metric column, or
+/// when the two files share no variant with ok rows (a vacuous comparison
+/// must not pass silently).
+BenchDiffReport benchDiff(const std::string& oldPath,
+                          const std::string& newPath,
+                          const BenchDiffOptions& options = {});
+
+/// Human-readable table (one line per variant plus a summary footer).
+std::string renderBenchDiffTable(const BenchDiffReport& report);
+
+/// Machine-readable JSON rendering of the same report.
+std::string renderBenchDiffJson(const BenchDiffReport& report);
+
+}  // namespace microtools::launcher

@@ -106,17 +106,52 @@ VerifyMode verifyModeFromName(const std::string& name) {
 // CampaignCsvSink
 // ---------------------------------------------------------------------------
 
-CampaignCsvSink::CampaignCsvSink(const std::string& path) {
+CampaignCsvSink::CampaignCsvSink(const std::string& path,
+                                 const std::string& preamble) {
   // Append-safe: an interrupted campaign can be rerun against the same file
-  // and only the header is deduplicated.
+  // and only the header is deduplicated. Before appending to an existing
+  // file, two resume hazards are checked: a header from an older (or newer)
+  // schema, and a last row torn mid-write by a crash.
   std::error_code ec;
-  bool hasRows = fs::exists(path, ec) && fs::file_size(path, ec) > 0;
+  bool hasContent = fs::exists(path, ec) && fs::file_size(path, ec) > 0;
+  bool existingHeader = false;
+  bool missingFinalNewline = false;
+  if (hasContent) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw McError("cannot read campaign CSV file: " + path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (strings::startsWith(strings::trim(line), "#")) continue;  // preamble
+      if (csv::parseLine(line) != CampaignRunner::csvHeader()) {
+        throw McError("campaign CSV header of '" + path +
+                      "' does not match the current schema; refusing to mix "
+                      "schemas in one file (move the old file aside)");
+      }
+      existingHeader = true;
+      break;
+    }
+    in.clear();
+    in.seekg(-1, std::ios::end);
+    char last = '\n';
+    if (in.get(last) && last != '\n') missingFinalNewline = true;
+  }
   auto file = std::make_unique<std::ofstream>(
       path, std::ios::binary | std::ios::app);
   if (!*file) throw McError("cannot open campaign CSV file: " + path);
   owned_ = std::move(file);
   os_ = owned_.get();
-  headerWritten_ = hasRows;
+  headerWritten_ = existingHeader;
+  if (missingFinalNewline) {
+    // Repair a crash-truncated final row: terminate the torn line so the
+    // next append starts fresh. The partial row itself stays (parsers skip
+    // short rows), but nothing concatenates onto it.
+    *os_ << '\n';
+    os_->flush();
+  }
+  if (!hasContent && !preamble.empty()) {
+    *os_ << preamble;
+    os_->flush();
+  }
 }
 
 CampaignCsvSink::CampaignCsvSink(std::ostream& os) : os_(&os) {}
@@ -304,15 +339,18 @@ std::vector<VariantResult> CampaignRunner::run(
   // producer) on the given worker's backend. The cache is always written
   // with the ORIGINAL variant: a prepared "so" unit is a process-local
   // artifact and must never leak into the content-addressed cache key.
-  auto measureTask = [this, &variants, &results, &backends, &request, sink](
-                         int worker, std::size_t i,
-                         const CampaignVariant& prepared) {
+  std::vector<char> measured(variants.size(), 0);
+
+  auto measureTask = [this, &variants, &results, &backends, &request, sink,
+                      &measured](int worker, std::size_t i,
+                                 const CampaignVariant& prepared) {
     KernelRequest workerRequest = request;
     if (options_.pinWorkers) workerRequest.core = worker;
     std::string verdict = std::move(results[i].verify);
     results[i] = runOne(*backends[static_cast<std::size_t>(worker)], prepared,
                         i, workerRequest);
     results[i].verify = std::move(verdict);
+    measured[i] = 1;
     if (results[i].status == "ok" && options_.cacheStore) {
       options_.cacheStore(variants[i], results[i]);
     }
@@ -357,10 +395,24 @@ std::vector<VariantResult> CampaignRunner::run(
   std::atomic<std::size_t> nextBatch{0};
   std::atomic<int> liveProducers{compileJobs};
 
+  // The last producer to exit — on ANY path, including an exception that
+  // escapes the loop — must close the queue, or the measurement workers
+  // block in pop() forever. A destructor is the only spot that covers every
+  // exit, so the decrement lives in a scope guard rather than after the
+  // loop.
+  struct ProducerExit {
+    std::atomic<int>& live;
+    BoundedQueue& queue;
+    ~ProducerExit() {
+      if (live.fetch_sub(1) == 1) queue.close();
+    }
+  };
+
   std::vector<std::thread> producers;
   producers.reserve(static_cast<std::size_t>(compileJobs));
   for (int j = 0; j < compileJobs; ++j) {
     producers.emplace_back([&, j] {
+      ProducerExit exitGuard{liveProducers, queue};
       Backend& backend = *compileBackends[static_cast<std::size_t>(j)];
       std::size_t b;
       while ((b = nextBatch.fetch_add(1)) < batches) {
@@ -381,6 +433,17 @@ std::vector<VariantResult> CampaignRunner::run(
           log::warn("prepareBatch failed (" + e.message() +
                     "); measuring unprepared sources");
           prepared = units;
+        } catch (const std::exception& e) {
+          // Not just McError: bad_alloc, system_error from thread machinery,
+          // anything — an uncaught exception here used to skip the producer
+          // accounting and deadlock every measurement worker in pop().
+          log::warn(std::string("prepareBatch failed (") + e.what() +
+                    "); measuring unprepared sources");
+          prepared = units;
+        } catch (...) {
+          log::warn("prepareBatch failed (unknown exception); measuring "
+                    "unprepared sources");
+          prepared = units;
         }
         if (prepared.size() != units.size()) prepared = std::move(units);
         for (std::size_t k = begin; k < end; ++k) {
@@ -388,7 +451,6 @@ std::vector<VariantResult> CampaignRunner::run(
                                      std::move(prepared[k - begin])});
         }
       }
-      if (liveProducers.fetch_sub(1) == 1) queue.close();
     });
   }
 
@@ -406,6 +468,22 @@ std::vector<VariantResult> CampaignRunner::run(
   }
   pool.wait();
   for (std::thread& producer : producers) producer.join();
+
+  // A producer that died before pushing its items leaves variants that no
+  // worker ever saw; their pre-initialized results still read status "ok".
+  // Surface them as errors (with a CSV row) instead of returning phantom
+  // successes.
+  for (std::size_t i : pending) {
+    if (measured[i]) continue;
+    std::string verdict = std::move(results[i].verify);
+    results[i] = VariantResult{};
+    results[i].sequence = i;
+    results[i].name = variants[i].name;
+    results[i].verify = std::move(verdict);
+    results[i].status = "error";
+    results[i].error = "never measured: compile pipeline aborted";
+    if (sink) sink->append(results[i]);
+  }
   return results;
 }
 
@@ -419,6 +497,11 @@ std::vector<std::string> CampaignRunner::csvHeader() {
           "cycles_per_iteration_median",
           "cycles_per_iteration_max",
           "cv",
+          "instructions_per_iteration",
+          "ipc",
+          "l1_miss_rate",
+          "llc_miss_rate",
+          "stall_ratio",
           "repetitions",
           "converged",
           "attempts",
@@ -433,6 +516,12 @@ std::vector<std::string> CampaignRunner::csvRow(const VariantResult& r) {
   cells.push_back(std::to_string(r.sequence));
   cells.push_back(r.name);
   cells.push_back(r.status);
+  // A counter metric cell is empty whenever the value is absent — the
+  // rdtsc-only degradation path (no perf, VM without PMU, sim backend) and
+  // individual events dropped from the PMU group both surface as NaN.
+  auto metricCell = [&cells](double value, const char* fmt) {
+    cells.push_back(std::isfinite(value) ? strings::format(fmt, value) : "");
+  };
   if (r.status == "ok") {
     const stats::Summary& s = r.measurement.cyclesPerIteration;
     cells.push_back(std::to_string(r.measurement.iterationsPerCall));
@@ -441,8 +530,14 @@ std::vector<std::string> CampaignRunner::csvRow(const VariantResult& r) {
     cells.push_back(strings::format("%.4f", s.median));
     cells.push_back(strings::format("%.4f", s.max));
     cells.push_back(strings::format("%.6f", r.finalCv));
+    const CounterMetrics& c = r.measurement.counters;
+    metricCell(c.instructionsPerIteration, "%.4f");
+    metricCell(c.ipc, "%.4f");
+    metricCell(c.l1MissRate, "%.6f");
+    metricCell(c.llcMissRate, "%.6f");
+    metricCell(c.stallRatio, "%.6f");
   } else {
-    for (int i = 0; i < 6; ++i) cells.push_back("");
+    for (int i = 0; i < 11; ++i) cells.push_back("");
   }
   cells.push_back(std::to_string(r.repetitions));
   cells.push_back(r.converged ? "1" : "0");
@@ -526,9 +621,16 @@ std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
   std::ifstream in(csvPath, std::ios::binary);
   if (!in) return completed;
 
+  // Skip the "# env.*" preamble (and any other comment lines) before the
+  // header.
   std::string line;
-  if (!std::getline(in, line)) return completed;
-  std::vector<std::string> header = csv::parseLine(line);
+  std::vector<std::string> header;
+  while (std::getline(in, line)) {
+    if (strings::startsWith(strings::trim(line), "#")) continue;
+    header = csv::parseLine(line);
+    break;
+  }
+  if (header.empty()) return completed;
   auto column = [&header](const std::string& name) -> std::ptrdiff_t {
     for (std::size_t i = 0; i < header.size(); ++i) {
       if (header[i] == name) return static_cast<std::ptrdiff_t>(i);
@@ -540,13 +642,22 @@ std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
   std::ptrdiff_t statusCol = column("status");
   if (seqCol < 0 || nameCol < 0 || statusCol < 0) return completed;
 
-  std::size_t need = static_cast<std::size_t>(
-                         std::max({seqCol, nameCol, statusCol})) + 1;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    if (strings::startsWith(strings::trim(line), "#")) continue;
     std::vector<std::string> cells = csv::parseLine(line);
-    if (cells.size() < need) continue;  // truncated row from a crash
-    if (cells[static_cast<std::size_t>(statusCol)] != "ok") continue;
+    // The runner always writes full-width rows (missing metrics are empty
+    // cells, not absent ones), so any shorter row is the torn remnant of a
+    // crash mid-write — its data is gone; re-measure it.
+    if (cells.size() < header.size()) continue;
+    // Every status the runner writes is terminal: a failed variant already
+    // consumed its retry and a verify-strict skip is a verdict. Only rows
+    // with an unknown status (foreign file, torn row) are re-run.
+    const std::string& status = cells[static_cast<std::size_t>(statusCol)];
+    if (status != "ok" && status != "error" && status != "timeout" &&
+        status != "skipped") {
+      continue;
+    }
     auto seq = strings::parseInt(cells[static_cast<std::size_t>(seqCol)]);
     if (!seq || *seq < 0) continue;
     completed.emplace(static_cast<std::size_t>(*seq),

@@ -90,10 +90,10 @@ struct CampaignOptions {
   CacheLookup cacheLookup;     ///< pre-measurement cache probe (optional)
   CacheStore cacheStore;       ///< post-measurement cache write (optional)
 
-  /// (sequence, name) pairs already completed in a previous run (CSV
-  /// resume): these variants are marked "skipped" without touching a
-  /// backend, and are NOT re-appended to the sink — their rows already
-  /// exist in the file being resumed.
+  /// (sequence, name) pairs already terminal in a previous run (CSV
+  /// resume; see readCompletedVariants): these variants are marked
+  /// "skipped" without touching a backend, and are NOT re-appended to the
+  /// sink — their rows already exist in the file being resumed.
   std::set<std::pair<std::size_t, std::string>> completed;
 };
 
@@ -107,10 +107,18 @@ using BackendFactory = std::function<std::unique_ptr<Backend>(int worker)>;
 /// so a crashed campaign loses nothing. Rows are appended in completion
 /// order and carry their `sequence` column; one flush per row. When opened
 /// on a path, the header is only written if the file is new or empty, so
-/// resumed campaigns append cleanly.
+/// resumed campaigns append cleanly. Resuming an existing file is hardened
+/// two ways: a file whose header differs from the current csvHeader() is
+/// rejected (McError) instead of silently mixing schemas, and a file whose
+/// last row was truncated by a crash gets a newline before the first new
+/// row so the next append cannot concatenate onto the torn line.
 class CampaignCsvSink {
  public:
-  explicit CampaignCsvSink(const std::string& path);
+  /// Opens `path` for appending. For a new or empty file, `preamble`
+  /// (typically env::toCsvComments output — "#"-prefixed lines) is written
+  /// before the header; an existing file keeps its original preamble.
+  explicit CampaignCsvSink(const std::string& path,
+                           const std::string& preamble = "");
   explicit CampaignCsvSink(std::ostream& os);
   ~CampaignCsvSink();
 
@@ -162,9 +170,14 @@ std::vector<CampaignVariant> loadCampaignDirectory(
     const std::string& dir, const std::string& functionName = "microkernel");
 
 /// Reads a campaign CSV written by CampaignCsvSink and returns the
-/// (sequence, name) pairs of rows whose status is "ok" — the set a resumed
-/// campaign can skip. Missing files yield an empty set; malformed rows are
-/// ignored (a truncated last line from a crash must not block the resume).
+/// (sequence, name) pairs of rows with a TERMINAL status — ok, error,
+/// timeout, or skipped — i.e. the set a resumed campaign can skip. Every
+/// status the runner writes is terminal (a failed variant already got its
+/// retry; a verify-strict skip is a verdict, not a transient), so re-running
+/// such a variant on resume would only duplicate its row. Missing files
+/// yield an empty set; "#" comment lines are skipped, and rows narrower
+/// than the schema — the runner always writes full-width rows — are treated
+/// as crash-torn remnants: ignored here so the variant is re-measured.
 std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
     const std::string& csvPath);
 

@@ -136,6 +136,19 @@ std::string MeasurementCache::serialize(const std::string& key,
   oss << "final_cv " << fmtDouble(r.finalCv) << '\n';
   oss << "converged " << (r.converged ? 1 : 0) << '\n';
   oss << "attempts " << r.attempts << '\n';
+  // Counter metrics are OPTIONAL fields: absent in records written before
+  // counters existed (and for rdtsc-only measurements), which deserialize
+  // tolerates without a format-version bump — missing simply means invalid.
+  const CounterMetrics& c = r.measurement.counters;
+  if (c.valid) {
+    oss << "pc_valid 1\n";
+    oss << "pc_instructions_per_iteration "
+        << fmtDouble(c.instructionsPerIteration) << '\n';
+    oss << "pc_ipc " << fmtDouble(c.ipc) << '\n';
+    oss << "pc_l1_miss_rate " << fmtDouble(c.l1MissRate) << '\n';
+    oss << "pc_llc_miss_rate " << fmtDouble(c.llcMissRate) << '\n';
+    oss << "pc_stall_ratio " << fmtDouble(c.stallRatio) << '\n';
+  }
   return oss.str();
 }
 
@@ -221,6 +234,18 @@ std::optional<VariantResult> MeasurementCache::deserialize(
   r.finalCv = *finalCv;
   r.converged = *converged != 0;
   r.attempts = static_cast<int>(*attempts);
+  if (getInt("pc_valid").value_or(0) != 0) {
+    CounterMetrics& c = r.measurement.counters;
+    c.valid = true;  // individual fields default to NaN when absent
+    auto setMetric = [&getDouble](double& dst, const char* field) {
+      if (auto v = getDouble(field)) dst = *v;
+    };
+    setMetric(c.instructionsPerIteration, "pc_instructions_per_iteration");
+    setMetric(c.ipc, "pc_ipc");
+    setMetric(c.l1MissRate, "pc_l1_miss_rate");
+    setMetric(c.llcMissRate, "pc_llc_miss_rate");
+    setMetric(c.stallRatio, "pc_stall_ratio");
+  }
   return r;
 }
 
@@ -367,6 +392,8 @@ ExploreResult runExplore(const ExploreOptions& options,
       ++out.cacheHits;
     } else if (r.status != "skipped") {
       ++out.measured;
+    } else {
+      ++out.skipped;
     }
     if (r.status == "error" || r.status == "timeout") ++out.failures;
   }

@@ -117,6 +117,7 @@ struct ExploreResult {
   std::size_t generated = 0;           ///< programs MicroCreator emitted
   std::size_t cacheHits = 0;           ///< variants served from the cache
   std::size_t measured = 0;            ///< variants actually executed
+  std::size_t skipped = 0;  ///< resumed from a CSV or verify-strict skipped
   std::size_t failures = 0;            ///< status error/timeout
   KernelRequest request;               ///< the request every variant ran
   std::string backendId;               ///< resolved backend identity

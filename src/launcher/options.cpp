@@ -107,6 +107,10 @@ cli::Parser makeLauncherParser() {
                    "the CSV; off disables the check",
                    "strict");
   parser.addString("backend", "Execution backend: sim|native", "sim");
+  parser.addFlag("no-perf-counters",
+                 "Do not open perf_event counter groups around native "
+                 "kernel calls (rdtsc timing only; counter-derived CSV "
+                 "columns stay empty)");
   parser.addString("arch", "Simulated machine (see --list-arch)",
                    "nehalem_x5650_2s");
   parser.addDouble("core-ghz", "Override the core frequency (DVFS study)");
@@ -168,6 +172,7 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   }
   o.verifyMode = parser.getString("verify");
   o.backend = parser.getString("backend");
+  o.perfCounters = !parser.getFlag("no-perf-counters");
   o.arch = parser.getString("arch");
   if (parser.has("core-ghz")) o.coreGHz = parser.getDouble("core-ghz");
   o.seed = static_cast<std::uint64_t>(parser.getInt("seed"));

@@ -77,6 +77,7 @@ struct LauncherOptions {
 
   // -- backend / machine ---------------------------------------------------------
   std::string backend = "sim";   ///< sim|native
+  bool perfCounters = true;  ///< perf_event counter groups (native backend)
   std::string arch = "nehalem_x5650_2s";
   std::optional<double> coreGHz;  ///< DVFS override (Figure 13)
   std::uint64_t seed = 1;

@@ -51,6 +51,12 @@ AdaptiveMeasurement measureKernelAdaptive(Backend& backend,
   double totalCycles = 0.0;
   bool clampWarned = false;
 
+  // Counter aggregation over every timed invoke whose window was valid.
+  // Plain sums: an event dropped from the PMU group contributes NaN, which
+  // propagates into exactly the metrics derived from it and no others.
+  InvokeCounters counterSum;
+  std::uint64_t counterIterations = 0;
+
   auto runOuterExperiment = [&] {
     double elapsed = 0.0;
     std::uint64_t iterations = 0;
@@ -59,6 +65,20 @@ AdaptiveMeasurement measureKernelAdaptive(Backend& backend,
       InvokeResult r = backend.invoke(kernel, request);
       elapsed += r.tscCycles;
       iterations += r.iterations;
+      if (r.counters.valid) {
+        if (!counterSum.valid) {
+          counterSum = r.counters;
+        } else {
+          counterSum.cycles += r.counters.cycles;
+          counterSum.instructions += r.counters.instructions;
+          counterSum.l1dAccesses += r.counters.l1dAccesses;
+          counterSum.l1dMisses += r.counters.l1dMisses;
+          counterSum.llcAccesses += r.counters.llcAccesses;
+          counterSum.llcMisses += r.counters.llcMisses;
+          counterSum.stalledCycles += r.counters.stalledCycles;
+        }
+        counterIterations += r.iterations;
+      }
     }
     if (iterations == 0) {
       throw ExecutionError(
@@ -114,6 +134,16 @@ AdaptiveMeasurement measureKernelAdaptive(Backend& backend,
   out.measurement.cyclesPerIteration = summary;
   out.measurement.iterationsPerCall = iterationsPerCall;
   out.measurement.totalCycles = totalCycles;
+  if (counterSum.valid && counterIterations > 0) {
+    CounterMetrics& m = out.measurement.counters;
+    m.valid = true;
+    m.instructionsPerIteration =
+        counterSum.instructions / static_cast<double>(counterIterations);
+    m.ipc = counterSum.instructions / counterSum.cycles;
+    m.l1MissRate = counterSum.l1dMisses / counterSum.l1dAccesses;
+    m.llcMissRate = counterSum.llcMisses / counterSum.llcAccesses;
+    m.stallRatio = counterSum.stalledCycles / counterSum.cycles;
+  }
   out.repetitions = static_cast<int>(samples.size());
   out.converged = !adaptive || summary.cv <= policy.maxCv;
   return out;

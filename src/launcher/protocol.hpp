@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 
 #include "launcher/backend.hpp"
 #include "support/stats.hpp"
@@ -26,6 +27,20 @@ struct AdaptivePolicy {
   int maxRepetitions = 0;  ///< total outer-repetition budget (incl. baseline)
 };
 
+/// Derived hardware-counter metrics for one measurement, aggregated over
+/// every timed invocation whose counter window was valid. `valid` is false
+/// (all NaN, empty CSV cells) when no invocation carried counters — the
+/// rdtsc-only degradation path. Individual metrics are NaN when the event
+/// they derive from was dropped to fit the PMU's counter budget.
+struct CounterMetrics {
+  bool valid = false;
+  double instructionsPerIteration = std::numeric_limits<double>::quiet_NaN();
+  double ipc = std::numeric_limits<double>::quiet_NaN();  ///< instr/cycle
+  double l1MissRate = std::numeric_limits<double>::quiet_NaN();
+  double llcMissRate = std::numeric_limits<double>::quiet_NaN();
+  double stallRatio = std::numeric_limits<double>::quiet_NaN();
+};
+
 /// Result of one measured kernel configuration.
 struct Measurement {
   /// Cycles per kernel iteration, summarized over the outer experiments
@@ -37,6 +52,10 @@ struct Measurement {
 
   /// Raw cycles of the full measured phase.
   double totalCycles = 0.0;
+
+  /// Counter-derived metrics (invalid on non-native backends and whenever
+  /// the perf counter group could not be opened).
+  CounterMetrics counters;
 };
 
 /// A Measurement plus the adaptive-repetition bookkeeping the campaign

@@ -229,6 +229,24 @@ std::vector<launcher::SourceUnit> NativeBackend::prepareBatch(
   return units;
 }
 
+perf::CounterGroup* NativeBackend::threadCounters() {
+  if (!options_.perfCounters) return nullptr;
+  std::thread::id self = std::this_thread::get_id();
+  if (!counterGroup_ || counterThread_ != self) {
+    // pid=0 binds the group to the calling thread; the backend may have been
+    // constructed elsewhere, so (re)create on the thread that measures.
+    counterGroup_ = std::make_unique<perf::CounterGroup>(
+        perf::CounterGroup::defaultHardwareEvents());
+    counterThread_ = self;
+    if (!counterGroup_->available() && !counterUnavailableLogged_) {
+      log::debug("perf counters unavailable, measuring rdtsc-only: " +
+                 counterGroup_->unavailableReason());
+      counterUnavailableLogged_ = true;
+    }
+  }
+  return counterGroup_.get();
+}
+
 InvokeResult NativeBackend::invoke(launcher::KernelHandle& kernel,
                                    const KernelRequest& request) {
   NativeKernel& k = unwrap(kernel);
@@ -236,10 +254,28 @@ InvokeResult NativeBackend::invoke(launcher::KernelHandle& kernel,
   if (!pinToCore(request.core)) {
     log::warn("sched_setaffinity failed; running unpinned");
   }
+  perf::CounterGroup* counters = threadCounters();
+  // The counter window wraps the rdtsc window (not the other way round) so
+  // the tsc timing path is bit-identical with counters on or off.
+  if (counters) counters->start();
   std::uint64_t t0 = readTsc();
   int iterations = k.call(request.n);
   std::uint64_t t1 = readTsc();
   InvokeResult out;
+  if (counters) {
+    perf::CounterSample sample = counters->stop();
+    if (sample.valid) {
+      const auto& events = counters->events();
+      out.counters.valid = true;
+      out.counters.cycles = sample.value(events, "cycles");
+      out.counters.instructions = sample.value(events, "instructions");
+      out.counters.l1dAccesses = sample.value(events, "l1d_accesses");
+      out.counters.l1dMisses = sample.value(events, "l1d_misses");
+      out.counters.llcAccesses = sample.value(events, "llc_accesses");
+      out.counters.llcMisses = sample.value(events, "llc_misses");
+      out.counters.stalledCycles = sample.value(events, "stalled_cycles");
+    }
+  }
   out.tscCycles = static_cast<double>(t1 - t0);
   out.iterations = static_cast<std::uint64_t>(iterations < 0 ? 0 : iterations);
   return out;

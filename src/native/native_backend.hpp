@@ -2,9 +2,11 @@
 
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "launcher/backend.hpp"
 #include "native/compile.hpp"
+#include "native/perf_counters.hpp"
 
 namespace microtools::native {
 
@@ -13,6 +15,12 @@ struct NativeBackendOptions {
   /// Passed through to every compilation (see CompileOptions::cacheDir):
   /// content-addressed .so cache directory; empty = no persistent cache.
   std::string compileCacheDir;
+
+  /// Open a perf::CounterGroup around every invoke() to derive IPC and
+  /// cache-miss metrics. When the group cannot be opened (no perf support,
+  /// perf_event_paranoid, VM without a PMU) measurement silently degrades
+  /// to rdtsc-only and InvokeResult::counters stays invalid.
+  bool perfCounters = true;
 };
 
 /// Hardware-backed execution: the faithful MicroLauncher path. Kernels are
@@ -79,7 +87,18 @@ class NativeBackend final : public launcher::Backend {
   struct NativeKernel;
   static NativeKernel& unwrap(launcher::KernelHandle& kernel);
 
+  /// The counter group for the CURRENT thread. perf_event_open with pid=0
+  /// binds to the calling thread, but this backend is typically constructed
+  /// on the campaign's main thread and invoked on a pinned worker — so the
+  /// group is created lazily inside invoke() and recreated whenever the
+  /// invoking thread changes. Returns nullptr when counters are disabled.
+  perf::CounterGroup* threadCounters();
+
   NativeBackendOptions options_;
+
+  std::unique_ptr<perf::CounterGroup> counterGroup_;
+  std::thread::id counterThread_;
+  bool counterUnavailableLogged_ = false;
 
   /// Shared objects kept alive for prepareBatch()'s "so" paths when there is
   /// no persistent cache to hold them (see prepareBatch). Guarded: the

@@ -1,0 +1,280 @@
+#include "native/perf_counters.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace microtools::perf {
+
+double CounterSample::value(const std::vector<EventSpec>& events,
+                            const std::string& name) const {
+  if (!valid) return std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 0; i < events.size() && i < values.size(); ++i) {
+    if (events[i].name == name) return values[i];
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int perfEventOpen(const EventSpec& spec, int groupFd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = spec.type;
+  attr.size = sizeof attr;
+  attr.config = spec.config;
+  attr.disabled = groupFd == -1 ? 1 : 0;  // the leader gates the group
+  attr.exclude_kernel = 1;                // user-space only: works at
+  attr.exclude_hv = 1;                    // perf_event_paranoid <= 2
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                     PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid = 0, cpu = -1: count the calling thread wherever it runs — the
+  // campaign's measurement workers each own their backend and thread.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, groupFd, 0));
+}
+
+}  // namespace
+
+std::vector<EventSpec> CounterGroup::defaultHardwareEvents() {
+  auto hw = [](std::uint64_t config, const char* name, bool required) {
+    return EventSpec{PERF_TYPE_HARDWARE, config, name, required};
+  };
+  auto cache = [](std::uint64_t id, std::uint64_t op, std::uint64_t result,
+                  const char* name) {
+    return EventSpec{PERF_TYPE_HW_CACHE, id | (op << 8) | (result << 16),
+                     name, false};
+  };
+  // Order is the narrowing order: the tail is dropped first when the PMU
+  // cannot schedule the full group, so the core ratios (ipc, miss counts)
+  // survive the longest. cycles and instructions live on fixed counters on
+  // x86 and cost no programmable slot.
+  return {
+      hw(PERF_COUNT_HW_CPU_CYCLES, "cycles", true),
+      hw(PERF_COUNT_HW_INSTRUCTIONS, "instructions", false),
+      cache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+            PERF_COUNT_HW_CACHE_RESULT_MISS, "l1d_misses"),
+      hw(PERF_COUNT_HW_CACHE_MISSES, "llc_misses", false),
+      cache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+            PERF_COUNT_HW_CACHE_RESULT_ACCESS, "l1d_accesses"),
+      hw(PERF_COUNT_HW_CACHE_REFERENCES, "llc_accesses", false),
+      hw(PERF_COUNT_HW_STALLED_CYCLES_BACKEND, "stalled_cycles", false),
+  };
+}
+
+CounterGroup::CounterGroup(std::vector<EventSpec> events) {
+  if (events.empty()) {
+    reason_ = "no events requested";
+    return;
+  }
+
+  // Open the leader first; its errno is the canonical availability verdict.
+  int leader = perfEventOpen(events.front(), -1);
+  if (leader < 0) {
+    int err = errno;
+    reason_ = std::string("perf_event_open failed for ") +
+              events.front().name + ": " + std::strerror(err);
+    if (err == EACCES || err == EPERM) {
+      reason_ += " (check /proc/sys/kernel/perf_event_paranoid)";
+    } else if (err == ENOENT || err == ENODEV || err == EOPNOTSUPP) {
+      reason_ += " (no PMU exposed — virtualized host?)";
+    }
+    return;
+  }
+  events_.push_back(events.front());
+  fds_.push_back(leader);
+
+  // Optional siblings: an event the kernel refuses outright is dropped.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    int fd = perfEventOpen(events[i], leader);
+    if (fd < 0) {
+      if (events[i].required) {
+        reason_ = std::string("perf_event_open failed for required event ") +
+                  events[i].name + ": " + std::strerror(errno);
+        closeAll();
+        return;
+      }
+      continue;
+    }
+    events_.push_back(events[i]);
+    fds_.push_back(fd);
+  }
+
+  // The kernel accepts groups it can never schedule (more events than
+  // simultaneous counters). Verify empirically and narrow from the tail
+  // until the group actually runs.
+  while (!probeSchedulable()) {
+    // Find the last optional event; without one the group is hopeless.
+    std::size_t drop = events_.size();
+    while (drop > 0 && events_[drop - 1].required) --drop;
+    if (drop == 0) {
+      reason_ = "counter group cannot be scheduled on this PMU";
+      closeAll();
+      return;
+    }
+    close(fds_[drop - 1]);
+    fds_.erase(fds_.begin() + static_cast<std::ptrdiff_t>(drop - 1));
+    events_.erase(events_.begin() + static_cast<std::ptrdiff_t>(drop - 1));
+  }
+
+  // Map each fd's kernel id so reads are decoded by identity, not by
+  // assumed ordering.
+  ids_.resize(fds_.size(), 0);
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    std::uint64_t id = 0;
+    if (ioctl(fds_[i], PERF_EVENT_IOC_ID, &id) != 0) {
+      reason_ = "PERF_EVENT_IOC_ID failed";
+      closeAll();
+      return;
+    }
+    ids_[i] = id;
+  }
+
+  available_ = true;
+  calibrateOverhead();
+}
+
+CounterGroup::~CounterGroup() { closeAll(); }
+
+void CounterGroup::closeAll() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+  fds_.clear();
+  ids_.clear();
+  events_.clear();
+  available_ = false;
+}
+
+bool CounterGroup::probeSchedulable() {
+  if (fds_.empty()) return false;
+  ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  // Burn a little user-space time so the scheduler has something to count.
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 50000; ++i) sink += static_cast<std::uint64_t>(i);
+  ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+
+  // read_format: nr, time_enabled, time_running, then {value, id} pairs.
+  std::vector<std::uint64_t> buf(3 + 2 * fds_.size());
+  ssize_t n = read(fds_[0], buf.data(),
+                   buf.size() * sizeof(std::uint64_t));
+  if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return false;
+  return buf[2] > 0;  // time_running: 0 means the group never got on core
+}
+
+CounterSample CounterGroup::readRaw() const {
+  CounterSample sample;
+  if (!available_ && ids_.empty()) return sample;
+  std::vector<std::uint64_t> buf(3 + 2 * fds_.size());
+  ssize_t n = read(fds_[0], buf.data(),
+                   buf.size() * sizeof(std::uint64_t));
+  if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return sample;
+  std::uint64_t nr = buf[0];
+  std::uint64_t enabled = buf[1];
+  std::uint64_t running = buf[2];
+  if (running == 0) return sample;  // never scheduled during the window
+
+  // Multiplexing extrapolation: with PERF_FORMAT_GROUP all members run (or
+  // not) together, so one enabled/running ratio scales every value.
+  double scale = running < enabled
+                     ? static_cast<double>(enabled) /
+                           static_cast<double>(running)
+                     : 1.0;
+  sample.values.assign(events_.size(),
+                       std::numeric_limits<double>::quiet_NaN());
+  for (std::uint64_t e = 0; e < nr && 3 + 2 * e + 1 < buf.size(); ++e) {
+    std::uint64_t value = buf[3 + 2 * e];
+    std::uint64_t id = buf[3 + 2 * e + 1];
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      if (ids_[i] == id) {
+        sample.values[i] = static_cast<double>(value) * scale;
+        break;
+      }
+    }
+  }
+  sample.timeEnabledNs = static_cast<double>(enabled);
+  sample.timeRunningNs = static_cast<double>(running);
+  sample.valid = true;
+  return sample;
+}
+
+void CounterGroup::calibrateOverhead() {
+  // nanoBench discipline: the counter values of an EMPTY start()/stop()
+  // window are pure measurement overhead (the enable/disable ioctls and the
+  // group read run with counters live for part of the window). Median over
+  // many empty windows, per event, subtracted from every real sample.
+  constexpr int kSamples = 65;
+  std::vector<std::vector<double>> perEvent(events_.size());
+  for (int s = 0; s < kSamples; ++s) {
+    ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    CounterSample sample = readRaw();
+    if (!sample.valid) continue;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (std::isfinite(sample.values[i])) {
+        perEvent[i].push_back(sample.values[i]);
+      }
+    }
+  }
+  overhead_.assign(events_.size(), 0.0);
+  for (std::size_t i = 0; i < perEvent.size(); ++i) {
+    if (perEvent[i].empty()) continue;
+    auto mid = perEvent[i].begin() +
+               static_cast<std::ptrdiff_t>(perEvent[i].size() / 2);
+    std::nth_element(perEvent[i].begin(), mid, perEvent[i].end());
+    overhead_[i] = *mid;
+  }
+}
+
+void CounterGroup::start() {
+  if (!available_) return;
+  ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+CounterSample CounterGroup::stop() {
+  if (!available_) return CounterSample{};
+  ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  CounterSample sample = readRaw();
+  if (!sample.valid) return sample;
+  for (std::size_t i = 0; i < sample.values.size(); ++i) {
+    if (i < overhead_.size() && std::isfinite(sample.values[i])) {
+      sample.values[i] = std::max(0.0, sample.values[i] - overhead_[i]);
+    }
+  }
+  return sample;
+}
+
+#else  // !__linux__
+
+std::vector<EventSpec> CounterGroup::defaultHardwareEvents() { return {}; }
+
+CounterGroup::CounterGroup(std::vector<EventSpec>) {
+  reason_ = "perf_event_open is Linux-only";
+}
+
+CounterGroup::~CounterGroup() = default;
+void CounterGroup::closeAll() {}
+bool CounterGroup::probeSchedulable() { return false; }
+CounterSample CounterGroup::readRaw() const { return {}; }
+void CounterGroup::calibrateOverhead() {}
+void CounterGroup::start() {}
+CounterSample CounterGroup::stop() { return {}; }
+
+#endif
+
+}  // namespace microtools::perf

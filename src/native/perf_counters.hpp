@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace microtools::perf {
+
+/// One event a CounterGroup programs: a perf_event_open (type, config) pair
+/// plus a stable name the derived metrics are looked up by. Optional events
+/// that the kernel refuses (unsupported on this PMU) or that do not fit the
+/// hardware's simultaneous-counter budget are dropped; a required event that
+/// cannot be opened makes the whole group unavailable.
+struct EventSpec {
+  std::uint32_t type = 0;    ///< perf_event_attr.type (PERF_TYPE_*)
+  std::uint64_t config = 0;  ///< perf_event_attr.config (PERF_COUNT_*)
+  std::string name;          ///< stable lookup key ("cycles", "l1d_misses"...)
+  bool required = false;     ///< group is unavailable without this event
+};
+
+/// One read of the whole group: per-event counts in events() order, plus the
+/// scheduling times the kernel reports. When the group was multiplexed
+/// (running < enabled) the values have already been scaled by
+/// enabled/running, the standard perf extrapolation.
+struct CounterSample {
+  bool valid = false;
+  double timeEnabledNs = 0.0;
+  double timeRunningNs = 0.0;
+  std::vector<double> values;  ///< parallel to CounterGroup::events()
+
+  /// Value of the event called `name` in `events`, or NaN when the event is
+  /// not part of the group or the sample is invalid.
+  double value(const std::vector<EventSpec>& events,
+               const std::string& name) const;
+};
+
+/// nanoBench-style hardware counter group over perf_event_open.
+///
+/// All events are opened into ONE group (PERF_FORMAT_GROUP) on the calling
+/// thread, so every start()/stop() window reads all counters over exactly
+/// the same instructions. Construction degrades instead of failing:
+///  - a kernel without perf (or perf_event_paranoid forbidding it, or a VM
+///    without a PMU) yields available() == false with the reason recorded;
+///  - an optional event the PMU lacks is silently dropped;
+///  - a group too wide for the PMU's simultaneous-counter budget is
+///    narrowed from the tail (least-important optional events first) until
+///    it schedules — verified empirically, not assumed from CPU model.
+/// After the group is settled, the read overhead of an empty start()/stop()
+/// window is calibrated (median of many empty windows, per event) and
+/// subtracted from every subsequent sample, clamped at zero.
+///
+/// A CounterGroup counts the thread that constructed it; start()/stop()
+/// must be called on that same thread.
+class CounterGroup {
+ public:
+  /// Opens `events` (first entry is the group leader) on the calling thread.
+  explicit CounterGroup(std::vector<EventSpec> events);
+  ~CounterGroup();
+
+  CounterGroup(const CounterGroup&) = delete;
+  CounterGroup& operator=(const CounterGroup&) = delete;
+
+  /// The default hardware group for kernel measurement: cycles (leader),
+  /// instructions, L1D read accesses/misses, LLC accesses/misses, and
+  /// backend-stalled cycles — the narrowing order drops stalls and the
+  /// access counts before the miss counts.
+  static std::vector<EventSpec> defaultHardwareEvents();
+
+  bool available() const { return available_; }
+  /// Human-readable reason when available() is false.
+  const std::string& unavailableReason() const { return reason_; }
+
+  /// Events that actually survived opening + scheduling, in value order.
+  const std::vector<EventSpec>& events() const { return events_; }
+
+  /// Per-event calibrated empty-window overhead (events() order).
+  const std::vector<double>& overhead() const { return overhead_; }
+
+  /// Resets and enables the group. No-op when unavailable.
+  void start();
+
+  /// Disables the group and reads it; the calibrated overhead is already
+  /// subtracted. Returns an invalid sample when unavailable or when the
+  /// group could not be scheduled during the window.
+  CounterSample stop();
+
+ private:
+  CounterSample readRaw() const;
+  bool probeSchedulable();
+  void calibrateOverhead();
+  void closeAll();
+
+  std::vector<EventSpec> events_;
+  std::vector<int> fds_;            ///< parallel to events_; fds_[0] = leader
+  std::vector<std::uint64_t> ids_;  ///< kernel ids mapping read values back
+  std::vector<double> overhead_;
+  bool available_ = false;
+  std::string reason_;
+};
+
+}  // namespace microtools::perf

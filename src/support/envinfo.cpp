@@ -1,0 +1,155 @@
+#include "support/envinfo.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "support/strings.hpp"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <unistd.h>
+#include <sys/utsname.h>
+#endif
+
+namespace microtools::env {
+
+namespace {
+
+std::string firstLine(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string line;
+  std::getline(in, line);
+  return std::string(strings::trim(line));
+}
+
+std::string orUnknown(std::string value) {
+  return value.empty() ? "unknown" : value;
+}
+
+std::string cpuModel() {
+#if defined(__linux__)
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (strings::startsWith(line, "model name")) {
+      auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        return std::string(strings::trim(line.substr(colon + 1)));
+      }
+    }
+  }
+#endif
+  return "";
+}
+
+std::string loadAverage() {
+#if defined(__linux__)
+  // First three fields of /proc/loadavg: 1/5/15-minute averages.
+  auto fields = strings::splitWhitespace(firstLine("/proc/loadavg"));
+  if (fields.size() >= 3) {
+    return fields[0] + " " + fields[1] + " " + fields[2];
+  }
+#endif
+  return "";
+}
+
+std::string turboState() {
+#if defined(__linux__)
+  // intel_pstate spells it "no_turbo" (1 = off); acpi-cpufreq spells it
+  // "boost" (1 = on). Normalize both to on/off.
+  std::string noTurbo =
+      firstLine("/sys/devices/system/cpu/intel_pstate/no_turbo");
+  if (!noTurbo.empty()) return noTurbo == "1" ? "off" : "on";
+  std::string boost = firstLine("/sys/devices/system/cpu/cpufreq/boost");
+  if (!boost.empty()) return boost == "1" ? "on" : "off";
+#endif
+  return "";
+}
+
+std::string kernelRelease() {
+#if defined(__linux__) || defined(__APPLE__)
+  utsname uts{};
+  if (uname(&uts) == 0) {
+    return std::string(uts.sysname) + " " + uts.release;
+  }
+#endif
+  return "";
+}
+
+std::string hostName() {
+#if defined(__linux__) || defined(__APPLE__)
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof buf - 1) == 0) return buf;
+#endif
+  return "";
+}
+
+std::string singleLine(std::string value) {
+  for (char& c : value) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string EnvSnapshot::get(const std::string& key) const {
+  for (const auto& f : fields) {
+    if (f.key == key) return f.value;
+  }
+  return "";
+}
+
+void EnvSnapshot::set(const std::string& key, const std::string& value) {
+  std::string clean = singleLine(value);
+  for (auto& f : fields) {
+    if (f.key == key) {
+      f.value = clean;
+      return;
+    }
+  }
+  fields.push_back({key, clean});
+}
+
+EnvSnapshot captureEnv() {
+  EnvSnapshot snapshot;
+  snapshot.set("cpu_model", orUnknown(cpuModel()));
+  snapshot.set("cpu_count",
+               std::to_string(std::thread::hardware_concurrency()));
+  snapshot.set(
+      "governor",
+      orUnknown(firstLine("/sys/devices/system/cpu/cpu0/cpufreq/"
+                          "scaling_governor")));
+  snapshot.set("turbo", orUnknown(turboState()));
+  snapshot.set("loadavg", orUnknown(loadAverage()));
+  snapshot.set("kernel", orUnknown(kernelRelease()));
+  snapshot.set("hostname", orUnknown(hostName()));
+  return snapshot;
+}
+
+std::string toCsvComments(const EnvSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& f : snapshot.fields) {
+    out << "# env." << f.key << "=" << f.value << "\n";
+  }
+  return out.str();
+}
+
+EnvSnapshot fromCsvComments(const std::string& text) {
+  EnvSnapshot snapshot;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view view = strings::trim(line);
+    if (!strings::startsWith(view, "# env.")) continue;
+    view.remove_prefix(6);
+    auto eq = view.find('=');
+    if (eq == std::string_view::npos) continue;
+    snapshot.set(std::string(view.substr(0, eq)),
+                 std::string(view.substr(eq + 1)));
+  }
+  return snapshot;
+}
+
+}  // namespace microtools::env

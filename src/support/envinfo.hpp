@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace microtools::env {
+
+/// One key=value fact about the measurement environment. Keys are stable
+/// ("cpu_model", "governor", ...) so two snapshots can be diffed field by
+/// field; values are free-form single-line strings.
+struct EnvField {
+  std::string key;
+  std::string value;
+};
+
+/// Snapshot of everything that makes two measurement runs comparable on
+/// their face: CPU model and count, scaling governor, turbo/boost state,
+/// load average, kernel release, hostname, and (when the caller fills it
+/// in) the compiler identity. Fields whose source file or sysctl does not
+/// exist on this machine are reported as "unknown" rather than omitted, so
+/// every snapshot has the same shape.
+struct EnvSnapshot {
+  std::vector<EnvField> fields;
+
+  /// Value for `key`, or "" when absent.
+  std::string get(const std::string& key) const;
+  /// Sets or replaces the value for `key` (single-line; newlines stripped).
+  void set(const std::string& key, const std::string& value);
+};
+
+/// Captures the current environment. Purely file/sysfs reads — never fails,
+/// missing sources degrade to "unknown". The "compiler" field is left for
+/// the caller (support cannot depend on the native layer).
+EnvSnapshot captureEnv();
+
+/// Renders the snapshot as CSV comment lines ("# env.key=value\n" each),
+/// suitable as a preamble before a CSV header. Parsers that skip '#' lines
+/// are unaffected.
+std::string toCsvComments(const EnvSnapshot& snapshot);
+
+/// Parses "# env.key=value" lines out of CSV text (non-matching lines are
+/// ignored), the inverse of toCsvComments for bench-diff's env comparison.
+EnvSnapshot fromCsvComments(const std::string& text);
+
+}  // namespace microtools::env

@@ -15,8 +15,10 @@
 #include "launcher/options.hpp"
 #include "launcher/sim_backend.hpp"
 #include "native/affinity.hpp"
+#include "native/compile.hpp"
 #include "native/native_backend.hpp"
 #include "native/timing.hpp"
+#include "support/envinfo.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -46,6 +48,7 @@ std::unique_ptr<launcher::Backend> makeBackend(const LauncherOptions& o) {
   if (o.backend == "native") {
     native::NativeBackendOptions nb;
     nb.compileCacheDir = o.compileCacheDir;
+    nb.perfCounters = o.perfCounters;
     return std::make_unique<native::NativeBackend>(std::move(nb));
   }
   sim::MachineConfig config = launcher::archByName(o.arch).config;
@@ -134,7 +137,15 @@ int runCampaign(const LauncherOptions& options) {
   // across reruns), to stdout otherwise.
   std::unique_ptr<launcher::CampaignCsvSink> sink;
   if (!options.csvOutput.empty()) {
-    sink = std::make_unique<launcher::CampaignCsvSink>(options.csvOutput);
+    // New files get an environment-snapshot preamble so two campaign CSVs
+    // are comparable on their face (bench-diff reports drift).
+    env::EnvSnapshot snapshot = env::captureEnv();
+    if (options.backend == "native") {
+      snapshot.set("compiler",
+                   native::compilerIdentity(options.compileCacheDir));
+    }
+    sink = std::make_unique<launcher::CampaignCsvSink>(
+        options.csvOutput, env::toCsvComments(snapshot));
   } else {
     sink = std::make_unique<launcher::CampaignCsvSink>(std::cout);
   }

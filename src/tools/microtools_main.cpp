@@ -12,10 +12,13 @@
 #include <sstream>
 
 #include "creator/creator.hpp"
+#include "launcher/bench_diff.hpp"
 #include "launcher/explore.hpp"
 #include "launcher/sim_backend.hpp"
+#include "native/compile.hpp"
 #include "native/native_backend.hpp"
 #include "support/cli.hpp"
+#include "support/envinfo.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -36,7 +39,11 @@ void printUsage() {
       "  lint      statically verify kernel assembly (.s files, or every\n"
       "            variant generated from an XML description) against the\n"
       "            MT-* rule catalog without executing anything (use\n"
-      "            `microtools lint --help` for options)\n");
+      "            `microtools lint --help` for options)\n"
+      "  bench-diff  compare two campaign CSV files variant by variant with\n"
+      "            a noise-aware regression threshold; exits nonzero when a\n"
+      "            regression exceeds the combined measurement noise (use\n"
+      "            `microtools bench-diff --help` for options)\n");
 }
 
 cli::Parser makeExploreParser() {
@@ -98,9 +105,15 @@ cli::Parser makeExploreParser() {
                    "before they can crash the campaign; warn only annotates "
                    "the CSV; off disables the check",
                    "strict");
+  parser.addFlag("no-perf-counters",
+                 "Do not open perf_event counter groups around native "
+                 "kernel calls (rdtsc timing only; counter-derived CSV "
+                 "columns stay empty)");
   parser.addInt("top", "Rank the K best variants (0 = all)", 10);
   parser.addString("csv",
-                   "Stream the full campaign CSV to this file (append-safe)");
+                   "Stream the full campaign CSV to this file (append-safe; "
+                   "variants already terminal in the file are resumed, not "
+                   "re-measured or re-appended)");
   parser.addString("report", "Write the ranked report here instead of stdout");
   parser.addFlag("verbose", "Enable info logging");
   return parser;
@@ -174,9 +187,11 @@ int runExploreCommand(int argc, char** argv) {
     } else if (options.useCache) {
       compileCacheDir = options.cacheDir + "/so";
     }
-    options.backendFactory = [compileCacheDir](int) {
+    bool perfCounters = !parser.getFlag("no-perf-counters");
+    options.backendFactory = [compileCacheDir, perfCounters](int) {
       native::NativeBackendOptions nb;
       nb.compileCacheDir = compileCacheDir;
+      nb.perfCounters = perfCounters;
       return std::make_unique<native::NativeBackend>(std::move(nb));
     };
     options.backendId = "native";
@@ -187,8 +202,23 @@ int runExploreCommand(int argc, char** argv) {
 
   std::unique_ptr<launcher::CampaignCsvSink> sink;
   if (parser.has("csv")) {
+    std::string csvPath = parser.getString("csv");
+    // Resume: variants already terminal in the file (ok rows, cache hits,
+    // verify-strict skips, errors) are skipped and NOT re-appended, so
+    // rerunning with the same --csv never grows the file.
+    options.campaign.completed = launcher::readCompletedVariants(csvPath);
+    env::EnvSnapshot snapshot = env::captureEnv();
+    if (options.backend == "native") {
+      std::string identityCache;
+      if (parser.has("compile-cache-dir")) {
+        identityCache = parser.getString("compile-cache-dir");
+      } else if (options.useCache) {
+        identityCache = options.cacheDir + "/so";
+      }
+      snapshot.set("compiler", native::compilerIdentity(identityCache));
+    }
     sink = std::make_unique<launcher::CampaignCsvSink>(
-        parser.getString("csv"));
+        csvPath, env::toCsvComments(snapshot));
   }
 
   launcher::ExploreResult result =
@@ -210,9 +240,9 @@ int runExploreCommand(int argc, char** argv) {
 
   std::printf(
       "explored %zu variant(s) on %s: %zu cache hit(s), %zu measured, "
-      "%zu failure(s)\n",
+      "%zu skipped, %zu failure(s)\n",
       result.results.size(), result.backendId.c_str(), result.cacheHits,
-      result.measured, result.failures);
+      result.measured, result.skipped, result.failures);
   if (options.useCache) {
     std::printf("cache: %s\n", options.cacheDir.c_str());
   }
@@ -329,6 +359,57 @@ int runLintCommand(int argc, char** argv) {
   return totalErrors == 0 ? 0 : 1;
 }
 
+cli::Parser makeBenchDiffParser() {
+  cli::Parser parser(
+      "microtools bench-diff",
+      "Compares two campaign CSV files (old, then new) variant by variant. "
+      "Rows are joined by variant name and rolled up (median, p95, CV); a "
+      "delta only counts as a regression when it exceeds "
+      "max(--threshold, --cv-mult * sqrt(cvOld^2 + cvNew^2)) — a change "
+      "inside the combined measurement noise proves nothing. Environment "
+      "drift between the files' snapshot headers is reported alongside. "
+      "Exits 0 when no regression was flagged, 1 on regression, 2 on usage "
+      "errors or when the files share no comparable variant.");
+  parser.addString("metric", "Campaign CSV column to compare",
+                   "cycles_per_iteration_median");
+  parser.addDouble("threshold",
+                   "Minimum relative delta flagged at all (0.05 = 5%)", 0.05);
+  parser.addDouble("cv-mult",
+                   "Noise multiplier applied to the pooled CV", 3.0);
+  parser.addFlag("json", "Emit the full report as JSON instead of a table");
+  return parser;
+}
+
+int runBenchDiffCommand(int argc, char** argv) {
+  cli::Parser parser = makeBenchDiffParser();
+  if (!parser.parse(argc, argv)) return 0;  // --help handled
+
+  if (parser.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "error: bench-diff needs exactly two CSV files: "
+                 "<old.csv> <new.csv> (see --help)\n");
+    return 2;
+  }
+  launcher::BenchDiffOptions options;
+  options.metric = parser.getString("metric");
+  options.relThreshold = parser.getDouble("threshold");
+  options.cvMultiplier = parser.getDouble("cv-mult");
+
+  launcher::BenchDiffReport report;
+  try {
+    report = launcher::benchDiff(parser.positional()[0],
+                                 parser.positional()[1], options);
+  } catch (const McError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::string rendered = parser.getFlag("json")
+                             ? launcher::renderBenchDiffJson(report)
+                             : launcher::renderBenchDiffTable(report);
+  std::fputs(rendered.c_str(), stdout);
+  return report.regressions == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -343,6 +424,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "lint") == 0) {
       return runLintCommand(argc - 1, argv + 1);
+    }
+    if (std::strcmp(argv[1], "bench-diff") == 0) {
+      return runBenchDiffCommand(argc - 1, argv + 1);
     }
     std::fprintf(stderr, "error: unknown subcommand '%s'\n\n", argv[1]);
     printUsage();

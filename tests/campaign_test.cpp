@@ -7,11 +7,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "launcher/campaign.hpp"
@@ -424,27 +426,165 @@ TEST(Campaign, ResumeReRunsVariantsThatDidNotComplete) {
   }
 }
 
-TEST(Campaign, ReadCompletedVariantsOnlyCountsOkRows) {
-  std::string path = ::testing::TempDir() + "/campaign_completed.csv";
+TEST(Campaign, ResumingTwiceAppendsZeroNewRows) {
+  // End-to-end resume loop over a campaign with BOTH ok and error rows: the
+  // CSV must reach its final size after the first run and never grow again,
+  // however often the campaign is rerun against the same file. (Error rows
+  // used to be considered incomplete, so every rerun re-measured and
+  // re-appended them.)
+  std::string path = ::testing::TempDir() + "/campaign_resume_twice.csv";
+  std::remove(path.c_str());
+  std::vector<CampaignVariant> variants = eightVariants();
+  CampaignVariant broken;
+  broken.name = "zz_broken";
+  broken.kind = "asm";
+  broken.source = "this is not assembly\n";
+  broken.functionName = "microkernel";
+  variants.push_back(broken);
+
+  auto countDataLines = [&] {
+    std::ifstream in(path);
+    std::string line;
+    int n = 0;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') ++n;
+    }
+    return n;
+  };
+
+  int afterFirst = 0;
+  for (int round = 0; round < 3; ++round) {
+    CampaignOptions options = quickOptions(2);
+    options.verify = VerifyMode::Off;  // let the broken variant reach load()
+    options.completed = readCompletedVariants(path);
+    CampaignCsvSink sink(path, "# env.test=resume\n");
+    CampaignRunner runner(simFactory(), options);
+    std::vector<VariantResult> results =
+        runner.run(variants, smallRequest(), &sink);
+    ASSERT_EQ(results.size(), variants.size());
+    if (round == 0) {
+      afterFirst = countDataLines();
+      EXPECT_EQ(afterFirst, 1 + static_cast<int>(variants.size()));
+      EXPECT_EQ(results.back().status, "error");
+    } else {
+      for (const VariantResult& r : results) {
+        EXPECT_EQ(r.status, "skipped") << r.name;
+      }
+      EXPECT_EQ(countDataLines(), afterFirst) << "round " << round;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, TruncatedCsvIsRepairedOnResume) {
+  // A campaign killed mid-row leaves a torn final line. Reopening the sink
+  // must terminate that line before appending, so the next row cannot
+  // concatenate onto it and the file stays parseable.
+  std::string path = ::testing::TempDir() + "/campaign_truncated.csv";
+  std::remove(path.c_str());
+  std::vector<CampaignVariant> variants = eightVariants();
+  {
+    CampaignCsvSink sink(path);
+    CampaignRunner runner(simFactory(), quickOptions(1));
+    runner.run(variants, smallRequest(), &sink);
+  }
+  // Simulate the crash: chop the final row right after its sequence cell,
+  // leaving a torn line with no status and no trailing newline.
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    content = oss.str();
+  }
+  ASSERT_FALSE(content.empty());
+  ASSERT_EQ(content.back(), '\n');
+  std::size_t lastRowStart = content.rfind('\n', content.size() - 2) + 1;
+  std::size_t firstComma = content.find(',', lastRowStart);
+  ASSERT_NE(firstComma, std::string::npos);
+  fs::resize_file(path, firstComma);
+
+  std::set<std::pair<std::size_t, std::string>> completed =
+      readCompletedVariants(path);
+  EXPECT_EQ(completed.size(), variants.size() - 1);  // torn row not counted
+
+  CampaignOptions options = quickOptions(1);
+  options.completed = completed;
+  {
+    CampaignCsvSink sink(path);
+    CampaignRunner runner(simFactory(), options);
+    runner.run(variants, smallRequest(), &sink);
+  }
+  // Every variant is terminal again, and each full row parses to the full
+  // schema width (the torn row stays short but harmless).
+  EXPECT_EQ(readCompletedVariants(path).size(), variants.size());
+  std::ifstream in(path);
+  std::string line;
+  std::size_t fullRows = 0;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = csv::parseLine(line);
+    if (cells.size() == CampaignRunner::csvHeader().size()) ++fullRows;
+  }
+  EXPECT_EQ(fullRows, variants.size());  // N-1 intact + 1 re-measured
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, SinkRefusesMismatchedHeaderSchema) {
+  std::string path = ::testing::TempDir() + "/campaign_old_schema.csv";
   {
     std::ofstream out(path);
+    out << "# env.cpu_model=old machine\n";
+    out << "sequence,variant,status,cycles\n";  // a pre-counter-era schema
+    out << "0,v0,ok,2.5\n";
+  }
+  EXPECT_THROW(CampaignCsvSink sink(path), McError);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, ReadCompletedVariantsCountsEveryTerminalStatus) {
+  // Every status the runner writes is terminal: resuming must skip ok rows,
+  // error rows (they already consumed their retry), timeouts, and
+  // verify-strict skips alike — otherwise each rerun re-appends them and
+  // the CSV grows without bound. Only unknown statuses and rows narrower
+  // than the schema (the runner always writes full-width rows; anything
+  // shorter is a crash-torn remnant) are left for re-measurement.
+  std::string path = ::testing::TempDir() + "/campaign_completed.csv";
+  std::size_t width = CampaignRunner::csvHeader().size();
+  // Pads a row's leading cells out to the schema's full width, the shape
+  // every runner-written row has.
+  auto fullRow = [width](const std::string& prefix, std::size_t given) {
+    return prefix + std::string(width - given, ',') + "\n";
+  };
+  {
+    std::ofstream out(path);
+    out << "# env.cpu_model=test\n";  // preamble comments are skipped
     out << CampaignRunner::csvHeader()[0];  // build the real header
     for (std::size_t i = 1; i < CampaignRunner::csvHeader().size(); ++i) {
       out << ',' << CampaignRunner::csvHeader()[i];
     }
     out << "\n";
-    out << "0,good_variant,ok,,2.5,2.5,2.5,2.5,0,0,3,257,1000,0,1,1,0,\n";
-    out << "1,failed_variant,error,boom,0,0,0,0,0,0,0,0,0,0,1,1,0,\n";
-    out << "2,\"quoted, name\",ok,,2.5,2.5,2.5,2.5,0,0,3,257,1000,0,1,1,0,\n";
-    out << "not a number,bad_row,ok\n";   // malformed sequence: ignored
-    out << "3,truncated_r";               // crash mid-write: ignored
+    out << fullRow("0,good_variant,ok,,2.5,2.5,2.5,2.5,0", 9);
+    out << fullRow("1,failed_variant,error", 3);
+    out << fullRow("2,\"quoted, name\",ok,,2.5,2.5,2.5,2.5,0", 9);
+    out << fullRow("3,slow_variant,timeout", 3);
+    out << fullRow("4,rejected_variant,skipped", 3);
+    out << fullRow("5,foreign_variant,mystery_status", 3);  // unknown: re-run
+    out << fullRow("not a number,bad_row,ok", 3);  // bad sequence: ignored
+    out << "6,short_row,ok\n";   // narrower than the schema: torn, re-run
+    out << "7,truncated_r";      // crash mid-write: re-run
   }
   std::set<std::pair<std::size_t, std::string>> completed =
       readCompletedVariants(path);
-  EXPECT_EQ(completed.size(), 2u);
+  EXPECT_EQ(completed.size(), 5u);
   EXPECT_TRUE(completed.count({0, "good_variant"}));
+  EXPECT_TRUE(completed.count({1, "failed_variant"}));
   EXPECT_TRUE(completed.count({2, "quoted, name"}));
-  EXPECT_FALSE(completed.count({1, "failed_variant"}));
+  EXPECT_TRUE(completed.count({3, "slow_variant"}));
+  EXPECT_TRUE(completed.count({4, "rejected_variant"}));
+  EXPECT_FALSE(completed.count({5, "foreign_variant"}));
+  EXPECT_FALSE(completed.count({6, "short_row"}));
   std::remove(path.c_str());
 }
 
@@ -668,6 +808,64 @@ TEST(Campaign, PipelinedPathRoutesEveryVariantThroughPrepareBatch) {
       (variants.size() + 2) / 3);  // ceil(variants / compileBatch)
   EXPECT_EQ(batchCalls->load(), expectedBatches);
   EXPECT_EQ(preparedUnits->load(), static_cast<int>(variants.size()));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].sequence, i);
+    EXPECT_EQ(results[i].status, "ok") << results[i].error;
+  }
+}
+
+/// Like PreparationCountingBackend, but prepareBatch always throws a
+/// non-McError exception — the shape of an out-of-memory or bad_alloc-style
+/// failure inside a compile producer. The campaign must degrade to inline
+/// compilation instead of losing the producer thread (which used to leave
+/// the bounded queue open and the measurement workers blocked forever).
+class ThrowingPrepareBackend final : public Backend {
+ public:
+  ThrowingPrepareBackend() : inner_(sim::nehalemX5650DualSocket()) {}
+
+  std::string name() const override { return inner_.name(); }
+  std::unique_ptr<KernelHandle> load(const std::string& asmText,
+                                     const std::string& fn) override {
+    return inner_.load(asmText, fn);
+  }
+  std::vector<SourceUnit> prepareBatch(std::vector<SourceUnit>) override {
+    throw std::runtime_error("simulated compiler driver crash");
+  }
+  InvokeResult invoke(KernelHandle& kernel,
+                      const KernelRequest& request) override {
+    return inner_.invoke(kernel, request);
+  }
+  double timerOverheadCycles() const override {
+    return inner_.timerOverheadCycles();
+  }
+  std::vector<InvokeResult> invokeFork(KernelHandle& kernel,
+                                       const KernelRequest& request,
+                                       int processes, int calls,
+                                       PinPolicy policy) override {
+    return inner_.invokeFork(kernel, request, processes, calls, policy);
+  }
+  InvokeResult invokeOpenMp(KernelHandle& kernel, const KernelRequest& request,
+                            int threads, int repetitions) override {
+    return inner_.invokeOpenMp(kernel, request, threads, repetitions);
+  }
+  void reset() override { inner_.reset(); }
+
+ private:
+  SimBackend inner_;
+};
+
+TEST(Campaign, ThrowingPrepareBatchDoesNotDeadlockTheCampaign) {
+  BackendFactory factory = [](int) {
+    return std::make_unique<ThrowingPrepareBackend>();
+  };
+  std::vector<CampaignVariant> variants = eightVariants();
+  CampaignOptions options = quickOptions(2);
+  options.compileJobs = 2;
+  options.compileBatch = 3;
+  CampaignRunner runner(factory, options);
+  std::vector<VariantResult> results = runner.run(variants, smallRequest());
+
+  ASSERT_EQ(results.size(), variants.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i].sequence, i);
     EXPECT_EQ(results[i].status, "ok") << results[i].error;

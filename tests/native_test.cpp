@@ -3,16 +3,23 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <utility>
+#include <vector>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#endif
 
 #include "launcher/campaign.hpp"
 #include "launcher/protocol.hpp"
 #include "native/affinity.hpp"
 #include "native/compile.hpp"
 #include "native/native_backend.hpp"
+#include "native/perf_counters.hpp"
 #include "native/timing.hpp"
 #include "support/error.hpp"
 #include "test_helpers.hpp"
@@ -512,6 +519,118 @@ TEST(Backend, ValidatesForkAndOmpArguments) {
                McError);
   EXPECT_THROW(backend.invokeOpenMp(*kernel, request, 0, 1), McError);
   EXPECT_THROW(backend.invokeOpenMp(*kernel, request, 2, 0), McError);
+}
+
+// ---------------------------------------------------------------------------
+// Perf counter groups
+// ---------------------------------------------------------------------------
+
+TEST(PerfCounters, ValueLookupByNameHandlesMissingAndInvalid) {
+  std::vector<perf::EventSpec> events;
+  events.push_back({0, 0, "cycles", true});
+  events.push_back({0, 1, "instructions", false});
+
+  perf::CounterSample sample;  // invalid by default
+  EXPECT_TRUE(std::isnan(sample.value(events, "cycles")));
+
+  sample.valid = true;
+  sample.values = {100.0, 250.0};
+  EXPECT_DOUBLE_EQ(sample.value(events, "cycles"), 100.0);
+  EXPECT_DOUBLE_EQ(sample.value(events, "instructions"), 250.0);
+  EXPECT_TRUE(std::isnan(sample.value(events, "not_an_event")));
+}
+
+TEST(PerfCounters, DefaultHardwareGroupDegradesInsteadOfFailing) {
+  // On a machine without a PMU (VMs, containers) or with perf_event access
+  // forbidden, the group must come up unavailable with a reason — never
+  // throw — and its start/stop must be harmless no-ops.
+  perf::CounterGroup group(perf::CounterGroup::defaultHardwareEvents());
+  if (!group.available()) {
+    EXPECT_FALSE(group.unavailableReason().empty());
+    group.start();
+    perf::CounterSample sample = group.stop();
+    EXPECT_FALSE(sample.valid);
+    return;
+  }
+  // With a real PMU: a busy window must count a plausible number of cycles.
+  group.start();
+  volatile double sink = 1.0;
+  for (int i = 0; i < 100000; ++i) sink = sink * 1.0000001 + 0.1;
+  perf::CounterSample sample = group.stop();
+  ASSERT_TRUE(sample.valid);
+  EXPECT_EQ(sample.values.size(), group.events().size());
+  EXPECT_GT(sample.value(group.events(), "cycles"), 1000.0);
+}
+
+#if defined(__linux__)
+TEST(PerfCounters, SoftwareEventGroupCountsABusyWindow) {
+  // Software events (task clock, page faults) need no PMU, so this exercises
+  // the full open/calibrate/start/stop path even inside a VM — skipped only
+  // when perf_event_open itself is forbidden (paranoid level, seccomp).
+  std::vector<perf::EventSpec> events;
+  events.push_back(
+      {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, "task_clock", true});
+  events.push_back(
+      {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS, "page_faults", false});
+  perf::CounterGroup group(events);
+  if (!group.available()) {
+    GTEST_SKIP() << "perf_event_open unavailable: "
+                 << group.unavailableReason();
+  }
+  ASSERT_FALSE(group.events().empty());
+  EXPECT_EQ(group.events()[0].name, "task_clock");
+  EXPECT_EQ(group.overhead().size(), group.events().size());
+
+  group.start();
+  volatile double sink = 1.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink * 1.0000001 + 0.1;
+  perf::CounterSample sample = group.stop();
+  ASSERT_TRUE(sample.valid);
+  EXPECT_GT(sample.timeEnabledNs, 0.0);
+  // The spin burned real CPU time: task clock counts nanoseconds on-CPU.
+  EXPECT_GT(sample.value(group.events(), "task_clock"), 10000.0);
+
+  // A second window works too (the group is reusable).
+  group.start();
+  perf::CounterSample empty = group.stop();
+  EXPECT_TRUE(empty.valid);
+}
+#endif
+
+TEST(PerfCounters, BackendWithCountersDisabledLeavesMetricsInvalid) {
+  NativeBackendOptions options;
+  options.perfCounters = false;
+  NativeBackend backend(std::move(options));
+  auto programs = generate(figure6Xml(1, 1, false));
+  auto kernel = backend.load(programs[0].asmText, "microkernel");
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{1 << 16, 4096, 0});
+  request.n = (1 << 16) / 4;
+  launcher::InvokeResult r = backend.invoke(*kernel, request);
+  EXPECT_GT(r.tscCycles, 0.0);
+  EXPECT_FALSE(r.counters.valid);
+  EXPECT_TRUE(std::isnan(r.counters.cycles));
+}
+
+TEST(PerfCounters, BackendCounterFieldsAreCoherent) {
+  // Whether or not this machine grants perf access, the invariant holds:
+  // valid counters carry finite cycle counts, invalid ones stay NaN so the
+  // CSV layer renders empty cells instead of garbage.
+  NativeBackend backend;
+  auto programs = generate(figure6Xml(1, 1, false));
+  auto kernel = backend.load(programs[0].asmText, "microkernel");
+  launcher::KernelRequest request;
+  request.arrays.push_back(launcher::ArraySpec{1 << 16, 4096, 0});
+  request.n = (1 << 16) / 4;
+  launcher::InvokeResult r = backend.invoke(*kernel, request);
+  EXPECT_GT(r.tscCycles, 0.0);
+  if (r.counters.valid) {
+    EXPECT_TRUE(std::isfinite(r.counters.cycles));
+    EXPECT_GT(r.counters.cycles, 0.0);
+  } else {
+    EXPECT_TRUE(std::isnan(r.counters.cycles));
+    EXPECT_TRUE(std::isnan(r.counters.instructions));
+  }
 }
 
 }  // namespace

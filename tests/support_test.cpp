@@ -5,6 +5,7 @@
 
 #include "support/cli.hpp"
 #include "support/csv.hpp"
+#include "support/envinfo.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 #include "support/rng.hpp"
@@ -428,6 +429,46 @@ TEST(Error, ParseErrorCarriesLine) {
   ParseError e("bad token", 12);
   EXPECT_EQ(e.line(), 12u);
   EXPECT_NE(std::string(e.what()).find("line 12"), std::string::npos);
+}
+
+TEST(EnvInfo, CaptureHasStableShape) {
+  env::EnvSnapshot snapshot = env::captureEnv();
+  // Every snapshot carries the same keys — missing sources degrade to
+  // "unknown", they are never omitted.
+  for (const char* key : {"cpu_model", "cpu_count", "governor", "turbo",
+                          "loadavg", "kernel", "hostname"}) {
+    EXPECT_FALSE(snapshot.get(key).empty()) << key;
+  }
+  EXPECT_NE(snapshot.get("cpu_count"), "unknown");
+}
+
+TEST(EnvInfo, SetReplacesAndStripsNewlines) {
+  env::EnvSnapshot snapshot;
+  snapshot.set("compiler", "gcc\n12.3");
+  EXPECT_EQ(snapshot.get("compiler"), "gcc 12.3");
+  snapshot.set("compiler", "clang 17");
+  EXPECT_EQ(snapshot.get("compiler"), "clang 17");
+  EXPECT_EQ(snapshot.fields.size(), 1u);
+  EXPECT_EQ(snapshot.get("absent"), "");
+}
+
+TEST(EnvInfo, CsvCommentsRoundTrip) {
+  env::EnvSnapshot snapshot;
+  snapshot.set("cpu_model", "Test CPU @ 2.0GHz");
+  snapshot.set("scaling_governor", "performance");
+  std::string comments = env::toCsvComments(snapshot);
+  EXPECT_NE(comments.find("# env.cpu_model=Test CPU @ 2.0GHz\n"),
+            std::string::npos);
+
+  // Round-trips when embedded in a full CSV, with non-env lines ignored.
+  std::string csvText = comments +
+                        "sequence,variant,status\n"
+                        "0,alpha,ok\n"
+                        "# a stray comment that is not an env line\n";
+  env::EnvSnapshot parsed = env::fromCsvComments(csvText);
+  EXPECT_EQ(parsed.get("cpu_model"), "Test CPU @ 2.0GHz");
+  EXPECT_EQ(parsed.get("scaling_governor"), "performance");
+  EXPECT_EQ(parsed.fields.size(), 2u);
 }
 
 TEST(Error, CheckDescriptionThrowsWithMessage) {

@@ -9,6 +9,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
 
 #include "support/strings.hpp"
 #include "test_helpers.hpp"
@@ -265,7 +268,7 @@ TEST_F(ToolsTest, LauncherCampaignResumeSkipsCompletedRows) {
     std::string line;
     int n = 0;
     while (std::getline(in, line)) {
-      if (!line.empty()) ++n;
+      if (!line.empty() && line[0] != '#') ++n;  // skip the env preamble
     }
     return n;
   };
@@ -388,6 +391,151 @@ TEST_F(ToolsTest, LintRequiresAnInput) {
   CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " lint");
   EXPECT_EQ(r.exitCode, 2);
   EXPECT_NE(r.output.find("no input"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// bench-diff
+// ---------------------------------------------------------------------------
+
+/// Writes a minimal campaign CSV: one ok row per (name, median) pair, all
+/// with the given per-row cv, preceded by optional "# env.*" comment lines.
+std::string writeCampaignCsv(
+    const char* fileName,
+    const std::vector<std::pair<std::string, double>>& rows, double cv = 0.001,
+    const std::string& preamble = "") {
+  std::ostringstream csv;
+  csv << preamble;
+  csv << "sequence,variant,status,cycles_per_iteration_median,cv\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    csv << i << "," << rows[i].first << ",ok," << rows[i].second << "," << cv
+        << "\n";
+  }
+  return writeTempXml(csv.str(), fileName);
+}
+
+TEST_F(ToolsTest, BenchDiffSelfCompareExitsZero) {
+  std::string a = writeCampaignCsv("bd_self.csv",
+                                   {{"alpha", 2.0}, {"beta", 4.0}});
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " bench-diff " + a +
+                        " " + a);
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("2 compared, 0 regression(s), 0 improvement(s)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(ToolsTest, BenchDiffFlagsRegressionWithNonzeroExit) {
+  std::string oldCsv = writeCampaignCsv("bd_reg_old.csv", {{"alpha", 2.0}});
+  std::string newCsv = writeCampaignCsv("bd_reg_new.csv", {{"alpha", 2.5}});
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " bench-diff " +
+                        oldCsv + " " + newCsv);
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("regression"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 regression(s)"), std::string::npos) << r.output;
+}
+
+TEST_F(ToolsTest, BenchDiffImprovementExitsZero) {
+  std::string oldCsv = writeCampaignCsv("bd_imp_old.csv", {{"alpha", 2.5}});
+  std::string newCsv = writeCampaignCsv("bd_imp_new.csv", {{"alpha", 2.0}});
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " bench-diff " +
+                        oldCsv + " " + newCsv);
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("improved"), std::string::npos) << r.output;
+}
+
+TEST_F(ToolsTest, BenchDiffToleratesDeltaInsideMeasurementNoise) {
+  // +8% exceeds the 5% base threshold, but both runs carry a 5% per-row CV:
+  // allowed = max(0.05, 3 * sqrt(0.05^2 + 0.05^2)) ~ 21%, so the delta is
+  // noise, not a regression.
+  std::string oldCsv =
+      writeCampaignCsv("bd_noise_old.csv", {{"alpha", 2.0}}, 0.05);
+  std::string newCsv =
+      writeCampaignCsv("bd_noise_new.csv", {{"alpha", 2.16}}, 0.05);
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " bench-diff " +
+                        oldCsv + " " + newCsv);
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("0 regression(s)"), std::string::npos) << r.output;
+
+  // The same delta with quiet data IS a regression.
+  std::string quietOld =
+      writeCampaignCsv("bd_quiet_old.csv", {{"alpha", 2.0}}, 0.001);
+  std::string quietNew =
+      writeCampaignCsv("bd_quiet_new.csv", {{"alpha", 2.16}}, 0.001);
+  CommandResult quiet = run(std::string(MT_MICROTOOLS_PATH) + " bench-diff " +
+                            quietOld + " " + quietNew);
+  EXPECT_EQ(quiet.exitCode, 1) << quiet.output;
+}
+
+TEST_F(ToolsTest, BenchDiffReportsDisjointVariantsAndEnvDrift) {
+  std::string oldCsv = writeCampaignCsv(
+      "bd_disj_old.csv", {{"alpha", 2.0}, {"gone", 3.0}}, 0.001,
+      "# env.scaling_governor=performance\n");
+  std::string newCsv = writeCampaignCsv(
+      "bd_disj_new.csv", {{"alpha", 2.0}, {"added", 5.0}}, 0.001,
+      "# env.scaling_governor=powersave\n");
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " bench-diff " +
+                        oldCsv + " " + newCsv);
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("only in old: gone"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("only in new: added"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find(
+                "env changed: scaling_governor: performance -> powersave"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(ToolsTest, BenchDiffJsonReport) {
+  std::string oldCsv = writeCampaignCsv("bd_json_old.csv", {{"alpha", 2.0}});
+  std::string newCsv = writeCampaignCsv("bd_json_new.csv", {{"alpha", 2.5}});
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " bench-diff --json "
+                        + oldCsv + " " + newCsv);
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("\"metric\": \"cycles_per_iteration_median\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"variant\": \"alpha\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"verdict\": \"regression\""), std::string::npos)
+      << r.output;
+}
+
+TEST_F(ToolsTest, BenchDiffUsageAndBadInputExitTwo) {
+  CommandResult one = run(std::string(MT_MICROTOOLS_PATH) + " bench-diff " +
+                          "/nonexistent-a.csv");
+  EXPECT_EQ(one.exitCode, 2);
+  EXPECT_NE(one.output.find("exactly two CSV files"), std::string::npos)
+      << one.output;
+
+  std::string a = writeCampaignCsv("bd_usage.csv", {{"alpha", 2.0}});
+  CommandResult missing = run(std::string(MT_MICROTOOLS_PATH) +
+                              " bench-diff " + a + " /nonexistent-b.csv");
+  EXPECT_EQ(missing.exitCode, 2);
+  EXPECT_NE(missing.output.find("cannot read"), std::string::npos)
+      << missing.output;
+
+  // Two valid files with no variant in common cannot be compared.
+  std::string b = writeCampaignCsv("bd_other.csv", {{"omega", 9.0}});
+  CommandResult disjoint =
+      run(std::string(MT_MICROTOOLS_PATH) + " bench-diff " + a + " " + b);
+  EXPECT_EQ(disjoint.exitCode, 2);
+  EXPECT_NE(disjoint.output.find("share no variant"), std::string::npos)
+      << disjoint.output;
+}
+
+TEST_F(ToolsTest, BenchDiffCustomMetricAndThreshold) {
+  std::ostringstream csvOld, csvNew;
+  csvOld << "sequence,variant,status,ipc\n0,alpha,ok,2.0\n";
+  csvNew << "sequence,variant,status,ipc\n0,alpha,ok,2.2\n";
+  std::string a = writeTempXml(csvOld.str(), "bd_metric_old.csv");
+  std::string b = writeTempXml(csvNew.str(), "bd_metric_new.csv");
+  // ipc has no cv column; with --threshold 0.02 a +10% shift is flagged.
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) +
+                        " bench-diff --metric ipc --threshold 0.02 " + a +
+                        " " + b);
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("bench-diff (ipc):"), std::string::npos)
+      << r.output;
 }
 
 TEST_F(ToolsTest, HelpPagesWork) {
