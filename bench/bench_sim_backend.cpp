@@ -91,6 +91,30 @@ int main(int argc, char** argv) {
   bench::expectShape(identical, "fast-path results bit-identical to exact");
   bench::expectShape(speedup >= 10.0, "fast path >= 10x faster than exact");
 
+  // Successive-halving search on the same description: same winner as the
+  // exhaustive sweep for a fraction of the variant-measurement work.
+  launcher::ExploreResult halved;
+  options.simExact = false;
+  options.search = launcher::SearchMode::Halving;
+  double halvingSeconds = secondsOf(halved, options);
+  double workRatio =
+      fast.workRepetitions > 0
+          ? static_cast<double>(halved.workRepetitions) /
+                static_cast<double>(fast.workRepetitions)
+          : 0.0;
+  csv::Table fullTop = launcher::topKReport(fast.results, 1);
+  csv::Table halvedTop = launcher::topKReport(halved.results, 1);
+  bool sameWinner = fullTop.rowCount() == 1 && halvedTop.rowCount() == 1 &&
+                    fullTop.row(0)[1] == halvedTop.row(0)[1];
+
+  std::printf("halving: %.3f s, %lld of %lld work repetitions (%.0f%%), "
+              "stop: %s\n",
+              halvingSeconds, halved.workRepetitions, fast.workRepetitions,
+              workRatio * 100.0, halved.stopReason.c_str());
+  bench::expectShape(sameWinner, "halving selects the exhaustive top-1");
+  bench::expectShape(workRatio <= 0.5,
+                     "halving does <= 50% of the exhaustive work");
+
   std::ofstream json(jsonPath, std::ios::binary);
   json.setf(std::ios::fixed);
   json.precision(6);
@@ -105,6 +129,14 @@ int main(int argc, char** argv) {
        << (exactSeconds > 0 ? variants / exactSeconds : 0.0) << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
        << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"halving_seconds\": " << halvingSeconds << ",\n"
+       << "  \"halving_work_repetitions\": " << halved.workRepetitions
+       << ",\n"
+       << "  \"exhaustive_work_repetitions\": " << fast.workRepetitions
+       << ",\n"
+       << "  \"halving_work_ratio\": " << workRatio << ",\n"
+       << "  \"halving_same_winner\": " << (sameWinner ? "true" : "false")
+       << ",\n"
        << "  \"env\": " << bench::envJsonObject() << "\n"
        << "}\n";
   std::printf("wrote %s\n", jsonPath.c_str());

@@ -200,6 +200,7 @@ VariantResult CampaignRunner::runOne(Backend& backend,
                                      const KernelRequest& request) {
   VariantResult result;
   result.sequence = sequence;
+  result.round = options_.round;
   result.name = variant.name;
 
   DeadlineCheck outOfTime;
@@ -278,6 +279,7 @@ std::vector<VariantResult> CampaignRunner::run(
   for (std::size_t i = 0; i < variants.size(); ++i) {
     VariantResult& r = results[i];
     r.sequence = i;
+    r.round = options_.round;
     r.name = variants[i].name;
     if (options_.completed.count({i, variants[i].name})) {
       r.status = "skipped";
@@ -312,6 +314,7 @@ std::vector<VariantResult> CampaignRunner::run(
     }
     if (options_.cacheLookup && options_.cacheLookup(variants[i], r)) {
       r.sequence = i;
+      r.round = options_.round;
       r.name = variants[i].name;
       r.cached = true;
       r.verify = verdict;
@@ -320,6 +323,7 @@ std::vector<VariantResult> CampaignRunner::run(
     }
     r = VariantResult{};  // a miss may have partially filled the result
     r.sequence = i;
+    r.round = options_.round;
     r.name = variants[i].name;
     r.verify = std::move(verdict);
     pending.push_back(i);
@@ -478,6 +482,7 @@ std::vector<VariantResult> CampaignRunner::run(
     std::string verdict = std::move(results[i].verify);
     results[i] = VariantResult{};
     results[i].sequence = i;
+    results[i].round = options_.round;
     results[i].name = variants[i].name;
     results[i].verify = std::move(verdict);
     results[i].status = "error";
@@ -489,6 +494,7 @@ std::vector<VariantResult> CampaignRunner::run(
 
 std::vector<std::string> CampaignRunner::csvHeader() {
   return {"sequence",
+          "round",
           "variant",
           "status",
           "iterations_per_call",
@@ -514,6 +520,7 @@ std::vector<std::string> CampaignRunner::csvHeader() {
 std::vector<std::string> CampaignRunner::csvRow(const VariantResult& r) {
   std::vector<std::string> cells;
   cells.push_back(std::to_string(r.sequence));
+  cells.push_back(std::to_string(r.round));
   cells.push_back(r.name);
   cells.push_back(r.status);
   // A counter metric cell is empty whenever the value is absent — the
@@ -615,8 +622,14 @@ std::vector<CampaignVariant> variantsFromPrograms(
   return variants;
 }
 
-std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
-    const std::string& csvPath) {
+namespace {
+
+/// Shared body of the two readCompletedVariants overloads. A negative
+/// `roundFilter` accepts every row; otherwise only rows whose `round`
+/// column matches are returned (a file without a round column counts every
+/// row as round 0).
+std::set<std::pair<std::size_t, std::string>> readCompletedImpl(
+    const std::string& csvPath, int roundFilter) {
   std::set<std::pair<std::size_t, std::string>> completed;
   std::ifstream in(csvPath, std::ios::binary);
   if (!in) return completed;
@@ -640,6 +653,7 @@ std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
   std::ptrdiff_t seqCol = column("sequence");
   std::ptrdiff_t nameCol = column("variant");
   std::ptrdiff_t statusCol = column("status");
+  std::ptrdiff_t roundCol = column("round");
   if (seqCol < 0 || nameCol < 0 || statusCol < 0) return completed;
 
   while (std::getline(in, line)) {
@@ -658,12 +672,35 @@ std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
         status != "skipped") {
       continue;
     }
+    if (roundFilter >= 0) {
+      int rowRound = 0;
+      if (roundCol >= 0) {
+        auto parsed =
+            strings::parseInt(cells[static_cast<std::size_t>(roundCol)]);
+        if (!parsed) continue;  // unparsable round: torn or foreign row
+        rowRound = static_cast<int>(*parsed);
+      }
+      if (rowRound != roundFilter) continue;
+    }
     auto seq = strings::parseInt(cells[static_cast<std::size_t>(seqCol)]);
     if (!seq || *seq < 0) continue;
     completed.emplace(static_cast<std::size_t>(*seq),
                       cells[static_cast<std::size_t>(nameCol)]);
   }
   return completed;
+}
+
+}  // namespace
+
+std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
+    const std::string& csvPath) {
+  return readCompletedImpl(csvPath, -1);
+}
+
+std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
+    const std::string& csvPath, int round) {
+  if (round < 0) throw McError("readCompletedVariants: round must be >= 0");
+  return readCompletedImpl(csvPath, round);
 }
 
 }  // namespace microtools::launcher

@@ -28,6 +28,7 @@ struct CampaignVariant {
 /// Outcome of one variant, in input order (`sequence`).
 struct VariantResult {
   std::size_t sequence = 0;  ///< index of the variant in the input batch
+  int round = 0;  ///< planner round that produced this row (0: plain sweep)
   std::string name;
   std::string status = "ok";  ///< ok|error|timeout|skipped
   std::string error;          ///< message when status != ok
@@ -89,6 +90,12 @@ struct CampaignOptions {
 
   CacheLookup cacheLookup;     ///< pre-measurement cache probe (optional)
   CacheStore cacheStore;       ///< post-measurement cache write (optional)
+
+  /// Stamped onto every VariantResult (and its CSV row) this run produces.
+  /// The successive-halving planner runs one campaign per round and bumps
+  /// this so rows from different fidelity levels stay distinguishable in a
+  /// single streamed CSV; a plain exhaustive sweep leaves it at 0.
+  int round = 0;
 
   /// (sequence, name) pairs already terminal in a previous run (CSV
   /// resume; see readCompletedVariants): these variants are marked
@@ -180,6 +187,13 @@ std::vector<CampaignVariant> loadCampaignDirectory(
 /// as crash-torn remnants: ignored here so the variant is re-measured.
 std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
     const std::string& csvPath);
+
+/// Round-aware overload for resuming a successive-halving CSV: only rows
+/// whose `round` column equals `round` are returned. Files written before
+/// the round column existed are rejected by CampaignCsvSink anyway, but for
+/// robustness a missing round column here counts every row as round 0.
+std::set<std::pair<std::size_t, std::string>> readCompletedVariants(
+    const std::string& csvPath, int round);
 
 /// Wraps a MicroCreator batch as campaign variants.
 std::vector<CampaignVariant> variantsFromPrograms(

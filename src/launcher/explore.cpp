@@ -1,5 +1,7 @@
 #include "launcher/explore.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
@@ -14,6 +16,7 @@
 #include "support/error.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
+#include "support/stats.hpp"
 #include "support/strings.hpp"
 
 namespace microtools::launcher {
@@ -263,10 +266,14 @@ void MeasurementCache::store(const std::string& key,
   if (result.status != "ok") return;  // errors and timeouts must be retried
   std::string path = recordPath(key);
   // Unique temp name per writer: campaign workers store concurrently, and
-  // two variants with identical content share a key.
+  // two variants with identical content share a key. The counter alone is
+  // NOT enough — it is process-local, so two processes sharing one cache
+  // dir would both start at 0, write the same "<key>.tmp0", and publish a
+  // torn record. The pid makes the suffix unique across processes too.
   static std::atomic<std::uint64_t> counter{0};
   std::string tmp =
-      path + ".tmp" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+      path + ".tmp" + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw McError("cannot write cache record: " + tmp);
@@ -361,37 +368,70 @@ ExploreResult runExplore(const ExploreOptions& options,
     if (options.backend == "sim" && options.simExact) backendId += ":exact";
   }
 
-  CampaignOptions campaign = options.campaign;
+  // The cache binder installs lookup/store hooks keyed on the options of
+  // whatever campaign it is applied to. The full sweep applies it once to
+  // the baseline options; the halving planner re-applies it every round,
+  // because cacheKey() hashes the round's protocol — screening entries and
+  // full-fidelity entries must never serve each other, while the final
+  // round's keys are identical to an exhaustive sweep's.
+  CacheBinder bindCache;
   if (options.useCache) {
     auto cache = std::make_shared<MeasurementCache>(options.cacheDir);
-    // Key fields only — the hook-free copy avoids self-capture.
-    const CampaignOptions keyOptions = options.campaign;
-    campaign.cacheLookup = [cache, keyOptions, backendId, request](
-                               const CampaignVariant& v, VariantResult& out) {
-      std::optional<VariantResult> hit =
-          cache->load(cacheKey(v, keyOptions, backendId, request));
-      if (!hit) return false;
-      out = std::move(*hit);
-      return true;
-    };
-    campaign.cacheStore = [cache, keyOptions, backendId, request](
-                              const CampaignVariant& v,
-                              const VariantResult& result) {
-      cache->store(cacheKey(v, keyOptions, backendId, request), result);
+    bindCache = [cache, backendId, request](CampaignOptions& roundOptions) {
+      // Key fields only — the hook-free copy avoids self-capture.
+      CampaignOptions keyOptions = roundOptions;
+      keyOptions.cacheLookup = nullptr;
+      keyOptions.cacheStore = nullptr;
+      keyOptions.completed.clear();
+      roundOptions.cacheLookup = [cache, keyOptions, backendId, request](
+                                     const CampaignVariant& v,
+                                     VariantResult& out) {
+        std::optional<VariantResult> hit =
+            cache->load(cacheKey(v, keyOptions, backendId, request));
+        if (!hit) return false;
+        out = std::move(*hit);
+        return true;
+      };
+      roundOptions.cacheStore = [cache, keyOptions, backendId, request](
+                                    const CampaignVariant& v,
+                                    const VariantResult& result) {
+        cache->store(cacheKey(v, keyOptions, backendId, request), result);
+      };
     };
   }
 
-  CampaignRunner runner(std::move(factory), campaign);
   ExploreResult out;
   out.generated = programs.size();
   out.request = request;
   out.backendId = backendId;
+
+  if (options.search == SearchMode::Halving) {
+    PlannerResult planned =
+        runSuccessiveHalving(variants, request, factory, options.campaign,
+                             options.planner, bindCache, sink);
+    out.results = std::move(planned.results);
+    out.rounds = std::move(planned.rounds);
+    out.budgetExhausted = planned.budgetExhausted;
+    out.stopReason = std::move(planned.stopReason);
+    out.fullFidelityVariants = planned.fullFidelityVariants;
+    out.workRepetitions = planned.workRepetitions;
+    out.measured = planned.measured;
+    out.cacheHits = planned.cacheHits;
+    out.skipped = planned.resumed;
+    out.failures = planned.failures;
+    return out;
+  }
+
+  CampaignOptions campaign = options.campaign;
+  if (bindCache) bindCache(campaign);
+  CampaignRunner runner(std::move(factory), campaign);
   out.results = runner.run(variants, request, sink);
   for (const VariantResult& r : out.results) {
     if (r.cached) {
       ++out.cacheHits;
     } else if (r.status != "skipped") {
       ++out.measured;
+      out.workRepetitions += r.repetitions;
     } else {
       ++out.skipped;
     }
@@ -405,14 +445,20 @@ csv::Table topKReport(const std::vector<VariantResult>& results, int k) {
   for (const VariantResult& r : results) {
     if (r.status == "ok") ranked.push_back(&r);
   }
+  // NaN-last comparisons throughout: `am != bm ? am < bm : ...` is not a
+  // strict weak order once a NaN min/mean appears (possible after
+  // overhead-clamped measurements) — NaN compares false both ways, breaking
+  // transitivity of equivalence, which is UB in std::stable_sort.
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const VariantResult* a, const VariantResult* b) {
                      double am = a->measurement.cyclesPerIteration.min;
                      double bm = b->measurement.cyclesPerIteration.min;
-                     if (am != bm) return am < bm;
+                     if (stats::nanLastLess(am, bm)) return true;
+                     if (stats::nanLastLess(bm, am)) return false;
                      double aMean = a->measurement.cyclesPerIteration.mean;
                      double bMean = b->measurement.cyclesPerIteration.mean;
-                     if (aMean != bMean) return aMean < bMean;
+                     if (stats::nanLastLess(aMean, bMean)) return true;
+                     if (stats::nanLastLess(bMean, aMean)) return false;
                      return a->name < b->name;
                    });
   if (k > 0 && ranked.size() > static_cast<std::size_t>(k)) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "launcher/campaign.hpp"
+#include "launcher/planner.hpp"
 #include "support/csv.hpp"
 
 namespace microtools::launcher {
@@ -87,6 +88,13 @@ struct ExploreOptions {
   /// exists to prove that, and to debug the fast path when it isn't.
   bool simExact = false;
 
+  /// How the variant space is walked: Full sweeps everything at the
+  /// baseline protocol (the paper's pipeline); Halving runs the
+  /// successive-halving planner (screen cheap, keep the best half, double
+  /// the budget, finish with the untouched baseline protocol).
+  SearchMode search = SearchMode::Full;
+  PlannerOptions planner;  ///< screen reps / budget / tie guard / resume
+
   /// Overrides the backend construction (tests inject counting backends).
   /// When empty, a SimBackend factory is built from `arch`/`coreGHz`
   /// ("native" requires an explicit factory — the CLI provides one).
@@ -121,6 +129,18 @@ struct ExploreResult {
   std::size_t failures = 0;            ///< status error/timeout
   KernelRequest request;               ///< the request every variant ran
   std::string backendId;               ///< resolved backend identity
+
+  /// Variant-measurement work actually executed: the sum of outer
+  /// repetitions over fresh (non-cached, non-resumed) measurements. This is
+  /// the denominator-compatible metric the halving planner's "<= 50% of the
+  /// exhaustive work" contract is verified against.
+  long long workRepetitions = 0;
+
+  // -- halving search only ---------------------------------------------------
+  std::vector<RoundSummary> rounds;  ///< per-round planner accounting
+  bool budgetExhausted = false;      ///< stopped early on --budget
+  std::string stopReason;            ///< planner verdict ("" for full sweeps)
+  std::size_t fullFidelityVariants = 0;  ///< variants in the final round
 };
 
 /// The end-to-end pipeline (§3 + §4 fused): parse the description, generate

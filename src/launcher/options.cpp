@@ -106,6 +106,20 @@ cli::Parser makeLauncherParser() {
                    "before they can crash the campaign; warn only annotates "
                    "the CSV; off disables the check",
                    "strict");
+  parser.addString("search",
+                   "Campaign: variant-space walk — full measures every "
+                   "variant at the baseline protocol; halving screens "
+                   "everything cheaply, keeps the best half per round, and "
+                   "finishes the survivors at full fidelity",
+                   "full");
+  parser.addString("budget",
+                   "Campaign halving budget: '<seconds>s' wall-clock (e.g. "
+                   "30s) or a count of fresh variant measurements; on "
+                   "exhaustion the best-so-far ranking is reported");
+  parser.addInt("screen-reps",
+                "Campaign halving: outer repetitions of the round-0 "
+                "screening pass",
+                1);
   parser.addString("backend", "Execution backend: sim|native", "sim");
   parser.addFlag("no-perf-counters",
                  "Do not open perf_event counter groups around native "
@@ -171,6 +185,9 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
     o.compileCacheDir = parser.getString("compile-cache-dir");
   }
   o.verifyMode = parser.getString("verify");
+  o.searchMode = parser.getString("search");
+  if (parser.has("budget")) o.budget = parser.getString("budget");
+  o.screenRepetitions = static_cast<int>(parser.getInt("screen-reps"));
   o.backend = parser.getString("backend");
   o.perfCounters = !parser.getFlag("no-perf-counters");
   o.arch = parser.getString("arch");
@@ -207,6 +224,12 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   if (o.verifyMode != "off" && o.verifyMode != "warn" &&
       o.verifyMode != "strict") {
     throw ParseError("--verify must be off, warn, or strict");
+  }
+  if (o.searchMode != "full" && o.searchMode != "halving") {
+    throw ParseError("--search must be full or halving");
+  }
+  if (o.screenRepetitions < 1) {
+    throw ParseError("--screen-reps must be >= 1");
   }
   return o;
 }

@@ -74,6 +74,9 @@ struct LauncherOptions {
   int compileBatch = 8;        ///< variants per batched compiler invocation
   std::string compileCacheDir; ///< persistent .so cache ("" = no cache)
   std::string verifyMode = "strict";  ///< pre-flight check: off|warn|strict
+  std::string searchMode = "full";    ///< variant walk: full|halving
+  std::string budget;          ///< halving budget: "<seconds>s" or variants
+  int screenRepetitions = 1;   ///< halving round-0 screening outer reps
 
   // -- backend / machine ---------------------------------------------------------
   std::string backend = "sim";   ///< sim|native

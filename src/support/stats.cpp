@@ -44,12 +44,14 @@ double Accumulator::variance() const {
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
 double Accumulator::cv() const {
-  if (count_ == 0) return 0.0;
-  // stddev/mean is undefined at mean 0 (e.g. every sample clamped to 0 after
-  // overhead subtraction). Returning 0 here would report a degenerate
-  // variant as perfectly converged; NaN forces every CV-threshold comparison
-  // to fail instead, so callers mark the variant non-converged.
-  if (mean_ == 0.0) return std::numeric_limits<double>::quiet_NaN();
+  // stddev/mean is undefined with no samples and at mean 0 (e.g. every
+  // sample clamped to 0 after overhead subtraction). Returning 0 in either
+  // case would report a degenerate variant as perfectly converged; NaN
+  // forces every CV-threshold comparison to fail instead, so callers mark
+  // the variant non-converged.
+  if (count_ == 0 || mean_ == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   return stddev() / mean_;
 }
 
@@ -61,6 +63,24 @@ double median(std::vector<double> samples) {
   if (samples.size() % 2 == 1) return hi;
   double lo = *std::max_element(samples.begin(), samples.begin() + mid);
   return (lo + hi) / 2.0;
+}
+
+bool nanLastLess(double a, double b) {
+  bool na = std::isnan(a);
+  bool nb = std::isnan(b);
+  if (na != nb) return nb;  // numbers before NaN
+  if (na) return false;     // NaN == NaN under this order
+  return a < b;
+}
+
+bool withinNoise(double a, double cvA, double b, double cvB,
+                 double multiplier) {
+  if (std::isnan(a) || std::isnan(b)) return true;
+  if (std::isnan(cvA) || std::isnan(cvB)) return true;
+  double sigmaA = cvA * a;
+  double sigmaB = cvB * b;
+  double combined = std::sqrt(sigmaA * sigmaA + sigmaB * sigmaB);
+  return std::fabs(a - b) <= multiplier * combined;
 }
 
 Summary summarize(const std::vector<double>& samples) {

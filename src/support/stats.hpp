@@ -21,9 +21,10 @@ class Accumulator {
   /// Unbiased sample variance; 0 for fewer than two samples.
   double variance() const;
   double stddev() const;
-  /// Coefficient of variation (stddev/mean). 0 for an empty accumulator;
-  /// NaN when the mean is 0 (the ratio is undefined — callers must treat
-  /// such a sample set as non-converged, never as perfectly stable).
+  /// Coefficient of variation (stddev/mean). NaN for an empty accumulator
+  /// and NaN when the mean is 0 (the ratio is undefined in both cases —
+  /// callers must treat such a sample set as non-converged, never as
+  /// perfectly stable).
   double cv() const;
 
  private:
@@ -50,5 +51,23 @@ struct Summary {
 
 /// Builds a Summary from raw samples.
 Summary summarize(const std::vector<double>& samples);
+
+/// Total-order "less" over doubles that sorts NaN after every number (and
+/// treats all NaNs as equivalent). Plain `a < b` is not a strict weak order
+/// once NaN appears — NaN compares false both ways, so it is "equivalent"
+/// to everything and transitivity of equivalence breaks, which is undefined
+/// behavior in std::sort/std::stable_sort. Use this for ranking measured
+/// metrics that may be NaN.
+bool nanLastLess(double a, double b);
+
+/// CV-aware noise comparison (the bench-diff gate, reused by the
+/// successive-halving planner's tie guard): `a` and `b` are statistically
+/// indistinguishable when |a - b| <= multiplier * sqrt((cvA*a)^2 +
+/// (cvB*b)^2) — the combined standard error of the two estimates scaled by
+/// `multiplier` sigmas. A NaN CV (undefined stability) or NaN value makes
+/// the comparison undecidable and returns true: callers must never treat
+/// an unmeasurable difference as a significant one.
+bool withinNoise(double a, double cvA, double b, double cvB,
+                 double multiplier);
 
 }  // namespace microtools::stats

@@ -13,6 +13,7 @@
 #include "launcher/campaign.hpp"
 #include "launcher/launcher.hpp"
 #include "launcher/options.hpp"
+#include "launcher/planner.hpp"
 #include "launcher/sim_backend.hpp"
 #include "native/affinity.hpp"
 #include "native/compile.hpp"
@@ -123,15 +124,15 @@ int runCampaign(const LauncherOptions& options) {
   // over one. The simulator pins inside its own machine model instead.
   campaign.pinWorkers = options.backend == "native";
 
+  bool halving = options.searchMode == "halving";
+
   // Resuming into an existing CSV: rows already completed there are
   // skipped, so an interrupted campaign restart pays only for what is
-  // missing.
-  if (!options.csvOutput.empty()) {
+  // missing. A halving search resumes per round instead — the planner
+  // reads the file round by round.
+  if (!options.csvOutput.empty() && !halving) {
     campaign.completed = launcher::readCompletedVariants(options.csvOutput);
   }
-
-  launcher::CampaignRunner runner(
-      [&options](int) { return makeBackend(options); }, campaign);
 
   // Stream rows as variants finish — to the CSV file when given (append-safe
   // across reruns), to stdout otherwise.
@@ -150,8 +151,31 @@ int runCampaign(const LauncherOptions& options) {
     sink = std::make_unique<launcher::CampaignCsvSink>(std::cout);
   }
 
-  std::vector<launcher::VariantResult> results =
-      runner.run(variants, options.toRequest(), sink.get());
+  launcher::BackendFactory factory = [&options](int) {
+    return makeBackend(options);
+  };
+
+  std::vector<launcher::VariantResult> results;
+  if (halving) {
+    launcher::PlannerOptions planner;
+    planner.screenRepetitions = options.screenRepetitions;
+    planner.budget = launcher::parseBudget(options.budget);
+    if (!options.csvOutput.empty()) planner.resumeCsv = options.csvOutput;
+    launcher::PlannerResult planned = launcher::runSuccessiveHalving(
+        variants, options.toRequest(), factory, campaign, planner,
+        /*bindCache=*/nullptr, sink.get());
+    results = std::move(planned.results);
+    if (!options.csvOutput.empty()) {
+      std::printf("halving: %zu of %zu variant(s) at full fidelity after "
+                  "%zu round(s), %lld work repetition(s), stop: %s\n",
+                  planned.fullFidelityVariants, variants.size(),
+                  planned.rounds.size(), planned.workRepetitions,
+                  planned.stopReason.c_str());
+    }
+  } else {
+    launcher::CampaignRunner runner(factory, campaign);
+    results = runner.run(variants, options.toRequest(), sink.get());
+  }
 
   int failures = 0, skipped = 0;
   for (const launcher::VariantResult& r : results) {

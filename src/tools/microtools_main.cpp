@@ -93,6 +93,20 @@ cli::Parser makeExploreParser() {
   parser.addInt("n", "Kernel trip count (default: first array's elements)");
   parser.addInt("max", "Override <maximum_benchmarks>");
   parser.addInt("seed", "Override <seed>");
+  parser.addString("search",
+                   "Variant-space walk: full measures every variant at the "
+                   "baseline protocol; halving screens everything cheaply, "
+                   "keeps the best half per round, and finishes the "
+                   "survivors at full fidelity",
+                   "full");
+  parser.addString("budget",
+                   "Halving search budget: '<seconds>s' wall-clock (e.g. "
+                   "30s) or a count of fresh variant measurements (cache "
+                   "hits are free); on exhaustion the best-so-far ranking "
+                   "is reported");
+  parser.addInt("screen-reps",
+                "Halving: outer repetitions of the round-0 screening pass",
+                1);
   parser.addString("cache", "Measurement cache directory",
                    ".microtools-cache");
   parser.addFlag("no-cache", "Disable the measurement cache");
@@ -175,6 +189,12 @@ int runExploreCommand(int argc, char** argv) {
   options.cacheDir = parser.getString("cache");
   options.useCache = !parser.getFlag("no-cache");
   options.simExact = parser.getFlag("sim-exact");
+  options.search = launcher::searchModeFromName(parser.getString("search"));
+  if (parser.has("budget")) {
+    options.planner.budget = launcher::parseBudget(parser.getString("budget"));
+  }
+  options.planner.screenRepetitions =
+      static_cast<int>(parser.getInt("screen-reps"));
   if (parser.getFlag("verbose")) log::setLevel(log::Level::Info);
 
   if (options.backend == "native") {
@@ -205,8 +225,14 @@ int runExploreCommand(int argc, char** argv) {
     std::string csvPath = parser.getString("csv");
     // Resume: variants already terminal in the file (ok rows, cache hits,
     // verify-strict skips, errors) are skipped and NOT re-appended, so
-    // rerunning with the same --csv never grows the file.
-    options.campaign.completed = launcher::readCompletedVariants(csvPath);
+    // rerunning with the same --csv never grows the file. A halving search
+    // resumes per round instead — the planner reads the file itself, round
+    // by round, and backfills the skipped rows' metrics for ranking.
+    if (options.search == launcher::SearchMode::Halving) {
+      options.planner.resumeCsv = csvPath;
+    } else {
+      options.campaign.completed = launcher::readCompletedVariants(csvPath);
+    }
     env::EnvSnapshot snapshot = env::captureEnv();
     if (options.backend == "native") {
       std::string identityCache;
@@ -241,8 +267,17 @@ int runExploreCommand(int argc, char** argv) {
   std::printf(
       "explored %zu variant(s) on %s: %zu cache hit(s), %zu measured, "
       "%zu skipped, %zu failure(s)\n",
-      result.results.size(), result.backendId.c_str(), result.cacheHits,
-      result.measured, result.skipped, result.failures);
+      options.search == launcher::SearchMode::Halving ? result.generated
+                                                      : result.results.size(),
+      result.backendId.c_str(), result.cacheHits, result.measured,
+      result.skipped, result.failures);
+  if (options.search == launcher::SearchMode::Halving) {
+    std::printf(
+        "halving: %zu of %zu variant(s) at full fidelity after %zu "
+        "round(s), %lld work repetition(s), stop: %s\n",
+        result.fullFidelityVariants, result.generated, result.rounds.size(),
+        result.workRepetitions, result.stopReason.c_str());
+  }
   if (options.useCache) {
     std::printf("cache: %s\n", options.cacheDir.c_str());
   }

@@ -314,7 +314,7 @@ TEST(Campaign, SinkRowsCoverEverySequence) {
   std::istringstream in(oss.str());
   std::string line;
   std::getline(in, line);  // header
-  EXPECT_TRUE(strings::startsWith(line, "sequence,variant,status"));
+  EXPECT_TRUE(strings::startsWith(line, "sequence,round,variant,status"));
   while (std::getline(in, line)) {
     if (!line.empty()) sequences.insert(strings::split(line, ',')[0]);
   }
@@ -565,15 +565,15 @@ TEST(Campaign, ReadCompletedVariantsCountsEveryTerminalStatus) {
       out << ',' << CampaignRunner::csvHeader()[i];
     }
     out << "\n";
-    out << fullRow("0,good_variant,ok,,2.5,2.5,2.5,2.5,0", 9);
-    out << fullRow("1,failed_variant,error", 3);
-    out << fullRow("2,\"quoted, name\",ok,,2.5,2.5,2.5,2.5,0", 9);
-    out << fullRow("3,slow_variant,timeout", 3);
-    out << fullRow("4,rejected_variant,skipped", 3);
-    out << fullRow("5,foreign_variant,mystery_status", 3);  // unknown: re-run
-    out << fullRow("not a number,bad_row,ok", 3);  // bad sequence: ignored
-    out << "6,short_row,ok\n";   // narrower than the schema: torn, re-run
-    out << "7,truncated_r";      // crash mid-write: re-run
+    out << fullRow("0,0,good_variant,ok,,2.5,2.5,2.5,2.5,0", 10);
+    out << fullRow("1,0,failed_variant,error", 4);
+    out << fullRow("2,0,\"quoted, name\",ok,,2.5,2.5,2.5,2.5,0", 10);
+    out << fullRow("3,0,slow_variant,timeout", 4);
+    out << fullRow("4,0,rejected_variant,skipped", 4);
+    out << fullRow("5,0,foreign_variant,mystery_status", 4);  // unknown: re-run
+    out << fullRow("not a number,0,bad_row,ok", 4);  // bad sequence: ignored
+    out << "6,0,short_row,ok\n";  // narrower than the schema: torn, re-run
+    out << "7,0,truncated_r";     // crash mid-write: re-run
   }
   std::set<std::pair<std::size_t, std::string>> completed =
       readCompletedVariants(path);
@@ -590,6 +590,109 @@ TEST(Campaign, ReadCompletedVariantsCountsEveryTerminalStatus) {
 
 TEST(Campaign, ReadCompletedVariantsOfMissingFileIsEmpty) {
   EXPECT_TRUE(readCompletedVariants("/nonexistent/campaign.csv").empty());
+}
+
+TEST(Campaign, ReadCompletedVariantsFiltersByRound) {
+  // A halving search resumes per round: only rows tagged with the round
+  // being re-run may be skipped — a variant screened in round 0 still has
+  // to be re-measured at round 1's higher fidelity.
+  std::string path = ::testing::TempDir() + "/campaign_rounds.csv";
+  std::size_t width = CampaignRunner::csvHeader().size();
+  auto fullRow = [width](const std::string& prefix, std::size_t given) {
+    return prefix + std::string(width - given, ',') + "\n";
+  };
+  {
+    std::ofstream out(path);
+    out << CampaignRunner::csvHeader()[0];
+    for (std::size_t i = 1; i < CampaignRunner::csvHeader().size(); ++i) {
+      out << ',' << CampaignRunner::csvHeader()[i];
+    }
+    out << "\n";
+    out << fullRow("0,0,u1,ok,,2.5,2.5,2.5,2.5,0", 10);
+    out << fullRow("1,0,u2,ok,,3.5,3.5,3.5,3.5,0", 10);
+    out << fullRow("0,1,u1,ok,,2.4,2.4,2.4,2.4,0", 10);
+    out << fullRow("1,torn,u9,ok", 4);  // unparsable round: re-measure
+  }
+
+  std::set<std::pair<std::size_t, std::string>> round0 =
+      readCompletedVariants(path, 0);
+  EXPECT_EQ(round0.size(), 2u);
+  EXPECT_TRUE(round0.count({0, "u1"}));
+  EXPECT_TRUE(round0.count({1, "u2"}));
+
+  std::set<std::pair<std::size_t, std::string>> round1 =
+      readCompletedVariants(path, 1);
+  EXPECT_EQ(round1.size(), 1u);
+  EXPECT_TRUE(round1.count({0, "u1"}));
+  EXPECT_TRUE(readCompletedVariants(path, 2).empty());
+
+  // The round-agnostic overload still sees every terminal row.
+  EXPECT_EQ(readCompletedVariants(path).size(), 3u);
+  EXPECT_THROW(readCompletedVariants(path, -1), McError);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, ReadCompletedVariantsTreatsLegacyFilesAsRoundZero) {
+  // Pre-round-column CSVs (exhaustive sweeps from older builds) are all
+  // baseline-fidelity rows: a round-0 filter accepts them, any later
+  // round re-measures.
+  std::string path = ::testing::TempDir() + "/campaign_legacy_rounds.csv";
+  {
+    std::ofstream out(path);
+    out << "sequence,variant,status\n";
+    out << "0,old_a,ok\n";
+    out << "1,old_b,error\n";
+  }
+  EXPECT_EQ(readCompletedVariants(path, 0).size(), 2u);
+  EXPECT_TRUE(readCompletedVariants(path, 1).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, RoundTagStampsResultsAndCsvRows) {
+  std::vector<CampaignVariant> variants = eightVariants();
+  variants.resize(2);
+  CampaignOptions options = quickOptions(1);
+  options.round = 3;
+  std::ostringstream csv;
+  std::vector<VariantResult> results;
+  {
+    CampaignCsvSink sink(csv);
+    CampaignRunner runner(simFactory(), options);
+    results = runner.run(variants, smallRequest(), &sink);
+  }
+  ASSERT_EQ(results.size(), 2u);
+  for (const VariantResult& r : results) EXPECT_EQ(r.round, 3);
+
+  // The round lands in the CSV's second column, where resume reads it back.
+  std::istringstream in(csv.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_TRUE(strings::startsWith(line, "sequence,round,variant,"));
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || strings::startsWith(line, "#")) continue;
+    EXPECT_EQ(csv::parseLine(line)[1], "3") << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+
+  // Cache hits carry the tag too: a hit row must resume under its round.
+  options.cacheLookup = [](const CampaignVariant&, VariantResult& out) {
+    out.status = "ok";
+    out.measurement.cyclesPerIteration.min = 1.25;
+    out.repetitions = 3;
+    return true;
+  };
+  CampaignRunner cached(
+      [](int) -> std::unique_ptr<Backend> {
+        ADD_FAILURE() << "backend built despite 100% cache hits";
+        return std::make_unique<FlakyBackend>(0);
+      },
+      options);
+  for (const VariantResult& r : cached.run(variants, smallRequest())) {
+    EXPECT_EQ(r.round, 3);
+    EXPECT_TRUE(r.cached);
+  }
 }
 
 // ---------------------------------------------------------------------------

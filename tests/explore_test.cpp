@@ -7,8 +7,10 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "launcher/explore.hpp"
 #include "launcher/sim_backend.hpp"
@@ -255,6 +257,47 @@ TEST(MeasurementCache, MissOnKeyMismatch) {
   fs::remove_all(cache.dir());
 }
 
+TEST(MeasurementCache, StoreTempFileIsUniquePerProcess) {
+  MeasurementCache cache(freshDir("mtcache_tmpsuffix"));
+  std::string key = "00000000000000a1";
+  // A second process writing the same key would have started its own
+  // counter at 0; before the pid went into the suffix both writers used
+  // "<record>.tmp0" and one could publish the other's half-written file.
+  // Simulate that foreign in-flight temp file and store over it: ours must
+  // get a different name, leave the foreign file untouched, and still
+  // publish a valid record.
+  std::string foreignTmp = cache.recordPath(key) + ".tmp0";
+  std::ofstream(foreignTmp, std::ios::binary) << "half-written by pid 12345";
+  cache.store(key, okResult("variant_a", 2.0));
+
+  std::ifstream foreign(foreignTmp, std::ios::binary);
+  ASSERT_TRUE(foreign.good());
+  std::stringstream buf;
+  buf << foreign.rdbuf();
+  EXPECT_EQ(buf.str(), "half-written by pid 12345");
+
+  std::optional<VariantResult> loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->name, "variant_a");
+
+  // Concurrent stores under one key from this process also never share a
+  // temp file: every record stays loadable, and no stray temp survives a
+  // rename (each writer renames its own file).
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 8; ++t) {
+    writers.emplace_back([&cache, &key] {
+      for (int i = 0; i < 25; ++i) {
+        cache.store(key, okResult("variant_a", 2.0));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->status, "ok");
+  fs::remove_all(cache.dir());
+}
+
 TEST(MeasurementCache, DoesNotStoreFailedResults) {
   MeasurementCache cache(freshDir("mtcache_failed"));
   VariantResult r = okResult("v", 1.0);
@@ -428,6 +471,48 @@ TEST(TopKReport, RanksOkResultsByMinCyclesAndClampsK) {
 
   csv::Table large = topKReport(results, 100);
   EXPECT_EQ(large.rowCount(), 3u);
+}
+
+TEST(TopKReport, NanMeasurementsRankLastWithoutBreakingTheSort) {
+  // Overhead-clamped measurements can legitimately produce NaN min/mean.
+  // The old comparator (`am != bm ? am < bm : ...`) was not a strict weak
+  // order once NaN appeared — UB in std::stable_sort that corrupted the
+  // ranking. Enough rows to give a broken sort room to misbehave:
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<VariantResult> results;
+  for (int i = 0; i < 16; ++i) {
+    results.push_back(okResult("v" + std::to_string(i), 16.0 - i));
+    VariantResult undefined = okResult("nan" + std::to_string(i), 1.0);
+    undefined.measurement.cyclesPerIteration.min = kNan;
+    undefined.measurement.cyclesPerIteration.mean = kNan;
+    results.push_back(undefined);
+  }
+
+  csv::Table all = topKReport(results, 0);
+  ASSERT_EQ(all.rowCount(), 32u);
+  // Numbers first, ascending; every NaN row after every measured one.
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(all.row(i)[1], "v" + std::to_string(15 - i)) << "rank " << i;
+  }
+  for (std::size_t i = 16; i < 32; ++i) {
+    EXPECT_TRUE(strings::startsWith(all.row(i)[1], "nan")) << "rank " << i;
+  }
+  // NaN-only ties fall back to the name ordering: deterministic output.
+  EXPECT_EQ(all.row(16)[1], "nan0");
+
+  // A NaN min with a measured mean still ranks after every finite min but
+  // uses the mean against other NaN-min rows.
+  VariantResult mixedA = okResult("mixed_a", 1.0);
+  mixedA.measurement.cyclesPerIteration.min = kNan;
+  mixedA.measurement.cyclesPerIteration.mean = 2.0;
+  VariantResult mixedB = okResult("mixed_b", 1.0);
+  mixedB.measurement.cyclesPerIteration.min = kNan;
+  mixedB.measurement.cyclesPerIteration.mean = 9.0;
+  csv::Table mixed = topKReport({okResult("solid", 5.0), mixedB, mixedA}, 0);
+  ASSERT_EQ(mixed.rowCount(), 3u);
+  EXPECT_EQ(mixed.row(0)[1], "solid");
+  EXPECT_EQ(mixed.row(1)[1], "mixed_a");
+  EXPECT_EQ(mixed.row(2)[1], "mixed_b");
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "support/cli.hpp"
 #include "support/csv.hpp"
@@ -218,8 +221,53 @@ TEST(Stats, CvOfZeroMeanIsNanNotZero) {
   mixed.add(1.0);
   EXPECT_TRUE(std::isnan(mixed.cv()));
 
+  // Nothing measured yet is just as undefined as a zero mean: 0.0 would
+  // read as "perfectly converged" before a single sample arrived.
   stats::Accumulator empty;
-  EXPECT_DOUBLE_EQ(empty.cv(), 0.0);  // empty stays 0 (nothing measured yet)
+  EXPECT_TRUE(std::isnan(empty.cv()));
+}
+
+TEST(Stats, NanLastLessIsATotalOrderWithNanAtTheEnd) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(stats::nanLastLess(1.0, 2.0));
+  EXPECT_FALSE(stats::nanLastLess(2.0, 1.0));
+  EXPECT_FALSE(stats::nanLastLess(1.0, 1.0));  // irreflexive
+
+  // Every number sorts before NaN, never the other way around.
+  EXPECT_TRUE(stats::nanLastLess(1.0, kNan));
+  EXPECT_FALSE(stats::nanLastLess(kNan, 1.0));
+
+  // NaNs are equivalent to each other — exactly the property the raw `<`
+  // lacks (NaN < x and x < NaN are both false, so NaN is "equal" to
+  // everything, breaking transitivity of equivalence in std::sort).
+  EXPECT_FALSE(stats::nanLastLess(kNan, kNan));
+
+  std::vector<double> values = {kNan, 3.0, kNan, 1.0, 2.0};
+  std::sort(values.begin(), values.end(),
+            [](double a, double b) { return stats::nanLastLess(a, b); });
+  EXPECT_DOUBLE_EQ(values[0], 1.0);
+  EXPECT_DOUBLE_EQ(values[1], 2.0);
+  EXPECT_DOUBLE_EQ(values[2], 3.0);
+  EXPECT_TRUE(std::isnan(values[3]));
+  EXPECT_TRUE(std::isnan(values[4]));
+}
+
+TEST(Stats, WithinNoiseComparesAgainstCombinedStandardError) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  // 10.0 vs 10.2 at 5% CV each: sigma = 0.5 / 0.51, combined ~0.714 —
+  // a 0.2 gap is well inside 3 sigma.
+  EXPECT_TRUE(stats::withinNoise(10.0, 0.05, 10.2, 0.05, 3.0));
+  // 10.0 vs 30.0 is ~9.4 combined sigmas apart: clearly distinguishable.
+  EXPECT_FALSE(stats::withinNoise(10.0, 0.05, 30.0, 0.05, 3.0));
+  // Zero CV means zero noise: only exact equality is "within noise".
+  EXPECT_TRUE(stats::withinNoise(5.0, 0.0, 5.0, 0.0, 3.0));
+  EXPECT_FALSE(stats::withinNoise(5.0, 0.0, 5.0001, 0.0, 3.0));
+  // Any undefined input makes the comparison undecidable: report "within
+  // noise" so callers never act (eliminate a variant) on a NaN.
+  EXPECT_TRUE(stats::withinNoise(kNan, 0.0, 5.0, 0.0, 3.0));
+  EXPECT_TRUE(stats::withinNoise(5.0, kNan, 6.0, 0.0, 3.0));
+  EXPECT_TRUE(stats::withinNoise(5.0, 0.0, kNan, 0.0, 3.0));
+  EXPECT_TRUE(stats::withinNoise(5.0, 0.0, 6.0, kNan, 3.0));
 }
 
 // ---------------------------------------------------------------------------

@@ -215,7 +215,7 @@ TEST_F(ToolsTest, LauncherCampaignMode) {
                         outDir_ + " --jobs 2 --array-bytes 8192 --inner 1 "
                         "--outer 2 --max-repetitions 6");
   EXPECT_EQ(r.exitCode, 0) << r.output;
-  EXPECT_NE(r.output.find("sequence,variant,status"), std::string::npos)
+  EXPECT_NE(r.output.find("sequence,round,variant,status"), std::string::npos)
       << r.output;
   // One row per generated variant (30) plus the header.
   EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 31)
@@ -327,7 +327,7 @@ TEST_F(ToolsTest, ExploreWritesCampaignCsvAndReportFile) {
   ASSERT_TRUE(csvIn.good());
   std::string csvText((std::istreambuf_iterator<char>(csvIn)),
                       std::istreambuf_iterator<char>());
-  EXPECT_NE(csvText.find("sequence,variant,status"), std::string::npos);
+  EXPECT_NE(csvText.find("sequence,round,variant,status"), std::string::npos);
   std::ifstream reportIn(reportPath);
   ASSERT_TRUE(reportIn.good());
   std::string reportText((std::istreambuf_iterator<char>(reportIn)),
