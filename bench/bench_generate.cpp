@@ -1,0 +1,149 @@
+// Throughput bench of the generation front end: runs the paper's §5.1-sized
+// variant expansion (the 510-variant (Load|Store)+ study) once serially and
+// once with --generate-jobs N, reports variants/second and the speedup, and
+// checks the parallel output is bit-identical. Then measures the streaming
+// producer mode on a small end-to-end exploration: cold wall-clock should
+// approach max(generate, measure) instead of the batch path's sum.
+//
+// Emits BENCH_generate.json for CI's regression gate. The gate is
+// core-scaled: the JSON records hardware_concurrency so a 1-core runner is
+// gated on bit-identity and absolute throughput only, never on a speedup it
+// physically cannot show.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "launcher/explore.hpp"
+
+using namespace microtools;
+
+namespace {
+
+double generateSeconds(int jobs, const std::string& xml,
+                       std::vector<creator::GeneratedProgram>& out) {
+  creator::MicroCreator mc;
+  mc.setGenerateJobs(jobs);
+  auto t0 = std::chrono::steady_clock::now();
+  out = mc.generateFromText(xml);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool bitIdentical(const std::vector<creator::GeneratedProgram>& a,
+                  const std::vector<creator::GeneratedProgram>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name || a[i].functionName != b[i].functionName ||
+        a[i].asmText != b[i].asmText || a[i].cText != b[i].cText ||
+        a[i].contentId != b[i].contentId ||
+        a[i].arrayCount != b[i].arrayCount) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double exploreSeconds(launcher::ExploreOptions options) {
+  auto t0 = std::chrono::steady_clock::now();
+  launcher::runExplore(options);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath = argc > 1 ? argv[1] : "BENCH_generate.json";
+  int jobs = argc > 2 ? std::atoi(argv[2]) : 8;
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 1;
+
+  // The §5.1 workload: (Load|Store)+ over unroll 1..8 — 510 variants, each
+  // rendered to assembly and statically verified.
+  std::string wide =
+      bench::loadStoreKernelXml("movaps", 1, 8, 1, false, /*swapAfter=*/true);
+
+  bench::header(
+      "generation front end (serial vs --generate-jobs " +
+          std::to_string(jobs) + ")",
+      "host (" + std::to_string(cores) + " core(s))",
+      "per-kernel emission/verification parallelism gives a >= 3x cold "
+      "speedup at 8 jobs on >= 8 cores with bit-identical output");
+
+  std::vector<creator::GeneratedProgram> serial, parallel;
+  double serialSeconds = generateSeconds(1, wide, serial);
+  double parallelSeconds = generateSeconds(jobs, wide, parallel);
+  std::size_t variants = serial.size();
+  double speedup = parallelSeconds > 0 ? serialSeconds / parallelSeconds : 0.0;
+  bool identical = bitIdentical(serial, parallel);
+
+  std::printf("variants: %zu\n", variants);
+  std::printf("serial:   %.3f s  (%.1f variants/s)\n", serialSeconds,
+              serialSeconds > 0 ? variants / serialSeconds : 0.0);
+  std::printf("jobs=%-3d  %.3f s  (%.1f variants/s)\n", jobs, parallelSeconds,
+              parallelSeconds > 0 ? variants / parallelSeconds : 0.0);
+  std::printf("speedup: %.2fx on %u core(s)\n", speedup, cores);
+  bench::expectShape(identical,
+                     "parallel generation bit-identical to serial");
+  if (cores >= 8) {
+    bench::expectShape(speedup >= 3.0,
+                       "generation >= 3x faster at 8 jobs (>= 8 cores)");
+  } else {
+    // A host with fewer cores than jobs cannot show the full speedup; only
+    // the absence of a pathological slowdown is checkable here.
+    bench::expectShape(speedup >= 0.5,
+                       "parallel generation not pathologically slower on a "
+                       "core-starved host");
+  }
+
+  // Streaming producer mode on a small exploration: measurement starts on
+  // the first verified variant, so the cold wall-clock tends toward
+  // max(generate, measure) instead of the batch path's sum.
+  launcher::ExploreOptions explore;
+  explore.descriptionText = bench::loadStoreKernelXml("movaps", 1, 4, 1);
+  explore.useCache = false;
+  explore.arrayBytes = 16 * 1024;
+  explore.campaign.protocol.innerRepetitions = 1;
+  explore.campaign.protocol.outerRepetitions = 3;
+  explore.campaign.maxRepetitions = 6;
+  explore.generateJobs = jobs;
+  double batchSeconds = exploreSeconds(explore);
+  explore.stream = true;
+  double streamSeconds = exploreSeconds(explore);
+  double overlap = streamSeconds > 0 ? batchSeconds / streamSeconds : 0.0;
+  std::printf("explore batch:  %.3f s\n", batchSeconds);
+  std::printf("explore stream: %.3f s  (overlap ratio %.2fx)\n",
+              streamSeconds, overlap);
+
+  std::ofstream json(jsonPath, std::ios::binary);
+  json.setf(std::ios::fixed);
+  json.precision(6);
+  json << "{\n"
+       << "  \"variants\": " << variants << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"cores\": " << cores << ",\n"
+       << "  \"serial_seconds\": " << serialSeconds << ",\n"
+       << "  \"parallel_seconds\": " << parallelSeconds << ",\n"
+       << "  \"serial_variants_per_sec\": "
+       << (serialSeconds > 0 ? variants / serialSeconds : 0.0) << ",\n"
+       << "  \"parallel_variants_per_sec\": "
+       << (parallelSeconds > 0 ? variants / parallelSeconds : 0.0) << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"explore_batch_seconds\": " << batchSeconds << ",\n"
+       << "  \"explore_stream_seconds\": " << streamSeconds << ",\n"
+       << "  \"stream_overlap_ratio\": " << overlap << ",\n"
+       << "  \"env\": " << bench::envJsonObject() << "\n"
+       << "}\n";
+  std::printf("wrote %s\n", jsonPath.c_str());
+
+  bench::finish();
+  // Bit-identity is a hard contract, not a shape expectation: fail the run.
+  return identical ? 0 : 1;
+}

@@ -30,7 +30,8 @@ class OperandSwapBeforeUnroll final : public Pass {
   OperandSwapBeforeUnroll() : Pass("OperandSwapBeforeUnroll") {}
 
   void run(GenerationState& state) override {
-    fanOut(state, [](const Kernel& kernel) { return expand(kernel); });
+    fanOut(state, [](const Kernel& kernel) { return expand(kernel); },
+           ExpandPurity::Pure);
   }
 
  private:
@@ -65,7 +66,8 @@ class Unrolling final : public Pass {
   Unrolling() : Pass("Unrolling") {}
 
   void run(GenerationState& state) override {
-    fanOut(state, [](const Kernel& kernel) { return expand(kernel); });
+    fanOut(state, [](const Kernel& kernel) { return expand(kernel); },
+           ExpandPurity::Pure);
   }
 
  private:
@@ -113,7 +115,8 @@ class OperandSwapAfterUnroll final : public Pass {
   OperandSwapAfterUnroll() : Pass("OperandSwapAfterUnroll") {}
 
   void run(GenerationState& state) override {
-    fanOut(state, [](const Kernel& kernel) { return expand(kernel); });
+    fanOut(state, [](const Kernel& kernel) { return expand(kernel); },
+           ExpandPurity::Pure);
   }
 
  private:

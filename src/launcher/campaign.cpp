@@ -257,6 +257,61 @@ VariantResult CampaignRunner::runOne(Backend& backend,
   return result;
 }
 
+bool CampaignRunner::resolveUpfront(const CampaignVariant& variant,
+                                    std::size_t sequence,
+                                    const verify::VerifyOptions& verifyOptions,
+                                    VariantResult& r, CampaignCsvSink* sink) {
+  r.sequence = sequence;
+  r.round = options_.round;
+  r.name = variant.name;
+  if (options_.completed.count({sequence, variant.name})) {
+    r.status = "skipped";
+    r.note = "already completed in resumed CSV";
+    return true;  // its row already exists in the file being resumed
+  }
+  std::string verdict;
+  if (options_.verify != VerifyMode::Off && variant.kind == "asm") {
+    verify::VerifyReport report =
+        verify::verifyAssembly(variant.source, verifyOptions);
+    verdict = report.shortSummary();
+    if (!report.ok()) {
+      std::string detail;
+      for (const verify::Diagnostic& d : report.diagnostics) {
+        if (d.severity != verify::Severity::Error) continue;
+        if (!detail.empty()) detail += "; ";
+        detail += "[" + d.rule + "] " + d.message;
+      }
+      if (options_.verify == VerifyMode::Strict) {
+        r.status = "skipped";
+        r.verify = verdict;
+        r.error = "static verification failed: " + detail;
+        r.note = "skipped by --verify=strict";
+        log::warn("variant '" + r.name + "' skipped by verification: " +
+                  verdict);
+        if (sink) sink->append(r);
+        return true;  // never compiled, loaded, or measured
+      }
+      log::warn("variant '" + r.name + "' failed verification (" + verdict +
+                "); measuring anyway (--verify=warn)");
+    }
+  }
+  if (options_.cacheLookup && options_.cacheLookup(variant, r)) {
+    r.sequence = sequence;
+    r.round = options_.round;
+    r.name = variant.name;
+    r.cached = true;
+    r.verify = verdict;
+    if (sink) sink->append(r);
+    return true;
+  }
+  r = VariantResult{};  // a miss may have partially filled the result
+  r.sequence = sequence;
+  r.round = options_.round;
+  r.name = variant.name;
+  r.verify = std::move(verdict);
+  return false;
+}
+
 std::vector<VariantResult> CampaignRunner::run(
     const std::vector<CampaignVariant>& variants,
     const KernelRequest& request, CampaignCsvSink* sink) {
@@ -277,56 +332,9 @@ std::vector<VariantResult> CampaignRunner::run(
   std::vector<std::size_t> pending;
   pending.reserve(variants.size());
   for (std::size_t i = 0; i < variants.size(); ++i) {
-    VariantResult& r = results[i];
-    r.sequence = i;
-    r.round = options_.round;
-    r.name = variants[i].name;
-    if (options_.completed.count({i, variants[i].name})) {
-      r.status = "skipped";
-      r.note = "already completed in resumed CSV";
-      continue;  // its row already exists in the file being resumed
+    if (!resolveUpfront(variants[i], i, verifyOptions, results[i], sink)) {
+      pending.push_back(i);
     }
-    std::string verdict;
-    if (options_.verify != VerifyMode::Off && variants[i].kind == "asm") {
-      verify::VerifyReport report =
-          verify::verifyAssembly(variants[i].source, verifyOptions);
-      verdict = report.shortSummary();
-      if (!report.ok()) {
-        std::string detail;
-        for (const verify::Diagnostic& d : report.diagnostics) {
-          if (d.severity != verify::Severity::Error) continue;
-          if (!detail.empty()) detail += "; ";
-          detail += "[" + d.rule + "] " + d.message;
-        }
-        if (options_.verify == VerifyMode::Strict) {
-          r.status = "skipped";
-          r.verify = verdict;
-          r.error = "static verification failed: " + detail;
-          r.note = "skipped by --verify=strict";
-          log::warn("variant '" + r.name + "' skipped by verification: " +
-                    verdict);
-          if (sink) sink->append(r);
-          continue;  // never compiled, loaded, or measured
-        }
-        log::warn("variant '" + r.name + "' failed verification (" +
-                  verdict + "); measuring anyway (--verify=warn)");
-      }
-    }
-    if (options_.cacheLookup && options_.cacheLookup(variants[i], r)) {
-      r.sequence = i;
-      r.round = options_.round;
-      r.name = variants[i].name;
-      r.cached = true;
-      r.verify = verdict;
-      if (sink) sink->append(r);
-      continue;
-    }
-    r = VariantResult{};  // a miss may have partially filled the result
-    r.sequence = i;
-    r.round = options_.round;
-    r.name = variants[i].name;
-    r.verify = std::move(verdict);
-    pending.push_back(i);
   }
   if (pending.empty()) return results;
 
@@ -490,6 +498,84 @@ std::vector<VariantResult> CampaignRunner::run(
     if (sink) sink->append(results[i]);
   }
   return results;
+}
+
+std::vector<VariantResult> CampaignRunner::runStream(
+    const VariantSource& source, const KernelRequest& request,
+    CampaignCsvSink* sink) {
+  if (!source) throw McError("streaming campaign requires a variant source");
+  if (options_.compileJobs > 0) {
+    log::warn(
+        "streaming campaign ignores --compile-jobs: batching compiles would "
+        "re-serialize the stream; each worker compiles inline");
+  }
+  verify::VerifyOptions verifyOptions;
+  if (options_.verify != VerifyMode::Off) {
+    verifyOptions = verifyOptionsFor(request);
+  }
+
+  // Deques, not vectors: worker tasks hold references to their own slots
+  // while the campaign thread keeps appending, and deque growth never
+  // invalidates references to existing elements.
+  std::deque<CampaignVariant> variants;
+  std::deque<VariantResult> results;
+
+  // Pool and backends come into existence on the first cache miss, so a
+  // fully cached stream constructs zero backends — the same guarantee the
+  // batch path gets from its upfront resolve. Worker w's backend is built
+  // by that worker on its first task; the factory itself is serialized (a
+  // test factory may count constructions in non-atomic state).
+  std::unique_ptr<threads::ThreadPool> pool;
+  std::vector<std::unique_ptr<Backend>> backends(
+      static_cast<std::size_t>(options_.jobs));
+  std::mutex factoryMutex;
+
+  auto measureTask = [this, &variants, &results, &backends, &factoryMutex,
+                      &request, sink](int worker, std::size_t i) {
+    Backend* backend = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(factoryMutex);
+      auto& slot = backends[static_cast<std::size_t>(worker)];
+      if (!slot) slot = factory_(worker);
+      backend = slot.get();
+    }
+    std::string verdict = std::move(results[i].verify);
+    if (backend == nullptr) {
+      results[i] = VariantResult{};
+      results[i].sequence = i;
+      results[i].round = options_.round;
+      results[i].name = variants[i].name;
+      results[i].status = "error";
+      results[i].error = "backend factory returned null";
+    } else {
+      KernelRequest workerRequest = request;
+      if (options_.pinWorkers) workerRequest.core = worker;
+      results[i] = runOne(*backend, variants[i], i, workerRequest);
+    }
+    results[i].verify = std::move(verdict);
+    if (results[i].status == "ok" && options_.cacheStore) {
+      options_.cacheStore(variants[i], results[i]);
+    }
+    if (sink) sink->append(results[i]);
+  };
+
+  std::size_t i = 0;
+  for (std::optional<CampaignVariant> next; (next = source());) {
+    variants.push_back(std::move(*next));
+    results.emplace_back();
+    if (!resolveUpfront(variants.back(), i, verifyOptions, results.back(),
+                        sink)) {
+      if (!pool) {
+        pool = std::make_unique<threads::ThreadPool>(options_.jobs);
+      }
+      pool->submit([&measureTask, i](int worker) { measureTask(worker, i); });
+    }
+    ++i;
+  }
+  if (pool) pool->wait();
+  return std::vector<VariantResult>(
+      std::make_move_iterator(results.begin()),
+      std::make_move_iterator(results.end()));
 }
 
 std::vector<std::string> CampaignRunner::csvHeader() {

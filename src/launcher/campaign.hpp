@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -12,6 +13,10 @@
 #include "launcher/backend.hpp"
 #include "launcher/protocol.hpp"
 #include "support/csv.hpp"
+
+namespace microtools::verify {
+struct VerifyOptions;
+}  // namespace microtools::verify
 
 namespace microtools::launcher {
 
@@ -104,6 +109,12 @@ struct CampaignOptions {
   std::set<std::pair<std::size_t, std::string>> completed;
 };
 
+/// Pull-based variant producer for streaming campaigns: returns the next
+/// variant, or nullopt when the stream is exhausted. Called only from the
+/// campaign thread, so implementations need no internal locking beyond
+/// whatever feeds them.
+using VariantSource = std::function<std::optional<CampaignVariant>()>;
+
 /// Creates the Backend a given worker owns for the whole campaign. Workers
 /// 0..jobs-1 are measurement workers; when the compile pipeline is on
 /// (CampaignOptions::compileJobs > 0), workers jobs..jobs+compileJobs-1 are
@@ -156,6 +167,20 @@ class CampaignRunner {
                                  const KernelRequest& request,
                                  CampaignCsvSink* sink = nullptr);
 
+  /// Streaming run: pulls variants from `source` as they become available
+  /// (sequence = arrival order) and dispatches cache misses to the worker
+  /// pool immediately, so measurement overlaps whatever produces the
+  /// variants. The pool and each worker's Backend are created lazily on the
+  /// first miss — a fully cached stream still constructs zero backends.
+  /// Resume skips, verification and cache hooks behave exactly as in run();
+  /// on deterministic backends the results are bit-identical to batching
+  /// the same variants through run(). The compile pipeline is not used
+  /// (compileJobs is ignored with a warning): batching compiles would
+  /// re-serialize the stream.
+  std::vector<VariantResult> runStream(const VariantSource& source,
+                                       const KernelRequest& request,
+                                       CampaignCsvSink* sink = nullptr);
+
   static std::vector<std::string> csvHeader();
   static std::vector<std::string> csvRow(const VariantResult& result);
 
@@ -165,6 +190,14 @@ class CampaignRunner {
  private:
   VariantResult runOne(Backend& backend, const CampaignVariant& variant,
                        std::size_t sequence, const KernelRequest& request);
+
+  /// Shared upfront resolution: resume skip -> verify pre-flight -> cache
+  /// probe. Returns true when the variant is terminal without measurement
+  /// (r filled, row appended to sink where due); false leaves `r` primed
+  /// (sequence/round/name/verify) for measurement.
+  bool resolveUpfront(const CampaignVariant& variant, std::size_t sequence,
+                      const verify::VerifyOptions& verifyOptions,
+                      VariantResult& r, CampaignCsvSink* sink);
 
   BackendFactory factory_;
   CampaignOptions options_;

@@ -1,14 +1,11 @@
 #include "launcher/explore.hpp"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <atomic>
-#include <filesystem>
-#include <fstream>
-#include <map>
+#include <condition_variable>
+#include <deque>
 #include <memory>
-#include <sstream>
+#include <mutex>
+#include <thread>
 
 #include "creator/creator.hpp"
 #include "launcher/arch_registry.hpp"
@@ -20,8 +17,6 @@
 #include "support/strings.hpp"
 
 namespace microtools::launcher {
-
-namespace fs = std::filesystem;
 
 // ---------------------------------------------------------------------------
 // Cache key
@@ -54,273 +49,38 @@ std::string cacheKey(const CampaignVariant& variant,
 }
 
 // ---------------------------------------------------------------------------
-// MeasurementCache
+// Exploration driver
 // ---------------------------------------------------------------------------
 
 namespace {
 
-constexpr const char* kMagic = "microtools-cache";
+/// Bounded handoff between the generation producer thread and the campaign
+/// loop in streaming mode. The producer pushes verified variants (plus the
+/// one-shot StreamInfo); the campaign thread pulls them in order.
+/// `abandoned` releases a blocked producer when the consumer unwinds early.
+struct StreamChannel {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<CampaignVariant> queue;
+  std::size_t capacity = 0;
+  creator::PassManager::StreamInfo info;
+  bool infoSet = false;
+  bool closed = false;
+  bool abandoned = false;
+  std::exception_ptr error;
+};
 
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '\\') {
-      out += "\\\\";
-    } else if (c == '\n') {
-      out += "\\n";
-    } else if (c == '\r') {
-      out += "\\r";
-    } else {
-      out += c;
-    }
-  }
-  return out;
+CampaignVariant variantFromProgram(creator::GeneratedProgram&& p) {
+  CampaignVariant v;
+  v.name = std::move(p.name);
+  v.kind = "asm";
+  v.source = std::move(p.asmText);
+  v.functionName = std::move(p.functionName);
+  v.contentId = std::move(p.contentId);
+  return v;
 }
 
-std::string unescape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '\\' || i + 1 == s.size()) {
-      out += s[i];
-      continue;
-    }
-    char next = s[++i];
-    if (next == 'n') {
-      out += '\n';
-    } else if (next == 'r') {
-      out += '\r';
-    } else {
-      out += next;
-    }
-  }
-  return out;
-}
-
-std::string fmtDouble(double v) { return strings::format("%.17g", v); }
-
-}  // namespace
-
-MeasurementCache::MeasurementCache(std::string dir) : dir_(std::move(dir)) {
-  if (dir_.empty()) throw McError("measurement cache requires a directory");
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec) {
-    throw McError("cannot create cache directory '" + dir_ +
-                  "': " + ec.message());
-  }
-}
-
-std::string MeasurementCache::recordPath(const std::string& key) const {
-  return (fs::path(dir_) / (key + ".mtres")).string();
-}
-
-std::string MeasurementCache::serialize(const std::string& key,
-                                        const VariantResult& r) {
-  std::ostringstream oss;
-  oss << kMagic << ' ' << kFormatVersion << '\n';
-  oss << "key " << key << '\n';
-  oss << "name " << escape(r.name) << '\n';
-  oss << "status " << r.status << '\n';
-  oss << "error " << escape(r.error) << '\n';
-  oss << "note " << escape(r.note) << '\n';
-  oss << "iterations_per_call " << r.measurement.iterationsPerCall << '\n';
-  oss << "total_cycles " << fmtDouble(r.measurement.totalCycles) << '\n';
-  const stats::Summary& s = r.measurement.cyclesPerIteration;
-  oss << "count " << s.count << '\n';
-  oss << "min " << fmtDouble(s.min) << '\n';
-  oss << "max " << fmtDouble(s.max) << '\n';
-  oss << "mean " << fmtDouble(s.mean) << '\n';
-  oss << "median " << fmtDouble(s.median) << '\n';
-  oss << "stddev " << fmtDouble(s.stddev) << '\n';
-  oss << "cv " << fmtDouble(s.cv) << '\n';
-  oss << "repetitions " << r.repetitions << '\n';
-  oss << "final_cv " << fmtDouble(r.finalCv) << '\n';
-  oss << "converged " << (r.converged ? 1 : 0) << '\n';
-  oss << "attempts " << r.attempts << '\n';
-  // Counter metrics are OPTIONAL fields: absent in records written before
-  // counters existed (and for rdtsc-only measurements), which deserialize
-  // tolerates without a format-version bump — missing simply means invalid.
-  const CounterMetrics& c = r.measurement.counters;
-  if (c.valid) {
-    oss << "pc_valid 1\n";
-    oss << "pc_instructions_per_iteration "
-        << fmtDouble(c.instructionsPerIteration) << '\n';
-    oss << "pc_ipc " << fmtDouble(c.ipc) << '\n';
-    oss << "pc_l1_miss_rate " << fmtDouble(c.l1MissRate) << '\n';
-    oss << "pc_llc_miss_rate " << fmtDouble(c.llcMissRate) << '\n';
-    oss << "pc_stall_ratio " << fmtDouble(c.stallRatio) << '\n';
-  }
-  return oss.str();
-}
-
-std::optional<VariantResult> MeasurementCache::deserialize(
-    const std::string& key, const std::string& text) {
-  std::vector<std::string> lines = strings::split(text, '\n');
-  if (lines.empty()) return std::nullopt;
-
-  // Versioned header: records from other format versions are misses.
-  std::vector<std::string> head = strings::splitWhitespace(lines.front());
-  if (head.size() != 2 || head[0] != kMagic) return std::nullopt;
-  auto version = strings::parseInt(head[1]);
-  if (!version || *version != kFormatVersion) return std::nullopt;
-
-  std::map<std::string, std::string> fields;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    if (lines[i].empty()) continue;
-    std::size_t space = lines[i].find(' ');
-    std::string field =
-        space == std::string::npos ? lines[i] : lines[i].substr(0, space);
-    std::string value =
-        space == std::string::npos ? "" : lines[i].substr(space + 1);
-    fields.emplace(std::move(field), std::move(value));
-  }
-
-  auto getStr = [&fields](const char* f) -> std::optional<std::string> {
-    auto it = fields.find(f);
-    if (it == fields.end()) return std::nullopt;
-    return it->second;
-  };
-  auto getInt = [&getStr](const char* f) -> std::optional<std::int64_t> {
-    auto v = getStr(f);
-    if (!v) return std::nullopt;
-    return strings::parseInt(*v);
-  };
-  auto getDouble = [&getStr](const char* f) -> std::optional<double> {
-    auto v = getStr(f);
-    if (!v) return std::nullopt;
-    return strings::parseDouble(*v);
-  };
-
-  // A record stored under a different key (hand-renamed file) is a miss.
-  auto storedKey = getStr("key");
-  if (!storedKey || *storedKey != key) return std::nullopt;
-
-  auto name = getStr("name");
-  auto status = getStr("status");
-  auto iterations = getInt("iterations_per_call");
-  auto totalCycles = getDouble("total_cycles");
-  auto count = getInt("count");
-  auto minV = getDouble("min");
-  auto maxV = getDouble("max");
-  auto mean = getDouble("mean");
-  auto median = getDouble("median");
-  auto stddev = getDouble("stddev");
-  auto cv = getDouble("cv");
-  auto repetitions = getInt("repetitions");
-  auto finalCv = getDouble("final_cv");
-  auto converged = getInt("converged");
-  auto attempts = getInt("attempts");
-  bool complete = name && status && iterations && totalCycles && count &&
-                  minV && maxV && mean && median && stddev && cv &&
-                  repetitions && finalCv && converged && attempts;
-  if (!complete) return std::nullopt;
-  // Only successful measurements are cacheable; anything else is corrupt.
-  if (*status != "ok" || *iterations < 0 || *count < 0) return std::nullopt;
-
-  VariantResult r;
-  r.name = unescape(*name);
-  r.status = *status;
-  r.error = unescape(getStr("error").value_or(""));
-  r.note = unescape(getStr("note").value_or(""));
-  r.measurement.iterationsPerCall = static_cast<std::uint64_t>(*iterations);
-  r.measurement.totalCycles = *totalCycles;
-  r.measurement.cyclesPerIteration.count = static_cast<std::size_t>(*count);
-  r.measurement.cyclesPerIteration.min = *minV;
-  r.measurement.cyclesPerIteration.max = *maxV;
-  r.measurement.cyclesPerIteration.mean = *mean;
-  r.measurement.cyclesPerIteration.median = *median;
-  r.measurement.cyclesPerIteration.stddev = *stddev;
-  r.measurement.cyclesPerIteration.cv = *cv;
-  r.repetitions = static_cast<int>(*repetitions);
-  r.finalCv = *finalCv;
-  r.converged = *converged != 0;
-  r.attempts = static_cast<int>(*attempts);
-  if (getInt("pc_valid").value_or(0) != 0) {
-    CounterMetrics& c = r.measurement.counters;
-    c.valid = true;  // individual fields default to NaN when absent
-    auto setMetric = [&getDouble](double& dst, const char* field) {
-      if (auto v = getDouble(field)) dst = *v;
-    };
-    setMetric(c.instructionsPerIteration, "pc_instructions_per_iteration");
-    setMetric(c.ipc, "pc_ipc");
-    setMetric(c.l1MissRate, "pc_l1_miss_rate");
-    setMetric(c.llcMissRate, "pc_llc_miss_rate");
-    setMetric(c.stallRatio, "pc_stall_ratio");
-  }
-  return r;
-}
-
-std::optional<VariantResult> MeasurementCache::load(
-    const std::string& key) const {
-  std::ifstream in(recordPath(key), std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream oss;
-  oss << in.rdbuf();
-  return deserialize(key, oss.str());
-}
-
-void MeasurementCache::store(const std::string& key,
-                             const VariantResult& result) const {
-  if (result.status != "ok") return;  // errors and timeouts must be retried
-  std::string path = recordPath(key);
-  // Unique temp name per writer: campaign workers store concurrently, and
-  // two variants with identical content share a key. The counter alone is
-  // NOT enough — it is process-local, so two processes sharing one cache
-  // dir would both start at 0, write the same "<key>.tmp0", and publish a
-  // torn record. The pid makes the suffix unique across processes too.
-  static std::atomic<std::uint64_t> counter{0};
-  std::string tmp =
-      path + ".tmp" + std::to_string(::getpid()) + "." +
-      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw McError("cannot write cache record: " + tmp);
-    out << serialize(key, result);
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);  // atomic publish on POSIX
-  if (ec) {
-    fs::remove(tmp, ec);
-    throw McError("cannot publish cache record: " + path);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Exploration driver
-// ---------------------------------------------------------------------------
-
-ExploreResult runExplore(const ExploreOptions& options,
-                         CampaignCsvSink* sink) {
-  creator::Description description =
-      options.descriptionFile.empty()
-          ? creator::parseDescriptionText(options.descriptionText)
-          : creator::parseDescriptionFile(options.descriptionFile);
-  if (options.maxVariants) {
-    description.maximumBenchmarks = *options.maxVariants;
-  }
-  if (options.seed) description.seed = *options.seed;
-
-  // §3 in memory: the whole variant set goes straight into the campaign,
-  // no .s round-trip through the filesystem.
-  creator::MicroCreator creator;
-  std::vector<creator::GeneratedProgram> programs =
-      creator.generate(description);
-  if (programs.empty()) {
-    throw McError("description generated no benchmark programs");
-  }
-  std::vector<CampaignVariant> variants = variantsFromPrograms(programs);
-
-  int nbVectors = options.nbVectors;
-  if (nbVectors <= 0) {
-    // Derive the array count the kernels actually dereference.
-    nbVectors = 1;
-    for (const creator::GeneratedProgram& p : programs) {
-      nbVectors = std::max(nbVectors, p.arrayCount);
-    }
-  }
-
+KernelRequest buildRequest(const ExploreOptions& options, int nbVectors) {
   KernelRequest request;
   request.chunkStrideBytes = options.elementBytes;
   if (options.tripCount) {
@@ -337,7 +97,80 @@ ExploreResult runExplore(const ExploreOptions& options,
     request.arrays.push_back(
         ArraySpec{options.arrayBytes, options.alignment, options.alignOffset});
   }
+  return request;
+}
 
+/// Builds the cache binder over an open cache. The binder installs
+/// lookup/store hooks keyed on the options of whatever campaign it is
+/// applied to. The full sweep applies it once to the baseline options; the
+/// halving planner re-applies it every round, because cacheKey() hashes the
+/// round's protocol — screening entries and full-fidelity entries must
+/// never serve each other, while the final round's keys are identical to an
+/// exhaustive sweep's.
+CacheBinder makeCacheBinder(std::shared_ptr<MeasurementCache> cache,
+                            const std::string& backendId,
+                            const KernelRequest& request) {
+  return [cache, backendId, request](CampaignOptions& roundOptions) {
+    // Key fields only — the hook-free copy avoids self-capture.
+    CampaignOptions keyOptions = roundOptions;
+    keyOptions.cacheLookup = nullptr;
+    keyOptions.cacheStore = nullptr;
+    keyOptions.completed.clear();
+    roundOptions.cacheLookup = [cache, keyOptions, backendId, request](
+                                   const CampaignVariant& v,
+                                   VariantResult& out) {
+      std::optional<VariantResult> hit =
+          cache->load(cacheKey(v, keyOptions, backendId, request));
+      if (!hit) return false;
+      out = std::move(*hit);
+      return true;
+    };
+    roundOptions.cacheStore = [cache, keyOptions, backendId, request](
+                                  const CampaignVariant& v,
+                                  const VariantResult& result) {
+      cache->store(cacheKey(v, keyOptions, backendId, request), result);
+    };
+  };
+}
+
+void tallyFullSweep(ExploreResult& out) {
+  for (const VariantResult& r : out.results) {
+    if (r.cached) {
+      ++out.cacheHits;
+    } else if (r.status != "skipped") {
+      ++out.measured;
+      out.workRepetitions += r.repetitions;
+    } else {
+      ++out.skipped;
+    }
+    if (r.status == "error" || r.status == "timeout") ++out.failures;
+  }
+}
+
+}  // namespace
+
+ExploreResult runExplore(const ExploreOptions& options,
+                         CampaignCsvSink* sink) {
+  creator::Description description =
+      options.descriptionFile.empty()
+          ? creator::parseDescriptionText(options.descriptionText)
+          : creator::parseDescriptionFile(options.descriptionFile);
+  if (options.maxVariants) {
+    description.maximumBenchmarks = *options.maxVariants;
+  }
+  if (options.seed) description.seed = *options.seed;
+
+  if (options.stream && options.search == SearchMode::Halving) {
+    throw McError(
+        "--stream requires the full sweep: the halving planner needs the "
+        "complete variant set before its first round");
+  }
+
+  creator::MicroCreator creator;
+  creator.setGenerateJobs(options.generateJobs);
+
+  // Backend resolution is independent of the generated programs, so both
+  // the batch and the streaming path share it up front.
   BackendFactory factory = options.backendFactory;
   std::string backendId = options.backendId;
   if (!factory) {
@@ -368,42 +201,150 @@ ExploreResult runExplore(const ExploreOptions& options,
     if (options.backend == "sim" && options.simExact) backendId += ":exact";
   }
 
-  // The cache binder installs lookup/store hooks keyed on the options of
-  // whatever campaign it is applied to. The full sweep applies it once to
-  // the baseline options; the halving planner re-applies it every round,
-  // because cacheKey() hashes the round's protocol — screening entries and
-  // full-fidelity entries must never serve each other, while the final
-  // round's keys are identical to an exhaustive sweep's.
-  CacheBinder bindCache;
+  std::shared_ptr<MeasurementCache> cache;
   if (options.useCache) {
-    auto cache = std::make_shared<MeasurementCache>(options.cacheDir);
-    bindCache = [cache, backendId, request](CampaignOptions& roundOptions) {
-      // Key fields only — the hook-free copy avoids self-capture.
-      CampaignOptions keyOptions = roundOptions;
-      keyOptions.cacheLookup = nullptr;
-      keyOptions.cacheStore = nullptr;
-      keyOptions.completed.clear();
-      roundOptions.cacheLookup = [cache, keyOptions, backendId, request](
-                                     const CampaignVariant& v,
-                                     VariantResult& out) {
-        std::optional<VariantResult> hit =
-            cache->load(cacheKey(v, keyOptions, backendId, request));
-        if (!hit) return false;
-        out = std::move(*hit);
-        return true;
-      };
-      roundOptions.cacheStore = [cache, keyOptions, backendId, request](
-                                    const CampaignVariant& v,
-                                    const VariantResult& result) {
-        cache->store(cacheKey(v, keyOptions, backendId, request), result);
-      };
-    };
+    cache = std::make_shared<MeasurementCache>(options.cacheDir);
   }
 
   ExploreResult out;
+  out.backendId = backendId;
+
+  if (options.stream) {
+    // §3 as a producer: generation runs on its own thread, handing verified
+    // variants through a bounded channel into a streaming campaign, so the
+    // first measurement starts as soon as the first variant is emitted.
+    StreamChannel channel;
+    channel.capacity =
+        std::max<std::size_t>(64, static_cast<std::size_t>(
+                                      options.campaign.jobs) * 8);
+    std::thread producer([&creator, &description, &channel] {
+      try {
+        creator.generateStream(
+            description,
+            [&channel](const creator::PassManager::StreamInfo& info) {
+              std::lock_guard<std::mutex> lock(channel.mutex);
+              channel.info = info;
+              channel.infoSet = true;
+              channel.cv.notify_all();
+            },
+            [&channel](creator::GeneratedProgram&& p) {
+              CampaignVariant v = variantFromProgram(std::move(p));
+              std::unique_lock<std::mutex> lock(channel.mutex);
+              channel.cv.wait(lock, [&channel] {
+                return channel.queue.size() < channel.capacity ||
+                       channel.abandoned;
+              });
+              if (channel.abandoned) return;  // consumer unwound; discard
+              channel.queue.push_back(std::move(v));
+              channel.cv.notify_all();
+            });
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(channel.mutex);
+        channel.error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(channel.mutex);
+      channel.closed = true;
+      channel.cv.notify_all();
+    });
+    // Covers every exit (including exceptions below): release a blocked
+    // producer, then join it before the channel leaves scope.
+    struct ProducerGuard {
+      StreamChannel& channel;
+      std::thread& producer;
+      ~ProducerGuard() {
+        {
+          std::lock_guard<std::mutex> lock(channel.mutex);
+          channel.abandoned = true;
+        }
+        channel.cv.notify_all();
+        if (producer.joinable()) producer.join();
+      }
+    } guard{channel, producer};
+
+    creator::PassManager::StreamInfo info;
+    {
+      std::unique_lock<std::mutex> lock(channel.mutex);
+      channel.cv.wait(lock,
+                      [&channel] { return channel.infoSet || channel.closed; });
+      if (!channel.infoSet) {
+        if (channel.error) std::rethrow_exception(channel.error);
+        throw McError("description generated no benchmark programs");
+      }
+      info = channel.info;
+    }
+    if (info.kernelCount == 0) {
+      std::unique_lock<std::mutex> lock(channel.mutex);
+      channel.cv.wait(lock, [&channel] { return channel.closed; });
+      if (channel.error) std::rethrow_exception(channel.error);
+      throw McError("description generated no benchmark programs");
+    }
+
+    // nbVectors comes from the pre-verification kernel shape (the emitted
+    // kernels' maximum arrayCount) — available before the first program
+    // finishes, unlike the batch path's post-verification maximum. The two
+    // can only differ when verification rejects every widest variant, in
+    // which case the surviving kernels simply get one array more than they
+    // dereference.
+    int nbVectors = options.nbVectors > 0
+                        ? options.nbVectors
+                        : std::max(1, info.maxArrayCount);
+    KernelRequest request = buildRequest(options, nbVectors);
+    out.request = request;
+
+    CampaignOptions campaign = options.campaign;
+    if (cache) makeCacheBinder(cache, backendId, request)(campaign);
+    CampaignRunner runner(std::move(factory), campaign);
+    std::size_t streamed = 0;
+    out.results = runner.runStream(
+        [&channel, &streamed]() -> std::optional<CampaignVariant> {
+          std::unique_lock<std::mutex> lock(channel.mutex);
+          channel.cv.wait(lock, [&channel] {
+            return !channel.queue.empty() || channel.closed;
+          });
+          if (channel.queue.empty()) return std::nullopt;
+          CampaignVariant v = std::move(channel.queue.front());
+          channel.queue.pop_front();
+          channel.cv.notify_all();
+          ++streamed;
+          return v;
+        },
+        request, sink);
+    {
+      // Batch parity: a generation failure fails the run, even when it
+      // struck after some variants were already measured.
+      std::lock_guard<std::mutex> lock(channel.mutex);
+      if (channel.error) std::rethrow_exception(channel.error);
+    }
+    out.generated = streamed;
+    tallyFullSweep(out);
+    if (cache) out.cacheTelemetry = cache->telemetry();
+    return out;
+  }
+
+  // §3 in memory: the whole variant set goes straight into the campaign,
+  // no .s round-trip through the filesystem.
+  std::vector<creator::GeneratedProgram> programs =
+      creator.generate(description);
+  if (programs.empty()) {
+    throw McError("description generated no benchmark programs");
+  }
+  std::vector<CampaignVariant> variants = variantsFromPrograms(programs);
+
+  int nbVectors = options.nbVectors;
+  if (nbVectors <= 0) {
+    // Derive the array count the kernels actually dereference.
+    nbVectors = 1;
+    for (const creator::GeneratedProgram& p : programs) {
+      nbVectors = std::max(nbVectors, p.arrayCount);
+    }
+  }
+  KernelRequest request = buildRequest(options, nbVectors);
+
+  CacheBinder bindCache;
+  if (cache) bindCache = makeCacheBinder(cache, backendId, request);
+
   out.generated = programs.size();
   out.request = request;
-  out.backendId = backendId;
 
   if (options.search == SearchMode::Halving) {
     PlannerResult planned =
@@ -419,6 +360,7 @@ ExploreResult runExplore(const ExploreOptions& options,
     out.cacheHits = planned.cacheHits;
     out.skipped = planned.resumed;
     out.failures = planned.failures;
+    if (cache) out.cacheTelemetry = cache->telemetry();
     return out;
   }
 
@@ -426,17 +368,8 @@ ExploreResult runExplore(const ExploreOptions& options,
   if (bindCache) bindCache(campaign);
   CampaignRunner runner(std::move(factory), campaign);
   out.results = runner.run(variants, request, sink);
-  for (const VariantResult& r : out.results) {
-    if (r.cached) {
-      ++out.cacheHits;
-    } else if (r.status != "skipped") {
-      ++out.measured;
-      out.workRepetitions += r.repetitions;
-    } else {
-      ++out.skipped;
-    }
-    if (r.status == "error" || r.status == "timeout") ++out.failures;
-  }
+  tallyFullSweep(out);
+  if (cache) out.cacheTelemetry = cache->telemetry();
   return out;
 }
 

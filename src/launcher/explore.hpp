@@ -7,12 +7,13 @@
 
 #include "launcher/campaign.hpp"
 #include "launcher/planner.hpp"
+#include "launcher/result_store.hpp"
 #include "support/csv.hpp"
 
 namespace microtools::launcher {
 
 // ---------------------------------------------------------------------------
-// Content-addressed measurement cache
+// Content-addressed cache key (the store itself lives in result_store.hpp)
 // ---------------------------------------------------------------------------
 
 /// Computes the content-addressed cache key of one variant measurement:
@@ -28,40 +29,6 @@ std::string cacheKey(const CampaignVariant& variant,
                      const std::string& backendId,
                      const KernelRequest& request);
 
-/// Persistent content-addressed store of VariantResults: one small text
-/// file per key inside a cache directory. Lookups of absent, corrupt,
-/// version-mismatched, or mislabeled files are plain misses — a damaged
-/// cache can only cost time, never poison a result.
-class MeasurementCache {
- public:
-  /// Bumped whenever the record format or key composition changes; files
-  /// written by other versions are ignored.
-  static constexpr int kFormatVersion = 1;
-
-  /// Opens (creating if needed) the cache rooted at `dir`.
-  explicit MeasurementCache(std::string dir);
-
-  const std::string& dir() const { return dir_; }
-
-  /// Path of the record file backing `key`.
-  std::string recordPath(const std::string& key) const;
-
-  /// Loads a cached result; nullopt on miss (absent/corrupt/mismatched).
-  std::optional<VariantResult> load(const std::string& key) const;
-
-  /// Persists a result under `key` (atomic write: temp file + rename).
-  void store(const std::string& key, const VariantResult& result) const;
-
-  /// Serialization used by the record files, exposed for tests.
-  static std::string serialize(const std::string& key,
-                               const VariantResult& result);
-  static std::optional<VariantResult> deserialize(const std::string& key,
-                                                  const std::string& text);
-
- private:
-  std::string dir_;
-};
-
 // ---------------------------------------------------------------------------
 // Exploration driver
 // ---------------------------------------------------------------------------
@@ -75,6 +42,18 @@ struct ExploreOptions {
   // -- generation overrides --------------------------------------------------
   std::optional<std::size_t> maxVariants;  ///< <maximum_benchmarks> override
   std::optional<std::uint64_t> seed;       ///< <seed> override
+
+  /// Worker threads for the per-kernel generation stages (fanOut expansion,
+  /// CodeEmission, Verification). 1 = serial; output is bit-identical
+  /// across job counts (--generate-jobs).
+  int generateJobs = 1;
+
+  /// Streaming producer mode (--stream): measurement starts as soon as the
+  /// first verified variant is emitted, so a cold run's wall-clock is
+  /// max(generate, measure) instead of the sum. Results, CSV rows and cache
+  /// records are identical to the batch path. Full sweeps only — the
+  /// halving planner needs the complete variant set per round.
+  bool stream = false;
 
   // -- execution -------------------------------------------------------------
   std::string backend = "sim";  ///< sim|native
@@ -135,6 +114,10 @@ struct ExploreResult {
   /// the denominator-compatible metric the halving planner's "<= 50% of the
   /// exhaustive work" contract is verified against.
   long long workRepetitions = 0;
+
+  /// Measurement-cache access counters for this run (all zero when the
+  /// cache is disabled): hits, misses, corrupt records, record-file reads.
+  CacheTelemetry cacheTelemetry;
 
   // -- halving search only ---------------------------------------------------
   std::vector<RoundSummary> rounds;  ///< per-round planner accounting

@@ -1,0 +1,388 @@
+#include "launcher/result_store.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::launcher {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagic = "microtools-cache";
+constexpr const char* kPackName = "index.pack";
+constexpr const char* kRecordExt = ".mtres";
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    char next = s[++i];
+    if (next == 'n') {
+      out += '\n';
+    } else if (next == 'r') {
+      out += '\r';
+    } else {
+      out += next;
+    }
+  }
+  return out;
+}
+
+std::string fmtDouble(double v) { return strings::format("%.17g", v); }
+
+/// One journal frame: "entry <key> <nbytes> <fnv64hex>\n<payload>\n".
+/// The length makes payloads with embedded newlines unambiguous; the
+/// checksum rejects interleaved or torn appends.
+std::string packFrame(const std::string& key, const std::string& payload) {
+  std::string frame = "entry " + key + ' ' +
+                      std::to_string(payload.size()) + ' ' +
+                      hash::Fnv1a().str(payload).hex() + '\n';
+  frame += payload;
+  frame += '\n';
+  return frame;
+}
+
+/// Parses the journal, stopping at the first malformed frame (a crash-torn
+/// tail or a foreign write). Later entries for the same key win.
+std::unordered_map<std::string, std::string> readPack(
+    const std::string& path) {
+  std::unordered_map<std::string, std::string> entries;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return entries;
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  std::string text = oss.str();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;
+    std::vector<std::string> head =
+        strings::splitWhitespace(text.substr(pos, eol - pos));
+    if (head.size() != 4 || head[0] != "entry") break;
+    auto nbytes = strings::parseInt(head[2]);
+    if (!nbytes || *nbytes < 0) break;
+    std::size_t start = eol + 1;
+    std::size_t n = static_cast<std::size_t>(*nbytes);
+    if (start + n >= text.size()) break;  // torn tail (payload + '\n' short)
+    if (text[start + n] != '\n') break;
+    std::string payload = text.substr(start, n);
+    if (hash::Fnv1a().str(payload).hex() != head[3]) break;
+    entries[head[1]] = std::move(payload);
+    pos = start + n + 1;
+  }
+  return entries;
+}
+
+}  // namespace
+
+MeasurementCache::MeasurementCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) throw McError("measurement cache requires a directory");
+  packPath_ = (fs::path(dir_) / kPackName).string();
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw McError("cannot create cache directory '" + dir_ +
+                  "': " + ec.message());
+  }
+  openIndex();
+}
+
+std::string MeasurementCache::recordPath(const std::string& key) const {
+  // Two-level key-prefix shards; keys shorter than the prefix (tests) land
+  // in "_" buckets, which hex digests can never occupy.
+  std::string s1 = key.size() >= 2 ? key.substr(0, 2) : std::string("_");
+  std::string s2 = key.size() >= 4 ? key.substr(2, 2) : std::string("_");
+  return (fs::path(dir_) / s1 / s2 / (key + kRecordExt)).string();
+}
+
+void MeasurementCache::openIndex() {
+  std::error_code ec;
+
+  // 1. Migrate flat records from pre-shard caches into their shard. The
+  //    listing is collected before any rename so the iterator never walks a
+  //    directory being mutated.
+  std::vector<fs::path> flat;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() != kRecordExt) continue;
+    flat.push_back(entry.path());
+  }
+  for (const fs::path& path : flat) {
+    std::string target = recordPath(path.stem().string());
+    fs::create_directories(fs::path(target).parent_path(), ec);
+    fs::rename(path, target, ec);  // failure = one re-measure, never an error
+  }
+
+  // 2. One scan of the shard tree: key -> record file size.
+  std::unordered_map<std::string, std::uintmax_t> scanned;
+  for (const fs::directory_entry& l1 : fs::directory_iterator(dir_, ec)) {
+    if (!l1.is_directory(ec)) continue;
+    for (const fs::directory_entry& l2 :
+         fs::directory_iterator(l1.path(), ec)) {
+      if (!l2.is_directory(ec)) continue;
+      for (const fs::directory_entry& f :
+           fs::directory_iterator(l2.path(), ec)) {
+        if (!f.is_regular_file(ec)) continue;
+        if (f.path().extension() != kRecordExt) continue;
+        std::uintmax_t size = f.file_size(ec);
+        if (ec) continue;
+        scanned.emplace(f.path().stem().string(), size);
+      }
+    }
+  }
+
+  // 3. Journal entries whose size matches the scanned file are trusted; a
+  //    mismatch (or a missing frame) sends us to the file once. Frames
+  //    without a backing file are dropped — files stay authoritative.
+  std::unordered_map<std::string, std::string> packed = readPack(packPath_);
+  for (auto& [key, size] : scanned) {
+    auto it = packed.find(key);
+    if (it != packed.end() && it->second.size() == size) {
+      index_.emplace(key, std::move(it->second));
+      continue;
+    }
+    std::ifstream in(recordPath(key), std::ios::binary);
+    ++telemetry_.recordFileReads;
+    if (!in) continue;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    index_[key] = oss.str();
+    appendToPack(key, index_[key]);
+  }
+}
+
+void MeasurementCache::appendToPack(const std::string& key,
+                                    const std::string& payload) {
+  // Single buffered write in append mode; a torn or interleaved frame is
+  // caught by readPack's checksum and merely re-reads one record file.
+  std::ofstream out(packPath_, std::ios::binary | std::ios::app);
+  if (!out) return;  // journal is an optimization, never a failure
+  out << packFrame(key, payload);
+}
+
+std::optional<VariantResult> MeasurementCache::load(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++telemetry_.misses;
+    return std::nullopt;
+  }
+  std::optional<VariantResult> result = deserialize(key, it->second);
+  if (!result) {
+    // Present but undecodable: a corrupt record is also a miss, counted in
+    // both columns.
+    ++telemetry_.corrupt;
+    ++telemetry_.misses;
+    return std::nullopt;
+  }
+  ++telemetry_.hits;
+  return result;
+}
+
+void MeasurementCache::store(const std::string& key,
+                             const VariantResult& result) {
+  if (result.status != "ok") return;  // errors and timeouts must be retried
+  std::string payload = serialize(key, result);
+  std::string path = recordPath(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) throw McError("cannot create cache shard for: " + path);
+  // Unique temp name per writer: campaign workers store concurrently, and
+  // two variants with identical content share a key. The counter alone is
+  // NOT enough — it is process-local, so two processes sharing one cache
+  // dir would both start at 0, write the same "<key>.tmp0", and publish a
+  // torn record. The pid makes the suffix unique across processes too.
+  static std::atomic<std::uint64_t> counter{0};
+  std::string tmp =
+      path + ".tmp" + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw McError("cannot write cache record: " + tmp);
+    out << payload;
+  }
+  fs::rename(tmp, path, ec);  // atomic publish on POSIX
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw McError("cannot publish cache record: " + path);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  appendToPack(key, payload);
+  index_[key] = std::move(payload);
+}
+
+CacheTelemetry MeasurementCache::telemetry() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return telemetry_;
+}
+
+std::string MeasurementCache::serialize(const std::string& key,
+                                        const VariantResult& r) {
+  std::ostringstream oss;
+  oss << kMagic << ' ' << kFormatVersion << '\n';
+  oss << "key " << key << '\n';
+  oss << "name " << escape(r.name) << '\n';
+  oss << "status " << r.status << '\n';
+  oss << "error " << escape(r.error) << '\n';
+  oss << "note " << escape(r.note) << '\n';
+  oss << "iterations_per_call " << r.measurement.iterationsPerCall << '\n';
+  oss << "total_cycles " << fmtDouble(r.measurement.totalCycles) << '\n';
+  const stats::Summary& s = r.measurement.cyclesPerIteration;
+  oss << "count " << s.count << '\n';
+  oss << "min " << fmtDouble(s.min) << '\n';
+  oss << "max " << fmtDouble(s.max) << '\n';
+  oss << "mean " << fmtDouble(s.mean) << '\n';
+  oss << "median " << fmtDouble(s.median) << '\n';
+  oss << "stddev " << fmtDouble(s.stddev) << '\n';
+  oss << "cv " << fmtDouble(s.cv) << '\n';
+  oss << "repetitions " << r.repetitions << '\n';
+  oss << "final_cv " << fmtDouble(r.finalCv) << '\n';
+  oss << "converged " << (r.converged ? 1 : 0) << '\n';
+  oss << "attempts " << r.attempts << '\n';
+  // Counter metrics are OPTIONAL fields: absent in records written before
+  // counters existed (and for rdtsc-only measurements), which deserialize
+  // tolerates without a format-version bump — missing simply means invalid.
+  const CounterMetrics& c = r.measurement.counters;
+  if (c.valid) {
+    oss << "pc_valid 1\n";
+    oss << "pc_instructions_per_iteration "
+        << fmtDouble(c.instructionsPerIteration) << '\n';
+    oss << "pc_ipc " << fmtDouble(c.ipc) << '\n';
+    oss << "pc_l1_miss_rate " << fmtDouble(c.l1MissRate) << '\n';
+    oss << "pc_llc_miss_rate " << fmtDouble(c.llcMissRate) << '\n';
+    oss << "pc_stall_ratio " << fmtDouble(c.stallRatio) << '\n';
+  }
+  return oss.str();
+}
+
+std::optional<VariantResult> MeasurementCache::deserialize(
+    const std::string& key, const std::string& text) {
+  std::vector<std::string> lines = strings::split(text, '\n');
+  if (lines.empty()) return std::nullopt;
+
+  // Versioned header: records from other format versions are misses.
+  std::vector<std::string> head = strings::splitWhitespace(lines.front());
+  if (head.size() != 2 || head[0] != kMagic) return std::nullopt;
+  auto version = strings::parseInt(head[1]);
+  if (!version || *version != kFormatVersion) return std::nullopt;
+
+  std::map<std::string, std::string> fields;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    std::size_t space = lines[i].find(' ');
+    std::string field =
+        space == std::string::npos ? lines[i] : lines[i].substr(0, space);
+    std::string value =
+        space == std::string::npos ? "" : lines[i].substr(space + 1);
+    fields.emplace(std::move(field), std::move(value));
+  }
+
+  auto getStr = [&fields](const char* f) -> std::optional<std::string> {
+    auto it = fields.find(f);
+    if (it == fields.end()) return std::nullopt;
+    return it->second;
+  };
+  auto getInt = [&getStr](const char* f) -> std::optional<std::int64_t> {
+    auto v = getStr(f);
+    if (!v) return std::nullopt;
+    return strings::parseInt(*v);
+  };
+  auto getDouble = [&getStr](const char* f) -> std::optional<double> {
+    auto v = getStr(f);
+    if (!v) return std::nullopt;
+    return strings::parseDouble(*v);
+  };
+
+  // A record stored under a different key (hand-renamed file) is a miss.
+  auto storedKey = getStr("key");
+  if (!storedKey || *storedKey != key) return std::nullopt;
+
+  auto name = getStr("name");
+  auto status = getStr("status");
+  auto iterations = getInt("iterations_per_call");
+  auto totalCycles = getDouble("total_cycles");
+  auto count = getInt("count");
+  auto minV = getDouble("min");
+  auto maxV = getDouble("max");
+  auto mean = getDouble("mean");
+  auto median = getDouble("median");
+  auto stddev = getDouble("stddev");
+  auto cv = getDouble("cv");
+  auto repetitions = getInt("repetitions");
+  auto finalCv = getDouble("final_cv");
+  auto converged = getInt("converged");
+  auto attempts = getInt("attempts");
+  bool complete = name && status && iterations && totalCycles && count &&
+                  minV && maxV && mean && median && stddev && cv &&
+                  repetitions && finalCv && converged && attempts;
+  if (!complete) return std::nullopt;
+  // Only successful measurements are cacheable; anything else is corrupt.
+  if (*status != "ok" || *iterations < 0 || *count < 0) return std::nullopt;
+
+  VariantResult r;
+  r.name = unescape(*name);
+  r.status = *status;
+  r.error = unescape(getStr("error").value_or(""));
+  r.note = unescape(getStr("note").value_or(""));
+  r.measurement.iterationsPerCall = static_cast<std::uint64_t>(*iterations);
+  r.measurement.totalCycles = *totalCycles;
+  r.measurement.cyclesPerIteration.count = static_cast<std::size_t>(*count);
+  r.measurement.cyclesPerIteration.min = *minV;
+  r.measurement.cyclesPerIteration.max = *maxV;
+  r.measurement.cyclesPerIteration.mean = *mean;
+  r.measurement.cyclesPerIteration.median = *median;
+  r.measurement.cyclesPerIteration.stddev = *stddev;
+  r.measurement.cyclesPerIteration.cv = *cv;
+  r.repetitions = static_cast<int>(*repetitions);
+  r.finalCv = *finalCv;
+  r.converged = *converged != 0;
+  r.attempts = static_cast<int>(*attempts);
+  if (getInt("pc_valid").value_or(0) != 0) {
+    CounterMetrics& c = r.measurement.counters;
+    c.valid = true;  // individual fields default to NaN when absent
+    auto setMetric = [&getDouble](double& dst, const char* field) {
+      if (auto v = getDouble(field)) dst = *v;
+    };
+    setMetric(c.instructionsPerIteration, "pc_instructions_per_iteration");
+    setMetric(c.ipc, "pc_ipc");
+    setMetric(c.l1MissRate, "pc_l1_miss_rate");
+    setMetric(c.llcMissRate, "pc_llc_miss_rate");
+    setMetric(c.stallRatio, "pc_stall_ratio");
+  }
+  return r;
+}
+
+}  // namespace microtools::launcher

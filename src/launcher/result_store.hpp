@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "launcher/campaign.hpp"
+
+namespace microtools::launcher {
+
+/// Cache access counters. `corrupt` counts records that were present but
+/// failed to decode (bad magic, version mismatch, mislabeled key, truncated
+/// fields) — before telemetry existed these were silently recompiled.
+/// `recordFileReads` counts individual record files opened; after open() a
+/// healthy cache serves every load from the in-memory index, so a warm run
+/// keeps this at zero.
+struct CacheTelemetry {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t recordFileReads = 0;
+};
+
+/// Abstract store of variant measurement results keyed by content digests:
+/// the seam between measurement and persistence. MeasurementCache is the
+/// on-disk implementation; ROADMAP item 1's service mode will put a remote
+/// implementation behind the same interface.
+class ResultStore {
+ public:
+  virtual ~ResultStore() = default;
+
+  /// Loads a result; nullopt on miss (absent/corrupt/mismatched).
+  virtual std::optional<VariantResult> load(const std::string& key) = 0;
+
+  /// Persists a result under `key`. Implementations only persist
+  /// successful (status == "ok") results; anything else must be retried.
+  virtual void store(const std::string& key, const VariantResult& result) = 0;
+};
+
+/// Persistent content-addressed store of VariantResults: one small text
+/// file per key, sharded into two levels of key-prefix subdirectories
+/// (`ab/cd/abcd....mtres`) so fleet-scale cache directories never
+/// accumulate millions of siblings. Lookups of absent, corrupt,
+/// version-mismatched, or mislabeled records are plain misses — a damaged
+/// cache can only cost time, never poison a result.
+///
+/// Probes are O(1) against an in-memory index built once at open from a
+/// single directory scan plus the `index.pack` journal (a framed append-only
+/// copy of every record's contents). A scanned record whose pack entry is
+/// missing or whose size disagrees with the file is re-read from the file
+/// once and re-journaled; pack entries without a backing file are dropped
+/// (the files stay authoritative). Flat records written by earlier versions
+/// (`<key>.mtres` in the cache root) are migrated into their shard at open.
+/// Records added by OTHER processes after open are not visible to this
+/// instance — a staleness that can only cause re-measurement.
+class MeasurementCache : public ResultStore {
+ public:
+  /// Bumped whenever the record format or key composition changes; files
+  /// written by other versions are ignored.
+  static constexpr int kFormatVersion = 1;
+
+  /// Opens (creating if needed) the cache rooted at `dir`: migrates flat
+  /// records, scans the shard tree, and builds the in-memory index.
+  explicit MeasurementCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Path of the (sharded) record file backing `key`.
+  std::string recordPath(const std::string& key) const;
+
+  std::optional<VariantResult> load(const std::string& key) override;
+  void store(const std::string& key, const VariantResult& result) override;
+
+  /// Counters accumulated since open (index construction included).
+  CacheTelemetry telemetry() const;
+
+  /// Serialization used by the record files, exposed for tests.
+  static std::string serialize(const std::string& key,
+                               const VariantResult& result);
+  static std::optional<VariantResult> deserialize(const std::string& key,
+                                                  const std::string& text);
+
+ private:
+  void openIndex();
+  void appendToPack(const std::string& key, const std::string& payload);
+
+  std::string dir_;
+  std::string packPath_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::string> index_;  ///< key -> record text
+  CacheTelemetry telemetry_;
+};
+
+}  // namespace microtools::launcher

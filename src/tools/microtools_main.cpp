@@ -58,6 +58,15 @@ cli::Parser makeExploreParser() {
                    "nehalem_x5650_2s");
   parser.addDouble("core-ghz", "Override the core frequency (DVFS study)");
   parser.addInt("jobs", "Parallel worker threads", 1);
+  parser.addInt("generate-jobs",
+                "Worker threads for the per-kernel generation stages "
+                "(variant expansion, code emission, verification); output "
+                "is bit-identical to --generate-jobs 1",
+                1);
+  parser.addFlag("stream",
+                 "Start measuring as soon as the first generated variant is "
+                 "verified, overlapping generation and measurement (full "
+                 "sweeps only; results are identical to the batch path)");
   parser.addInt("inner", "Inner repetitions per timed experiment", 8);
   parser.addInt("outer", "Outer (stability) repetitions", 10);
   parser.addFlag("no-warmup", "Skip the cache warm-up call");
@@ -151,6 +160,8 @@ int runExploreCommand(int argc, char** argv) {
   options.arch = parser.getString("arch");
   if (parser.has("core-ghz")) options.coreGHz = parser.getDouble("core-ghz");
   options.campaign.jobs = static_cast<int>(parser.getInt("jobs"));
+  options.generateJobs = static_cast<int>(parser.getInt("generate-jobs"));
+  options.stream = parser.getFlag("stream");
   options.campaign.protocol.innerRepetitions =
       static_cast<int>(parser.getInt("inner"));
   options.campaign.protocol.outerRepetitions =
@@ -279,7 +290,14 @@ int runExploreCommand(int argc, char** argv) {
         result.workRepetitions, result.stopReason.c_str());
   }
   if (options.useCache) {
-    std::printf("cache: %s\n", options.cacheDir.c_str());
+    const launcher::CacheTelemetry& t = result.cacheTelemetry;
+    std::printf("cache: %s (%llu hit(s), %llu miss(es), %llu corrupt, "
+                "%llu record file read(s))\n",
+                options.cacheDir.c_str(),
+                static_cast<unsigned long long>(t.hits),
+                static_cast<unsigned long long>(t.misses),
+                static_cast<unsigned long long>(t.corrupt),
+                static_cast<unsigned long long>(t.recordFileReads));
   }
   return result.failures == 0 ? 0 : 1;
 }

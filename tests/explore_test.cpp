@@ -216,45 +216,61 @@ TEST(MeasurementCache, MissOnAbsentKey) {
 }
 
 TEST(MeasurementCache, MissOnCorruptFile) {
-  MeasurementCache cache(freshDir("mtcache_corrupt"));
-  cache.store("00000000000000cc", okResult("v", 1.0));
-  std::ofstream(cache.recordPath("00000000000000cc"), std::ios::trunc)
-      << "random garbage\nnot a record";
-  EXPECT_FALSE(cache.load("00000000000000cc").has_value());
-
-  // Truncated numeric field is also a miss, not an exception.
-  std::ofstream(cache.recordPath("00000000000000cd"), std::ios::trunc)
-      << "microtools-cache 1\nkey 00000000000000cd\nname v\nstatus ok\n"
-         "iterations_per_call twelve\n";
-  EXPECT_FALSE(cache.load("00000000000000cd").has_value());
-  fs::remove_all(cache.dir());
+  std::string dir = freshDir("mtcache_corrupt");
+  {
+    MeasurementCache cache(dir);
+    cache.store("00000000000000cc", okResult("v", 1.0));
+    std::ofstream(cache.recordPath("00000000000000cc"), std::ios::trunc)
+        << "random garbage\nnot a record";
+    // Truncated numeric field is also a miss, not an exception.
+    std::ofstream(cache.recordPath("00000000000000cd"), std::ios::trunc)
+        << "microtools-cache 1\nkey 00000000000000cd\nname v\nstatus ok\n"
+           "iterations_per_call twelve\n";
+  }
+  // Damage lands on disk after the first open; a fresh open indexes the
+  // damaged files and every load is a counted miss, never an exception.
+  MeasurementCache reopened(dir);
+  EXPECT_FALSE(reopened.load("00000000000000cc").has_value());
+  EXPECT_FALSE(reopened.load("00000000000000cd").has_value());
+  EXPECT_EQ(reopened.telemetry().corrupt, 2u);
+  EXPECT_EQ(reopened.telemetry().misses, 2u);
+  fs::remove_all(dir);
 }
 
 TEST(MeasurementCache, MissOnVersionMismatch) {
-  MeasurementCache cache(freshDir("mtcache_version"));
-  cache.store("00000000000000dd", okResult("v", 1.0));
-  ASSERT_TRUE(cache.load("00000000000000dd").has_value());
+  std::string dir = freshDir("mtcache_version");
+  {
+    MeasurementCache cache(dir);
+    cache.store("00000000000000dd", okResult("v", 1.0));
+    ASSERT_TRUE(cache.load("00000000000000dd").has_value());
 
-  // Rewrite the record with a bumped format version.
-  std::ifstream in(cache.recordPath("00000000000000dd"));
-  std::stringstream buf;
-  buf << in.rdbuf();
-  std::string text = strings::replaceAll(buf.str(), "microtools-cache 1",
-                                         "microtools-cache 999");
-  std::ofstream(cache.recordPath("00000000000000dd"), std::ios::trunc)
-      << text;
-  EXPECT_FALSE(cache.load("00000000000000dd").has_value());
-  fs::remove_all(cache.dir());
+    // Rewrite the record with a bumped format version.
+    std::ifstream in(cache.recordPath("00000000000000dd"));
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = strings::replaceAll(buf.str(), "microtools-cache 1",
+                                           "microtools-cache 999");
+    std::ofstream(cache.recordPath("00000000000000dd"), std::ios::trunc)
+        << text;
+  }
+  MeasurementCache reopened(dir);
+  EXPECT_FALSE(reopened.load("00000000000000dd").has_value());
+  fs::remove_all(dir);
 }
 
 TEST(MeasurementCache, MissOnKeyMismatch) {
-  MeasurementCache cache(freshDir("mtcache_keymismatch"));
-  cache.store("00000000000000ee", okResult("v", 1.0));
-  // A hand-copied record file must not satisfy a different key.
-  fs::copy_file(cache.recordPath("00000000000000ee"),
-                cache.recordPath("00000000000000ef"));
-  EXPECT_FALSE(cache.load("00000000000000ef").has_value());
-  fs::remove_all(cache.dir());
+  std::string dir = freshDir("mtcache_keymismatch");
+  {
+    MeasurementCache cache(dir);
+    cache.store("00000000000000ee", okResult("v", 1.0));
+    // A hand-copied record file must not satisfy a different key.
+    fs::copy_file(cache.recordPath("00000000000000ee"),
+                  cache.recordPath("00000000000000ef"));
+  }
+  MeasurementCache reopened(dir);
+  EXPECT_FALSE(reopened.load("00000000000000ef").has_value());
+  EXPECT_TRUE(reopened.load("00000000000000ee").has_value());
+  fs::remove_all(dir);
 }
 
 TEST(MeasurementCache, StoreTempFileIsUniquePerProcess) {
@@ -267,6 +283,7 @@ TEST(MeasurementCache, StoreTempFileIsUniquePerProcess) {
   // get a different name, leave the foreign file untouched, and still
   // publish a valid record.
   std::string foreignTmp = cache.recordPath(key) + ".tmp0";
+  fs::create_directories(fs::path(foreignTmp).parent_path());
   std::ofstream(foreignTmp, std::ios::binary) << "half-written by pid 12345";
   cache.store(key, okResult("variant_a", 2.0));
 
@@ -307,6 +324,130 @@ TEST(MeasurementCache, DoesNotStoreFailedResults) {
   EXPECT_FALSE(fs::exists(cache.recordPath("00000000000000ff")));
   EXPECT_FALSE(cache.load("00000000000000ff").has_value());
   fs::remove_all(cache.dir());
+}
+
+TEST(MeasurementCache, RecordsAreShardedByKeyPrefix) {
+  std::string dir = freshDir("mtcache_shards");
+  MeasurementCache cache(dir);
+  std::string key = "ab12cd34ef567890";
+  cache.store(key, okResult("v", 1.0));
+  // Two levels of key-prefix directories keep fleet-scale caches from
+  // accumulating millions of siblings in one directory.
+  fs::path expected = fs::path(dir) / "ab" / "12" / (key + ".mtres");
+  EXPECT_EQ(cache.recordPath(key), expected.string());
+  EXPECT_TRUE(fs::exists(expected));
+  // Short keys (tests, hand-written) fall into "_" buckets that hex
+  // digests can never occupy.
+  EXPECT_EQ(cache.recordPath("a"),
+            (fs::path(dir) / "_" / "_" / "a.mtres").string());
+  fs::remove_all(dir);
+}
+
+TEST(MeasurementCache, MigratesFlatLegacyRecordsAtOpen) {
+  // Records written by the pre-shard cache lived flat in the root. A new
+  // open moves them into their shard and serves them from the index.
+  std::string dir = freshDir("mtcache_legacy");
+  fs::create_directories(dir);
+  std::string key = "00000000000000a7";
+  VariantResult r = okResult("legacy_variant", 3.0);
+  std::ofstream(fs::path(dir) / (key + ".mtres"), std::ios::binary)
+      << MeasurementCache::serialize(key, r);
+
+  MeasurementCache cache(dir);
+  std::optional<VariantResult> loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->name, "legacy_variant");
+  EXPECT_FALSE(fs::exists(fs::path(dir) / (key + ".mtres")));
+  EXPECT_TRUE(fs::exists(cache.recordPath(key)));
+  fs::remove_all(dir);
+}
+
+TEST(MeasurementCache, WarmReopenServesLoadsWithZeroRecordFileOpens) {
+  std::string dir = freshDir("mtcache_zeroopen");
+  std::vector<std::string> keys;
+  {
+    MeasurementCache cache(dir);
+    for (int i = 0; i < 8; ++i) {
+      std::string key = strings::format("%016x", 0xb0 + i);
+      keys.push_back(key);
+      cache.store(key, okResult("v" + std::to_string(i), 1.0 + i));
+    }
+  }
+  // The journal holds every record, so the reopen scan trusts it and the
+  // warm run never opens a single per-record file.
+  MeasurementCache cache(dir);
+  EXPECT_EQ(cache.telemetry().recordFileReads, 0u);
+  for (const std::string& key : keys) {
+    ASSERT_TRUE(cache.load(key).has_value()) << key;
+  }
+  CacheTelemetry t = cache.telemetry();
+  EXPECT_EQ(t.recordFileReads, 0u);
+  EXPECT_EQ(t.hits, keys.size());
+  EXPECT_EQ(t.misses, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(MeasurementCache, MissingPackEntryRereadsTheFileOnceAndRejournals) {
+  std::string dir = freshDir("mtcache_repack");
+  std::string key = "00000000000000c9";
+  {
+    MeasurementCache cache(dir);
+    cache.store(key, okResult("v", 2.0));
+  }
+  fs::remove(fs::path(dir) / "index.pack");
+
+  {
+    // Without the journal the open falls back to reading the record file —
+    // exactly once — and writes the journal back.
+    MeasurementCache cache(dir);
+    EXPECT_EQ(cache.telemetry().recordFileReads, 1u);
+    ASSERT_TRUE(cache.load(key).has_value());
+  }
+  // The re-journaled pack is trusted again on the next open.
+  MeasurementCache cache(dir);
+  EXPECT_EQ(cache.telemetry().recordFileReads, 0u);
+  ASSERT_TRUE(cache.load(key).has_value());
+  fs::remove_all(dir);
+}
+
+TEST(MeasurementCache, TornPackTailFallsBackToTheRecordFiles) {
+  std::string dir = freshDir("mtcache_tornpack");
+  std::string key = "00000000000000ca";
+  {
+    MeasurementCache cache(dir);
+    cache.store(key, okResult("v", 2.0));
+  }
+  // Simulate a crash mid-append: truncate the journal inside the payload.
+  fs::path pack = fs::path(dir) / "index.pack";
+  std::uintmax_t size = fs::file_size(pack);
+  fs::resize_file(pack, size / 2);
+
+  MeasurementCache cache(dir);
+  EXPECT_EQ(cache.telemetry().recordFileReads, 1u);
+  std::optional<VariantResult> loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->name, "v");
+  fs::remove_all(dir);
+}
+
+TEST(MeasurementCache, TelemetryCountsHitsMissesAndCorruption) {
+  std::string dir = freshDir("mtcache_telemetry");
+  {
+    MeasurementCache cache(dir);
+    cache.store("00000000000000e1", okResult("good", 1.0));
+    std::ofstream(cache.recordPath("00000000000000e2"), std::ios::trunc)
+        << "not a record";
+  }
+  MeasurementCache cache(dir);
+  EXPECT_TRUE(cache.load("00000000000000e1").has_value());
+  EXPECT_TRUE(cache.load("00000000000000e1").has_value());
+  EXPECT_FALSE(cache.load("00000000000000e2").has_value());  // corrupt
+  EXPECT_FALSE(cache.load("00000000000000e3").has_value());  // absent
+  CacheTelemetry t = cache.telemetry();
+  EXPECT_EQ(t.hits, 2u);
+  EXPECT_EQ(t.misses, 2u);  // corrupt records count in both columns
+  EXPECT_EQ(t.corrupt, 1u);
+  fs::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------------
@@ -424,6 +565,114 @@ TEST(Explore, StreamsCampaignRowsWithCachedColumn) {
   }
   EXPECT_GE(rows, 2);
   fs::remove_all(cacheDir);
+}
+
+TEST(Explore, StreamedColdRunMatchesBatchResults) {
+  auto a = std::make_shared<BackendCounters>();
+  ExploreOptions batch = baseOptions(freshDir("explore_stream_batch"), a);
+  batch.useCache = false;
+  ExploreResult reference = runExplore(batch);
+  ASSERT_GE(reference.results.size(), 2u);
+
+  auto b = std::make_shared<BackendCounters>();
+  ExploreOptions streamed = baseOptions(freshDir("explore_stream_cold"), b);
+  streamed.useCache = false;
+  streamed.stream = true;
+  ExploreResult result = runExplore(streamed);
+
+  // Streaming reorders nothing: variants arrive in emission order, so rows,
+  // sequences and (deterministic-sim) measurements are bit-identical.
+  EXPECT_EQ(result.generated, reference.generated);
+  ASSERT_EQ(result.results.size(), reference.results.size());
+  EXPECT_EQ(result.request.arrays.size(), reference.request.arrays.size());
+  for (std::size_t i = 0; i < result.results.size(); ++i) {
+    const VariantResult& x = reference.results[i];
+    const VariantResult& y = result.results[i];
+    EXPECT_EQ(y.sequence, x.sequence);
+    EXPECT_EQ(y.name, x.name);
+    EXPECT_EQ(y.status, "ok") << y.error;
+    EXPECT_DOUBLE_EQ(y.measurement.cyclesPerIteration.min,
+                     x.measurement.cyclesPerIteration.min);
+    EXPECT_DOUBLE_EQ(y.measurement.cyclesPerIteration.mean,
+                     x.measurement.cyclesPerIteration.mean);
+    EXPECT_EQ(y.measurement.iterationsPerCall, x.measurement.iterationsPerCall);
+  }
+}
+
+TEST(Explore, StreamedWarmRunIsFullyCachedWithZeroFileOpens) {
+  std::string cacheDir = freshDir("explore_stream_warm");
+  auto cold = std::make_shared<BackendCounters>();
+  ExploreOptions coldOptions = baseOptions(cacheDir, cold);
+  coldOptions.stream = true;
+  ExploreResult first = runExplore(coldOptions);
+  ASSERT_GE(first.results.size(), 2u);
+  EXPECT_EQ(first.measured, first.results.size());
+  EXPECT_EQ(first.cacheTelemetry.misses, first.results.size());
+
+  auto warm = std::make_shared<BackendCounters>();
+  ExploreOptions warmOptions = baseOptions(cacheDir, warm);
+  warmOptions.stream = true;
+  ExploreResult second = runExplore(warmOptions);
+  EXPECT_EQ(second.cacheHits, second.results.size());
+  EXPECT_EQ(second.measured, 0u);
+  // A fully cached stream constructs zero backends...
+  EXPECT_EQ(warm->constructed.load(), 0);
+  EXPECT_EQ(warm->invokes.load(), 0);
+  // ...and the indexed cache serves every probe from memory: the whole warm
+  // run opens zero per-variant record files (the acceptance assertion).
+  EXPECT_EQ(second.cacheTelemetry.hits, second.results.size());
+  EXPECT_EQ(second.cacheTelemetry.misses, 0u);
+  EXPECT_EQ(second.cacheTelemetry.recordFileReads, 0u);
+  fs::remove_all(cacheDir);
+}
+
+TEST(Explore, StreamedAndBatchRunsShareCacheEntries) {
+  // The streaming path derives nbVectors pre-verification, the batch path
+  // post-verification; for a description where nothing is rejected the
+  // request — and therefore every cache key — must agree, so a batch-cold /
+  // stream-warm pair hits 100%.
+  std::string cacheDir = freshDir("explore_stream_share");
+  auto cold = std::make_shared<BackendCounters>();
+  runExplore(baseOptions(cacheDir, cold));
+
+  auto warm = std::make_shared<BackendCounters>();
+  ExploreOptions streamed = baseOptions(cacheDir, warm);
+  streamed.stream = true;
+  ExploreResult result = runExplore(streamed);
+  EXPECT_EQ(result.cacheHits, result.results.size());
+  EXPECT_EQ(warm->constructed.load(), 0);
+  fs::remove_all(cacheDir);
+}
+
+TEST(Explore, StreamRejectsHalvingSearch) {
+  auto counters = std::make_shared<BackendCounters>();
+  ExploreOptions options = baseOptions(freshDir("explore_stream_halving"),
+                                       counters);
+  options.stream = true;
+  options.search = SearchMode::Halving;
+  EXPECT_THROW(runExplore(options), McError);
+}
+
+TEST(Explore, GenerateJobsLeaveResultsBitIdentical) {
+  auto a = std::make_shared<BackendCounters>();
+  ExploreOptions serial = baseOptions(freshDir("explore_jobs1"), a);
+  serial.useCache = false;
+  serial.descriptionText = figure6Xml(1, 4, true);
+  ExploreResult reference = runExplore(serial);
+
+  auto b = std::make_shared<BackendCounters>();
+  ExploreOptions parallel = baseOptions(freshDir("explore_jobs4"), b);
+  parallel.useCache = false;
+  parallel.descriptionText = figure6Xml(1, 4, true);
+  parallel.generateJobs = 4;
+  ExploreResult result = runExplore(parallel);
+
+  ASSERT_EQ(result.results.size(), reference.results.size());
+  for (std::size_t i = 0; i < result.results.size(); ++i) {
+    EXPECT_EQ(result.results[i].name, reference.results[i].name);
+    EXPECT_DOUBLE_EQ(result.results[i].measurement.cyclesPerIteration.min,
+                     reference.results[i].measurement.cyclesPerIteration.min);
+  }
 }
 
 TEST(Explore, MaxVariantsAndSeedOverridesApply) {

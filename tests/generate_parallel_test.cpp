@@ -1,0 +1,182 @@
+// Tests of the parallel and streaming generation front end: the stable
+// variant-naming contract, bit-identity of --generate-jobs N against the
+// serial pipeline for every example description, and the streaming
+// produce-while-measuring path (PassManager::runStreaming).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "creator/creator.hpp"
+#include "creator/pass.hpp"
+#include "creator/pass_manager.hpp"
+#include "support/error.hpp"
+#include "test_helpers.hpp"
+
+namespace microtools::creator {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testing::figure6Xml;
+using testing::movssLoadXml;
+
+/// Every description the property tests sweep: the shared test fixtures
+/// plus every XML shipped under examples/descriptions.
+std::vector<std::pair<std::string, std::string>> allDescriptions() {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.emplace_back("figure6_full", figure6Xml(1, 8, true));
+  out.emplace_back("figure6_small", figure6Xml(1, 2, false));
+  out.emplace_back("movss_two_arrays", movssLoadXml(1, 4, 2));
+#ifdef MT_EXAMPLES_DIR
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(MT_EXAMPLES_DIR, ec)) {
+    if (entry.path().extension() != ".xml") continue;
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    out.emplace_back(entry.path().filename().string(), buf.str());
+  }
+#endif
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Naming contract
+// ---------------------------------------------------------------------------
+
+TEST(AssignVariantNames, FirstOccurrenceBareThenNumberedSuffixes) {
+  std::vector<std::string> names =
+      assignVariantNames({"a", "b", "a", "a", "b", "c"});
+  std::vector<std::string> expected = {"a", "b", "a_v2", "a_v3", "b_v2", "c"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(AssignVariantNames, DependsOnlyOnPositionAmongEqualBases) {
+  // Inserting an unrelated base name must not shift anyone else's suffix.
+  std::vector<std::string> before = assignVariantNames({"k", "k", "k"});
+  std::vector<std::string> after = assignVariantNames({"k", "x", "k", "k"});
+  EXPECT_EQ(before[0], after[0]);
+  EXPECT_EQ(before[1], after[2]);
+  EXPECT_EQ(before[2], after[3]);
+}
+
+TEST(AssignVariantNames, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(assignVariantNames({}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Parallel bit-identity (the property test behind --generate-jobs)
+// ---------------------------------------------------------------------------
+
+void expectProgramsIdentical(const std::vector<GeneratedProgram>& a,
+                             const std::vector<GeneratedProgram>& b,
+                             const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name) << label << " #" << i;
+    EXPECT_EQ(a[i].functionName, b[i].functionName) << label << " #" << i;
+    EXPECT_EQ(a[i].asmText, b[i].asmText) << label << " #" << i;
+    EXPECT_EQ(a[i].cText, b[i].cText) << label << " #" << i;
+    EXPECT_EQ(a[i].contentId, b[i].contentId) << label << " #" << i;
+    EXPECT_EQ(a[i].arrayCount, b[i].arrayCount) << label << " #" << i;
+  }
+}
+
+TEST(ParallelGeneration, BitIdenticalToSerialForEveryDescription) {
+  for (const auto& [label, xml] : allDescriptions()) {
+    MicroCreator serial;
+    std::vector<GeneratedProgram> reference = serial.generateFromText(xml);
+    ASSERT_FALSE(reference.empty()) << label;
+    for (int jobs : {2, 4, 8}) {
+      MicroCreator parallel;
+      parallel.setGenerateJobs(jobs);
+      expectProgramsIdentical(reference, parallel.generateFromText(xml),
+                              label + " jobs=" + std::to_string(jobs));
+    }
+  }
+}
+
+TEST(ParallelGeneration, RejectsNonPositiveJobCounts) {
+  MicroCreator mc;
+  EXPECT_THROW(mc.setGenerateJobs(0), McError);
+  EXPECT_THROW(mc.setGenerateJobs(-3), McError);
+  mc.setGenerateJobs(1);
+  EXPECT_EQ(mc.generateJobs(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming generation
+// ---------------------------------------------------------------------------
+
+std::vector<GeneratedProgram> collectStream(const MicroCreator& mc,
+                                            const std::string& xml,
+                                            PassManager::StreamInfo* info) {
+  Description description = parseDescriptionText(xml);
+  std::vector<GeneratedProgram> out;
+  mc.generateStream(
+      description,
+      [info](const PassManager::StreamInfo& i) {
+        if (info) *info = i;
+      },
+      [&out](GeneratedProgram&& p) { out.push_back(std::move(p)); });
+  return out;
+}
+
+TEST(StreamingGeneration, MatchesBatchOutputInOrder) {
+  for (const auto& [label, xml] : allDescriptions()) {
+    MicroCreator mc;
+    std::vector<GeneratedProgram> batch = mc.generateFromText(xml);
+    PassManager::StreamInfo info;
+    std::vector<GeneratedProgram> streamed = collectStream(mc, xml, &info);
+    expectProgramsIdentical(batch, streamed, label + " (stream serial)");
+    // The announced shape bounds the delivered set: kernelCount counts
+    // pre-verification kernels, so rejections can only shrink it.
+    EXPECT_GE(info.kernelCount, streamed.size()) << label;
+    EXPECT_GT(info.kernelCount, 0u) << label;
+
+    MicroCreator wide;
+    wide.setGenerateJobs(4);
+    expectProgramsIdentical(batch, collectStream(wide, xml, nullptr),
+                            label + " (stream jobs=4)");
+  }
+}
+
+TEST(StreamingGeneration, FallsBackToBatchWhenTailPassIsReplaced) {
+  // A plugin-replaced Verification pass disables the streaming tail; the
+  // fallback must still deliver the exact batch output in order.
+  std::string xml = figure6Xml(1, 4, false);
+  MicroCreator reference;
+  std::vector<GeneratedProgram> expected = reference.generateFromText(xml);
+
+  MicroCreator patched;
+  patched.passManager().replacePass(
+      "Verification",
+      std::make_unique<LambdaPass>("Verification", [](GenerationState&) {}));
+  std::vector<GeneratedProgram> viaPatched = patched.generateFromText(xml);
+  PassManager::StreamInfo info;
+  std::vector<GeneratedProgram> streamed = collectStream(patched, xml, &info);
+  expectProgramsIdentical(viaPatched, streamed, "plugin tail fallback");
+  EXPECT_EQ(info.kernelCount, streamed.size());
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(streamed.size(), expected.size());
+}
+
+TEST(StreamingGeneration, RunStreamingRefusesPluginTail) {
+  PassManager pm = PassManager::standardPipeline();
+  pm.replacePass("Verification", std::make_unique<LambdaPass>(
+                                     "Verification", [](GenerationState&) {}));
+  GenerationState state(parseDescriptionText(figure6Xml(1, 2, false)));
+  bool streamed = pm.runStreaming(
+      state, [](const PassManager::StreamInfo&) {},
+      [](GeneratedProgram&&) { FAIL() << "must not stream a plugin tail"; });
+  EXPECT_FALSE(streamed);
+}
+
+}  // namespace
+}  // namespace microtools::creator

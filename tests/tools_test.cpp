@@ -311,6 +311,58 @@ TEST_F(ToolsTest, ExploreSecondRunIsFullyCached) {
   std::filesystem::remove_all(cacheDir);
 }
 
+TEST_F(ToolsTest, ExploreStreamWithParallelGenerationMatchesBatch) {
+  std::string small =
+      writeTempXml(testing::figure6Xml(1, 2, false), "tools_stream.xml");
+  std::string cacheDir = ::testing::TempDir() + "/tools_stream_cache";
+  std::filesystem::remove_all(cacheDir);
+  std::string command = std::string(MT_MICROTOOLS_PATH) + " explore " +
+                        small + " --stream --generate-jobs 4 "
+                        "--array-bytes 16384 --inner 1 --outer 3 "
+                        "--max-repetitions 6 --top 5 --cache " + cacheDir;
+
+  CommandResult first = run(command);
+  EXPECT_EQ(first.exitCode, 0) << first.output;
+  EXPECT_NE(first.output.find("0 cache hit(s), 2 measured"),
+            std::string::npos)
+      << first.output;
+
+  // The warm rerun is fully served by the in-memory cache index: the
+  // telemetry line must report zero per-variant record file reads.
+  CommandResult second = run(command);
+  EXPECT_EQ(second.exitCode, 0) << second.output;
+  EXPECT_NE(second.output.find("2 cache hit(s), 0 measured"),
+            std::string::npos)
+      << second.output;
+  EXPECT_NE(second.output.find("2 hit(s), 0 miss(es), 0 corrupt, "
+                               "0 record file read(s)"),
+            std::string::npos)
+      << second.output;
+  std::filesystem::remove_all(cacheDir);
+}
+
+TEST_F(ToolsTest, ExploreStreamRejectsHalvingSearch) {
+  std::string small =
+      writeTempXml(testing::figure6Xml(1, 2, false), "tools_streamh.xml");
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " explore " +
+                        small + " --stream --search halving --no-cache "
+                        "--array-bytes 16384 --inner 1 --outer 3");
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("--stream requires the full sweep"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(ToolsTest, CreatorGenerateJobsKeepsNamesIdentical) {
+  CommandResult serial = run(std::string(MT_MICROCREATOR_PATH) + " " +
+                             xmlPath_ + " --names-only");
+  CommandResult parallel = run(std::string(MT_MICROCREATOR_PATH) + " " +
+                               xmlPath_ + " --names-only --generate-jobs 4");
+  EXPECT_EQ(serial.exitCode, 0);
+  EXPECT_EQ(parallel.exitCode, 0);
+  EXPECT_EQ(parallel.output, serial.output);
+}
+
 TEST_F(ToolsTest, ExploreWritesCampaignCsvAndReportFile) {
   std::string small =
       writeTempXml(testing::figure6Xml(1, 2, false), "tools_explore2.xml");
