@@ -1,0 +1,205 @@
+// Throughput bench of the campaign service: the same exhaustive sweep is
+// run against an in-process `microtools serve` daemon by 1, 2 and 4
+// --connect workers, each with a fresh cache, and the bench reports
+// variants/second per fleet size plus the 4-vs-1 speedup.
+//
+// The backend under test is the sim backend behind a fixed per-invoke wall
+// delay. Real measurement time is dominated by waiting (protocol
+// repetitions, pinned-core wall-clock), not by the coordinator's CPU, so a
+// wall-delay backend isolates exactly what the daemon adds or saves: lease
+// scheduling, cache probes, and row merging. Because the delay is waiting
+// rather than computation, the speedup is meaningful on any core count —
+// a single-core CI runner still overlaps the waits.
+//
+// Emits BENCH_serve.json for CI's regression gate and asserts the ranked
+// reports are byte-identical across fleet sizes (the tentpole contract).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "launcher/explore.hpp"
+#include "launcher/serve.hpp"
+
+using namespace microtools;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kInvokeDelayMs = 40;
+
+/// Sim backend behind a fixed wall delay per invoke — the stand-in for a
+/// native measurement whose duration is wall-clock, not CPU.
+class DelayBackend final : public launcher::Backend {
+ public:
+  DelayBackend() : inner_(sim::nehalemX5650DualSocket()) {}
+
+  std::string name() const override { return "delay-sim"; }
+  std::unique_ptr<launcher::KernelHandle> load(
+      const std::string& asmText, const std::string& fn) override {
+    return inner_.load(asmText, fn);
+  }
+  launcher::InvokeResult invoke(launcher::KernelHandle& kernel,
+                                const launcher::KernelRequest& req) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kInvokeDelayMs));
+    return inner_.invoke(kernel, req);
+  }
+  double timerOverheadCycles() const override {
+    return inner_.timerOverheadCycles();
+  }
+  std::vector<launcher::InvokeResult> invokeFork(
+      launcher::KernelHandle& kernel, const launcher::KernelRequest& req,
+      int processes, int calls, launcher::PinPolicy policy) override {
+    return inner_.invokeFork(kernel, req, processes, calls, policy);
+  }
+  launcher::InvokeResult invokeOpenMp(launcher::KernelHandle& kernel,
+                                      const launcher::KernelRequest& req,
+                                      int threads, int repetitions) override {
+    return inner_.invokeOpenMp(kernel, req, threads, repetitions);
+  }
+  void reset() override { inner_.reset(); }
+
+ private:
+  launcher::SimBackend inner_;
+};
+
+struct FleetRun {
+  double seconds = 0.0;
+  std::size_t variants = 0;
+  std::string report;
+};
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+FleetRun runFleet(int workers, const std::string& xml,
+                  const std::string& scratch) {
+  std::string dir = scratch + "/w" + std::to_string(workers);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  launcher::ServeOptions serveOptions;
+  serveOptions.cacheDir = dir + "/cache";
+  serveOptions.csvPath = dir + "/campaign.csv";
+  serveOptions.reportPath = dir + "/report.csv";
+  launcher::ServeServer server(serveOptions);
+  server.start();
+
+  FleetRun run;
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::vector<std::size_t> measured(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      launcher::ExploreOptions options;
+      options.descriptionText = xml;
+      options.arrayBytes = 16 * 1024;
+      options.campaign.protocol.innerRepetitions = 1;
+      options.campaign.protocol.outerRepetitions = 3;
+      options.campaign.maxCv = 0;  // one attempt per variant
+      options.backendFactory = [](int) {
+        return std::make_unique<DelayBackend>();
+      };
+      options.backendId = "delay-sim";
+      options.connectAddr = server.boundAddress();
+      options.workerName = "w" + std::to_string(w);
+      launcher::ExploreResult result = launcher::runExplore(options);
+      measured[static_cast<std::size_t>(w)] = result.measured;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  auto t1 = std::chrono::steady_clock::now();
+  server.requestStop();
+  server.wait();
+
+  run.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (std::size_t m : measured) run.variants += m;
+  run.report = readFile(serveOptions.reportPath);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath = argc > 1 ? argv[1] : "BENCH_serve.json";
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 1;
+
+  // 8 unroll variants, each a fresh miss (per-fleet cache) behind a 40 ms
+  // wall delay: 1 worker pays ~8 delays sequentially, 4 workers ~2 each.
+  std::string xml = bench::loadStoreKernelXml("movaps", 1, 8);
+
+  bench::header(
+      "campaign service (1 vs 2 vs 4 --connect workers, one daemon)",
+      "host (" + std::to_string(cores) + " core(s))",
+      "lease sharding over a wall-delay backend gives >= 2x throughput at "
+      "4 workers with a byte-identical ranked report");
+
+  std::string scratch = fs::temp_directory_path().string() + "/bench_serve";
+  FleetRun one = runFleet(1, xml, scratch);
+  FleetRun two = runFleet(2, xml, scratch);
+  FleetRun four = runFleet(4, xml, scratch);
+  fs::remove_all(scratch);
+
+  auto rate = [](const FleetRun& r) {
+    return r.seconds > 0 ? static_cast<double>(r.variants) / r.seconds : 0.0;
+  };
+  double speedup2 = two.seconds > 0 ? one.seconds / two.seconds : 0.0;
+  double speedup4 = four.seconds > 0 ? one.seconds / four.seconds : 0.0;
+  bool identical = !one.report.empty() && one.report == two.report &&
+                   one.report == four.report;
+
+  std::printf("variants: %zu (x %d ms wall delay per invoke)\n", one.variants,
+              kInvokeDelayMs);
+  std::printf("workers=1  %.3f s  (%.1f variants/s)\n", one.seconds,
+              rate(one));
+  std::printf("workers=2  %.3f s  (%.1f variants/s, %.2fx)\n", two.seconds,
+              rate(two), speedup2);
+  std::printf("workers=4  %.3f s  (%.1f variants/s, %.2fx)\n", four.seconds,
+              rate(four), speedup4);
+  bench::expectShape(identical,
+                     "ranked report byte-identical across fleet sizes");
+  bench::expectShape(one.variants == two.variants &&
+                         one.variants == four.variants,
+                     "every fleet measured each variant exactly once");
+  bench::expectShape(speedup4 >= 2.0,
+                     "4 workers >= 2x the single-worker throughput");
+
+  std::ofstream json(jsonPath, std::ios::binary);
+  json.setf(std::ios::fixed);
+  json.precision(6);
+  json << "{\n"
+       << "  \"variants\": " << one.variants << ",\n"
+       << "  \"invoke_delay_ms\": " << kInvokeDelayMs << ",\n"
+       << "  \"cores\": " << cores << ",\n"
+       << "  \"workers_1_seconds\": " << one.seconds << ",\n"
+       << "  \"workers_2_seconds\": " << two.seconds << ",\n"
+       << "  \"workers_4_seconds\": " << four.seconds << ",\n"
+       << "  \"workers_1_variants_per_sec\": " << rate(one) << ",\n"
+       << "  \"workers_2_variants_per_sec\": " << rate(two) << ",\n"
+       << "  \"workers_4_variants_per_sec\": " << rate(four) << ",\n"
+       << "  \"speedup_2v1\": " << speedup2 << ",\n"
+       << "  \"speedup_4v1\": " << speedup4 << ",\n"
+       << "  \"reports_identical\": " << (identical ? "true" : "false")
+       << ",\n"
+       << "  \"env\": " << bench::envJsonObject() << "\n"
+       << "}\n";
+  std::printf("wrote %s\n", jsonPath.c_str());
+
+  bench::finish();
+  // Report identity is a hard contract, not a shape expectation.
+  return identical ? 0 : 1;
+}

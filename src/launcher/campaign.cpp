@@ -288,6 +288,7 @@ bool CampaignRunner::resolveUpfront(const CampaignVariant& variant,
         r.note = "skipped by --verify=strict";
         log::warn("variant '" + r.name + "' skipped by verification: " +
                   verdict);
+        if (options_.rowObserver) options_.rowObserver(variant, r);
         if (sink) sink->append(r);
         return true;  // never compiled, loaded, or measured
       }
@@ -301,6 +302,7 @@ bool CampaignRunner::resolveUpfront(const CampaignVariant& variant,
     r.name = variant.name;
     r.cached = true;
     r.verify = verdict;
+    if (options_.rowObserver) options_.rowObserver(variant, r);
     if (sink) sink->append(r);
     return true;
   }
@@ -366,6 +368,9 @@ std::vector<VariantResult> CampaignRunner::run(
     if (results[i].status == "ok" && options_.cacheStore) {
       options_.cacheStore(variants[i], results[i]);
     }
+    // The observer, like the cache, always sees the ORIGINAL variant — a
+    // prepared "so" unit is a process-local artifact.
+    if (options_.rowObserver) options_.rowObserver(variants[i], results[i]);
     if (sink) sink->append(results[i]);
   };
 
@@ -495,6 +500,7 @@ std::vector<VariantResult> CampaignRunner::run(
     results[i].verify = std::move(verdict);
     results[i].status = "error";
     results[i].error = "never measured: compile pipeline aborted";
+    if (options_.rowObserver) options_.rowObserver(variants[i], results[i]);
     if (sink) sink->append(results[i]);
   }
   return results;
@@ -556,6 +562,7 @@ std::vector<VariantResult> CampaignRunner::runStream(
     if (results[i].status == "ok" && options_.cacheStore) {
       options_.cacheStore(variants[i], results[i]);
     }
+    if (options_.rowObserver) options_.rowObserver(variants[i], results[i]);
     if (sink) sink->append(results[i]);
   };
 

@@ -57,6 +57,15 @@ using CacheLookup =
 using CacheStore = std::function<void(const CampaignVariant& variant,
                                       const VariantResult& result)>;
 
+/// Row hook: fires once per terminal row exactly where the CSV sink would
+/// append it (cache hits, verify-strict skips, measured rows, pipeline
+/// phantom rows — but NOT resume skips, whose rows already exist in the file
+/// being resumed). Campaign-service workers use it to forward every row to
+/// the daemon's canonical merge. Called from worker threads; must be
+/// thread-safe.
+using RowObserver = std::function<void(const CampaignVariant& variant,
+                                       const VariantResult& row)>;
+
 /// Pre-flight static verification policy for "asm" variants (verify::).
 /// Off keeps the pre-PR-5 behavior bit-identical; Warn annotates the CSV
 /// `verify` column but still measures everything; Strict skips variants
@@ -95,6 +104,7 @@ struct CampaignOptions {
 
   CacheLookup cacheLookup;     ///< pre-measurement cache probe (optional)
   CacheStore cacheStore;       ///< post-measurement cache write (optional)
+  RowObserver rowObserver;     ///< per-terminal-row hook (optional)
 
   /// Stamped onto every VariantResult (and its CSV row) this run produces.
   /// The successive-halving planner runs one campaign per round and bumps

@@ -9,6 +9,7 @@
 
 #include "creator/creator.hpp"
 #include "launcher/arch_registry.hpp"
+#include "launcher/remote_store.hpp"
 #include "launcher/sim_backend.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
@@ -165,6 +166,19 @@ ExploreResult runExplore(const ExploreOptions& options,
         "--stream requires the full sweep: the halving planner needs the "
         "complete variant set before its first round");
   }
+  bool connectMode = !options.connectAddr.empty();
+  if (connectMode && options.search == SearchMode::Halving) {
+    throw McError(
+        "--connect requires the full sweep: the halving planner adapts the "
+        "protocol per round, which sharded workers cannot coordinate");
+  }
+  if (connectMode && options.stream) {
+    // The campaign (its id and variant count) must be announced to the
+    // daemon before the first acquire, so connect mode generates in batch;
+    // dispatch itself still streams per variant.
+    log::warn("--connect announces the campaign upfront; --stream's "
+              "generation overlap is ignored");
+  }
 
   creator::MicroCreator creator;
   creator.setGenerateJobs(options.generateJobs);
@@ -202,14 +216,16 @@ ExploreResult runExplore(const ExploreOptions& options,
   }
 
   std::shared_ptr<MeasurementCache> cache;
-  if (options.useCache) {
+  if (options.useCache && !connectMode) {
+    // In connect mode the serve daemon owns the one shared cache; a local
+    // cache would shadow it and desynchronize the workers' hit accounting.
     cache = std::make_shared<MeasurementCache>(options.cacheDir);
   }
 
   ExploreResult out;
   out.backendId = backendId;
 
-  if (options.stream) {
+  if (options.stream && !connectMode) {
     // §3 as a producer: generation runs on its own thread, handing verified
     // variants through a bounded channel into a streaming campaign, so the
     // first measurement starts as soon as the first variant is emitted.
@@ -345,6 +361,36 @@ ExploreResult runExplore(const ExploreOptions& options,
 
   out.generated = programs.size();
   out.request = request;
+
+  if (connectMode) {
+    // Sharded worker: the daemon resolves every variant (cache probe or
+    // lease). Dispatch MUST stream per variant — the batch path resolves
+    // every variant before its pool starts, so a worker at its lease cap
+    // would sleep in `defer` with nothing draining its queue.
+    CampaignOptions campaign = options.campaign;
+    RemoteOptions remote;
+    remote.worker = options.workerName;
+    remote.jobs = campaign.jobs;
+    std::shared_ptr<RemoteResultStore> store = bindRemoteCampaign(
+        options.connectAddr, remote, variants, backendId, request, campaign);
+    CampaignRunner runner(std::move(factory), campaign);
+    // Rotated traversal: start where the daemon's joining ordinal points,
+    // so fleet members lease disjoint stretches of the variant space
+    // instead of colliding on the same keys in lockstep. The row observer
+    // rewrites sequences back to the canonical order, so the daemon's
+    // merged CSV/report is identical whatever the local order was.
+    std::size_t offset = shardOffset(store->ordinal(), variants.size());
+    std::size_t next = 0;
+    out.results = runner.runStream(
+        [&variants, &next, offset]() -> std::optional<CampaignVariant> {
+          if (next >= variants.size()) return std::nullopt;
+          return variants[(offset + next++) % variants.size()];
+        },
+        request, sink);
+    tallyFullSweep(out);
+    out.cacheTelemetry = store->telemetry();
+    return out;
+  }
 
   if (options.search == SearchMode::Halving) {
     PlannerResult planned =

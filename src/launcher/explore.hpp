@@ -96,6 +96,16 @@ struct ExploreOptions {
   // -- cache -----------------------------------------------------------------
   std::string cacheDir = ".microtools-cache";
   bool useCache = true;
+
+  // -- campaign service (--connect) ------------------------------------------
+  /// When non-empty, this worker shards the campaign against a `microtools
+  /// serve` daemon at the given address instead of using a local cache: the
+  /// daemon owns the measurement cache, hands out idempotent work leases,
+  /// and merges every worker's rows into the canonical CSV/report. Full
+  /// sweeps only. Dispatch is per-variant (streaming), so a worker measures
+  /// its leases while peers hold theirs.
+  std::string connectAddr;
+  std::string workerName;  ///< name in the daemon's telemetry ("": pid)
 };
 
 /// Outcome of one exploration run.

@@ -120,6 +120,14 @@ cli::Parser makeLauncherParser() {
                 "Campaign halving: outer repetitions of the round-0 "
                 "screening pass",
                 1);
+  parser.addString("connect",
+                   "Campaign: shard against a `microtools serve` daemon at "
+                   "host:port or unix:/path — the daemon owns the "
+                   "measurement cache and hands out work leases (full "
+                   "sweeps only)");
+  parser.addString("worker-name",
+                   "Name reported in the serve daemon's telemetry "
+                   "(default: the worker's pid)");
   parser.addString("backend", "Execution backend: sim|native", "sim");
   parser.addFlag("no-perf-counters",
                  "Do not open perf_event counter groups around native "
@@ -188,6 +196,8 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   o.searchMode = parser.getString("search");
   if (parser.has("budget")) o.budget = parser.getString("budget");
   o.screenRepetitions = static_cast<int>(parser.getInt("screen-reps"));
+  if (parser.has("connect")) o.connectAddr = parser.getString("connect");
+  if (parser.has("worker-name")) o.workerName = parser.getString("worker-name");
   o.backend = parser.getString("backend");
   o.perfCounters = !parser.getFlag("no-perf-counters");
   o.arch = parser.getString("arch");

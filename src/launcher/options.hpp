@@ -77,6 +77,8 @@ struct LauncherOptions {
   std::string searchMode = "full";    ///< variant walk: full|halving
   std::string budget;          ///< halving budget: "<seconds>s" or variants
   int screenRepetitions = 1;   ///< halving round-0 screening outer reps
+  std::string connectAddr;     ///< serve daemon address ("" = standalone)
+  std::string workerName;      ///< telemetry name at the daemon ("": pid)
 
   // -- backend / machine ---------------------------------------------------------
   std::string backend = "sim";   ///< sim|native

@@ -1,8 +1,11 @@
 #include "launcher/result_store.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -24,41 +27,14 @@ constexpr const char* kMagic = "microtools-cache";
 constexpr const char* kPackName = "index.pack";
 constexpr const char* kRecordExt = ".mtres";
 
+// Line-oriented record format shares the wire protocol's escaping (strings::
+// escapeLineBreaks / unescapeLineBreaks).
 std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '\\') {
-      out += "\\\\";
-    } else if (c == '\n') {
-      out += "\\n";
-    } else if (c == '\r') {
-      out += "\\r";
-    } else {
-      out += c;
-    }
-  }
-  return out;
+  return strings::escapeLineBreaks(s);
 }
 
 std::string unescape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '\\' || i + 1 == s.size()) {
-      out += s[i];
-      continue;
-    }
-    char next = s[++i];
-    if (next == 'n') {
-      out += '\n';
-    } else if (next == 'r') {
-      out += '\r';
-    } else {
-      out += next;
-    }
-  }
-  return out;
+  return strings::unescapeLineBreaks(s);
 }
 
 std::string fmtDouble(double v) { return strings::format("%.17g", v); }
@@ -186,11 +162,33 @@ void MeasurementCache::openIndex() {
 
 void MeasurementCache::appendToPack(const std::string& key,
                                     const std::string& payload) {
-  // Single buffered write in append mode; a torn or interleaved frame is
-  // caught by readPack's checksum and merely re-reads one record file.
-  std::ofstream out(packPath_, std::ios::binary | std::ios::app);
-  if (!out) return;  // journal is an optimization, never a failure
-  out << packFrame(key, payload);
+  // Advisory flock + one write(2): worker processes sharing this cache
+  // directory (campaign-service fleets) append concurrently, and while
+  // O_APPEND makes each write atomic enough on local filesystems, the lock
+  // also covers NFS-style filesystems and partial writes split by signals.
+  // Failures never propagate — the journal is an optimization; readPack's
+  // checksum catches anything torn and merely re-reads one record file.
+  int fd = ::open(packPath_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return;
+  if (::flock(fd, LOCK_EX) != 0) {
+    ::close(fd);
+    return;
+  }
+  std::string frame = packFrame(key, payload);
+  const char* data = frame.data();
+  std::size_t remaining = frame.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
 }
 
 std::optional<VariantResult> MeasurementCache::load(const std::string& key) {

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "launcher/result_store.hpp"
+#include "launcher/wire.hpp"
+#include "support/socket.hpp"
+
+namespace microtools::launcher {
+
+/// Knobs of one `microtools serve` daemon.
+struct ServeOptions {
+  std::string listen = "127.0.0.1:0";  ///< host:port (0 = ephemeral) or
+                                       ///< unix:/path
+  std::string cacheDir = ".microtools-cache";  ///< shared MeasurementCache
+  std::string csvPath;     ///< canonical merged campaign CSV ("" = none)
+  std::string reportPath;  ///< canonical ranked report ("" = none)
+  int topK = 0;            ///< ranked-report size (0 = all)
+
+  /// A lease not acked (store/row) within this window is considered dead:
+  /// the next acquire for its key gets a fresh lease (re-issue).
+  int leaseDeadlineMs = 30000;
+
+  /// Backpressure: outstanding leases one connection may hold. 0 = auto
+  /// (twice the worker's announced measurement jobs, at least 2), so one
+  /// worker's resolve loop can never drain the whole campaign into its own
+  /// queue while its peers starve.
+  int maxLeasesPerWorker = 0;
+
+  /// requestStop() waits this long for in-flight leases to be acked before
+  /// cutting the remaining connections.
+  int drainTimeoutMs = 10000;
+};
+
+/// Per-worker accounting reported in the shutdown summary.
+struct WorkerTelemetry {
+  std::uint64_t hits = 0;    ///< acquires/probes answered inline
+  std::uint64_t misses = 0;  ///< leases granted (work this worker measured)
+  std::uint64_t rows = 0;    ///< canonical rows forwarded
+};
+
+/// Aggregate daemon accounting (summary() / the CLI's final line).
+struct ServeSummary {
+  CacheTelemetry cache;  ///< the shared MeasurementCache's own telemetry
+  std::uint64_t acquires = 0;
+  std::uint64_t hits = 0;     ///< acquires answered without a lease
+  std::uint64_t leases = 0;   ///< leases granted
+  std::uint64_t reissues = 0; ///< leases re-granted after a worker died or
+                              ///< missed the ack deadline
+  std::uint64_t rowsMerged = 0;
+  std::uint64_t campaignsFinalized = 0;
+  std::map<std::string, WorkerTelemetry> workers;  ///< by announced name
+};
+
+/// The campaign-service daemon: owns the shared MeasurementCache, hands out
+/// idempotent work leases over the wire protocol (launcher/wire.hpp), and
+/// merges every worker's rows into the canonical campaign CSV + ranked
+/// report. Runs an accept thread plus one thread per connection; all state
+/// transitions happen under one mutex (the expensive work — measuring —
+/// happens in the workers, never here).
+///
+/// Scheduling is cache-first: an acquire probes the store before anything
+/// else, so warm variants are answered inline with zero backend work and
+/// only cache misses ever consume a lease.
+class ServeServer {
+ public:
+  explicit ServeServer(ServeOptions options);
+  ~ServeServer();
+
+  /// Binds, listens and starts the accept thread; throws McError when the
+  /// address cannot be bound.
+  void start();
+
+  /// The listen spec with any ephemeral port resolved — what workers pass
+  /// to --connect.
+  const std::string& boundAddress() const { return boundAddress_; }
+
+  /// Begins a graceful shutdown: stop accepting, refuse new leases, drain
+  /// in-flight ones (bounded by drainTimeoutMs). Idempotent; safe from a
+  /// signal-driven thread.
+  void requestStop();
+
+  /// Blocks until the daemon has fully stopped (requestStop() finished
+  /// draining, every connection thread joined, unfinished campaigns
+  /// finalized). Calling wait() without requestStop() blocks until another
+  /// thread requests the stop.
+  void wait();
+
+  ServeSummary summary() const;
+
+ private:
+  struct Lease {
+    std::uint64_t id = 0;
+    int connId = -1;
+    std::string worker;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  /// Rows are keyed (round, sequence, name) — the identity of one CSV row —
+  /// so racing duplicate forwards merge instead of duplicating.
+  using RowId = std::tuple<int, std::size_t, std::string>;
+
+  /// One merged row plus the cache key it was measured under (needed for
+  /// the finalize-time cached-flag normalization).
+  struct MergedRow {
+    std::string key;
+    VariantResult row;
+  };
+
+  struct CampaignState {
+    std::size_t expected = 0;
+    std::size_t beginCount = 0;  ///< workers that joined (ordinal source)
+    std::map<RowId, MergedRow> rows;
+    std::map<std::string, VariantResult> failResults;  ///< key -> terminal
+                                                       ///< non-ok result
+    std::set<std::string> leasedKeys;  ///< keys measured fresh this campaign
+    bool finalized = false;
+  };
+
+  struct ConnInfo {
+    std::string worker;
+    int jobs = 1;
+    int outstandingLeases = 0;
+  };
+
+  void acceptLoop();
+  void serveConnection(int connId, net::Socket* socket);
+  void handleConnection(int connId, net::Socket* socket);
+  wire::Message dispatch(int connId, const wire::Message& request);
+  void releaseLease(const std::string& key, const std::string& leaseId,
+                    int connId);
+  void releaseConnectionLeases(int connId);
+  void finalizeCampaign(const std::string& id, CampaignState& campaign);
+  void finalizeRemaining();
+
+  ServeOptions options_;
+  std::unique_ptr<MeasurementCache> cache_;
+  net::Listener listener_;
+  std::string boundAddress_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, CampaignState> campaigns_;
+  std::map<std::string, Lease> leases_;  ///< by cache key
+  std::map<int, ConnInfo> connections_;
+  ServeSummary summary_;
+  std::uint64_t nextLeaseId_ = 1;
+  bool stopping_ = false;
+
+  std::thread acceptThread_;
+  std::mutex threadsMutex_;
+  int nextConnId_ = 0;
+  std::vector<std::thread> connectionThreads_;
+  std::map<int, std::unique_ptr<net::Socket>> sockets_;
+  bool stopped_ = false;
+};
+
+/// The `microtools serve` entry: starts the daemon, prints the bound
+/// address, and runs until SIGINT/SIGTERM, then drains and prints the
+/// aggregate + per-worker telemetry summary. Returns the process exit code.
+int serveMain(const ServeOptions& options);
+
+}  // namespace microtools::launcher

@@ -1,0 +1,249 @@
+#include "launcher/wire.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace microtools::launcher::wire {
+
+namespace {
+
+std::string fmtDouble(double v) { return strings::format("%.17g", v); }
+
+bool validToken(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Message
+// ---------------------------------------------------------------------------
+
+std::string Message::get(const std::string& name) const {
+  auto it = fields.find(name);
+  if (it == fields.end()) {
+    throw McError("wire message '" + verb + "' lacks field '" + name + "'");
+  }
+  return it->second;
+}
+
+std::int64_t Message::getInt(const std::string& name) const {
+  auto v = strings::parseInt(get(name));
+  if (!v) {
+    throw McError("wire message '" + verb + "' field '" + name +
+                  "' is not an integer");
+  }
+  return *v;
+}
+
+std::string encodeMessage(const Message& message) {
+  if (!validToken(message.verb)) {
+    throw McError("wire verb must be a non-empty whitespace-free token");
+  }
+  std::string out = message.verb + '\n';
+  for (const auto& [name, value] : message.fields) {
+    if (!validToken(name)) {
+      throw McError("wire field name '" + name + "' is not a valid token");
+    }
+    out += name;
+    out += ' ';
+    out += strings::escapeLineBreaks(value);
+    out += '\n';
+  }
+  return out;
+}
+
+Message decodeMessage(const std::string& payload) {
+  std::vector<std::string> lines = strings::split(payload, '\n');
+  if (lines.empty() || lines.front().empty()) {
+    throw McError("wire payload lacks a verb line");
+  }
+  Message message;
+  message.verb = lines.front();
+  if (!validToken(message.verb)) {
+    throw McError("wire payload has a malformed verb");
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;  // trailing newline after the last field
+    std::size_t space = lines[i].find(' ');
+    std::string name =
+        space == std::string::npos ? lines[i] : lines[i].substr(0, space);
+    std::string value =
+        space == std::string::npos ? "" : lines[i].substr(space + 1);
+    if (!validToken(name)) {
+      throw McError("wire payload has a malformed field line");
+    }
+    message.fields[name] = strings::unescapeLineBreaks(value);
+  }
+  return message;
+}
+
+void sendMessage(net::Socket& socket, const Message& message) {
+  std::string payload = encodeMessage(message);
+  if (payload.size() > kMaxFramePayload) {
+    throw McError("wire message exceeds the frame payload limit");
+  }
+  auto size = static_cast<std::uint32_t>(payload.size());
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>((size >> 24) & 0xff),
+      static_cast<unsigned char>((size >> 16) & 0xff),
+      static_cast<unsigned char>((size >> 8) & 0xff),
+      static_cast<unsigned char>(size & 0xff),
+  };
+  // One send for prefix + payload: a frame is either fully queued or the
+  // call throws; the peer never parses a prefix whose payload went missing
+  // because of an exception between two sends.
+  std::string framed(reinterpret_cast<const char*>(prefix), 4);
+  framed += payload;
+  socket.sendAll(framed.data(), framed.size());
+}
+
+std::optional<Message> recvMessage(net::Socket& socket) {
+  unsigned char prefix[4];
+  if (!socket.recvAll(prefix, sizeof(prefix))) return std::nullopt;
+  std::uint32_t size = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                       (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                       (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                       static_cast<std::uint32_t>(prefix[3]);
+  if (size == 0 || size > kMaxFramePayload) {
+    throw McError(strings::format(
+        "wire frame length %u outside (0, %u]: corrupt or hostile peer",
+        size, kMaxFramePayload));
+  }
+  std::string payload(size, '\0');
+  if (!socket.recvAll(payload.data(), payload.size())) {
+    throw McError("connection closed mid-message");
+  }
+  return decodeMessage(payload);
+}
+
+// ---------------------------------------------------------------------------
+// VariantResult codec
+// ---------------------------------------------------------------------------
+
+std::string encodeResult(const VariantResult& r) {
+  std::ostringstream oss;
+  oss << "sequence " << r.sequence << '\n';
+  oss << "round " << r.round << '\n';
+  oss << "name " << strings::escapeLineBreaks(r.name) << '\n';
+  oss << "status " << r.status << '\n';
+  oss << "error " << strings::escapeLineBreaks(r.error) << '\n';
+  oss << "note " << strings::escapeLineBreaks(r.note) << '\n';
+  oss << "verify " << strings::escapeLineBreaks(r.verify) << '\n';
+  oss << "cached " << (r.cached ? 1 : 0) << '\n';
+  oss << "repetitions " << r.repetitions << '\n';
+  oss << "final_cv " << fmtDouble(r.finalCv) << '\n';
+  oss << "converged " << (r.converged ? 1 : 0) << '\n';
+  oss << "attempts " << r.attempts << '\n';
+  oss << "iterations_per_call " << r.measurement.iterationsPerCall << '\n';
+  oss << "total_cycles " << fmtDouble(r.measurement.totalCycles) << '\n';
+  const stats::Summary& s = r.measurement.cyclesPerIteration;
+  oss << "count " << s.count << '\n';
+  oss << "min " << fmtDouble(s.min) << '\n';
+  oss << "max " << fmtDouble(s.max) << '\n';
+  oss << "mean " << fmtDouble(s.mean) << '\n';
+  oss << "median " << fmtDouble(s.median) << '\n';
+  oss << "stddev " << fmtDouble(s.stddev) << '\n';
+  oss << "cv " << fmtDouble(s.cv) << '\n';
+  const CounterMetrics& c = r.measurement.counters;
+  if (c.valid) {
+    oss << "pc_valid 1\n";
+    oss << "pc_instructions_per_iteration "
+        << fmtDouble(c.instructionsPerIteration) << '\n';
+    oss << "pc_ipc " << fmtDouble(c.ipc) << '\n';
+    oss << "pc_l1_miss_rate " << fmtDouble(c.l1MissRate) << '\n';
+    oss << "pc_llc_miss_rate " << fmtDouble(c.llcMissRate) << '\n';
+    oss << "pc_stall_ratio " << fmtDouble(c.stallRatio) << '\n';
+  }
+  return oss.str();
+}
+
+VariantResult decodeResult(const std::string& text) {
+  std::map<std::string, std::string> fields;
+  for (const std::string& line : strings::split(text, '\n')) {
+    if (line.empty()) continue;
+    std::size_t space = line.find(' ');
+    std::string name =
+        space == std::string::npos ? line : line.substr(0, space);
+    std::string value =
+        space == std::string::npos ? "" : line.substr(space + 1);
+    fields.emplace(std::move(name), std::move(value));
+  }
+  auto getStr = [&fields](const char* f) -> std::string {
+    auto it = fields.find(f);
+    if (it == fields.end()) {
+      throw McError(std::string("wire result lacks field '") + f + "'");
+    }
+    return it->second;
+  };
+  auto getInt = [&getStr](const char* f) -> std::int64_t {
+    auto v = strings::parseInt(getStr(f));
+    if (!v) {
+      throw McError(std::string("wire result field '") + f +
+                    "' is not an integer");
+    }
+    return *v;
+  };
+  auto getDouble = [&getStr](const char* f) -> double {
+    auto v = strings::parseDouble(getStr(f));
+    if (!v) {
+      throw McError(std::string("wire result field '") + f +
+                    "' is not a number");
+    }
+    return *v;
+  };
+
+  VariantResult r;
+  std::int64_t sequence = getInt("sequence");
+  if (sequence < 0) throw McError("wire result has a negative sequence");
+  r.sequence = static_cast<std::size_t>(sequence);
+  r.round = static_cast<int>(getInt("round"));
+  r.name = strings::unescapeLineBreaks(getStr("name"));
+  r.status = getStr("status");
+  if (r.status != "ok" && r.status != "error" && r.status != "timeout" &&
+      r.status != "skipped") {
+    throw McError("wire result has unknown status '" + r.status + "'");
+  }
+  r.error = strings::unescapeLineBreaks(getStr("error"));
+  r.note = strings::unescapeLineBreaks(getStr("note"));
+  r.verify = strings::unescapeLineBreaks(getStr("verify"));
+  r.cached = getInt("cached") != 0;
+  r.repetitions = static_cast<int>(getInt("repetitions"));
+  r.finalCv = getDouble("final_cv");
+  r.converged = getInt("converged") != 0;
+  r.attempts = static_cast<int>(getInt("attempts"));
+  std::int64_t iterations = getInt("iterations_per_call");
+  std::int64_t count = getInt("count");
+  if (iterations < 0 || count < 0) {
+    throw McError("wire result has negative measurement counts");
+  }
+  r.measurement.iterationsPerCall = static_cast<std::uint64_t>(iterations);
+  r.measurement.totalCycles = getDouble("total_cycles");
+  stats::Summary& s = r.measurement.cyclesPerIteration;
+  s.count = static_cast<std::size_t>(count);
+  s.min = getDouble("min");
+  s.max = getDouble("max");
+  s.mean = getDouble("mean");
+  s.median = getDouble("median");
+  s.stddev = getDouble("stddev");
+  s.cv = getDouble("cv");
+  if (fields.count("pc_valid") && fields["pc_valid"] != "0") {
+    CounterMetrics& c = r.measurement.counters;
+    c.valid = true;
+    c.instructionsPerIteration = getDouble("pc_instructions_per_iteration");
+    c.ipc = getDouble("pc_ipc");
+    c.l1MissRate = getDouble("pc_l1_miss_rate");
+    c.llcMissRate = getDouble("pc_llc_miss_rate");
+    c.stallRatio = getDouble("pc_stall_ratio");
+  }
+  return r;
+}
+
+}  // namespace microtools::launcher::wire

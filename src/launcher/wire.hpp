@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "launcher/campaign.hpp"
+#include "support/socket.hpp"
+
+namespace microtools::launcher::wire {
+
+/// Wire protocol version: bumped whenever a message, field, or the result
+/// encoding changes incompatibly. A daemon refuses clients speaking any
+/// other version during the hello handshake.
+constexpr int kVersion = 1;
+
+/// Hard ceiling on one frame's payload. A length prefix above this is a
+/// protocol violation (or garbage traffic), not a large message: the
+/// receiver drops the connection instead of allocating attacker-sized
+/// buffers. Generated kernels are a few KiB; 16 MiB is ~3 orders of margin.
+constexpr std::uint32_t kMaxFramePayload = 16u * 1024 * 1024;
+
+/// One protocol message: a verb plus a flat field map. On the wire this is
+/// a length-prefixed text payload —
+///
+///   <u32 big-endian payload length>
+///   <verb>\n
+///   <field> <value-escaped>\n
+///   ...
+///
+/// Verbs and field names contain no whitespace; values are escaped (\n, \r,
+/// \\) so multi-line values (serialized results, error messages) stay one
+/// line per field. The first space separates name from value.
+struct Message {
+  std::string verb;
+  std::map<std::string, std::string> fields;
+
+  bool has(const std::string& name) const { return fields.count(name) > 0; }
+  std::string get(const std::string& name) const;
+  std::int64_t getInt(const std::string& name) const;
+};
+
+/// Serializes a message to its frame payload (without the length prefix).
+std::string encodeMessage(const Message& message);
+
+/// Parses a frame payload; throws McError on a malformed payload.
+Message decodeMessage(const std::string& payload);
+
+/// Sends one framed message.
+void sendMessage(net::Socket& socket, const Message& message);
+
+/// Receives one framed message; nullopt on clean EOF at a frame boundary.
+/// Throws on torn frames, oversized length prefixes, or malformed payloads.
+std::optional<Message> recvMessage(net::Socket& socket);
+
+/// Full-fidelity VariantResult codec, used inside message fields. Unlike
+/// MeasurementCache::serialize this carries EVERY field — sequence, round,
+/// cached, verify, non-ok statuses — because the daemon merges complete
+/// campaign rows, not just cacheable measurements. Doubles round-trip
+/// exactly (%.17g), so a merged row is byte-identical to the worker's own
+/// CSV row.
+std::string encodeResult(const VariantResult& result);
+VariantResult decodeResult(const std::string& text);  ///< throws McError
+
+}  // namespace microtools::launcher::wire

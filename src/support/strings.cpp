@@ -122,4 +122,41 @@ std::string format(const char* fmt, ...) {
   return out;
 }
 
+std::string escapeLineBreaks(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescapeLineBreaks(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    char next = s[++i];
+    if (next == 'n') {
+      out += '\n';
+    } else if (next == 'r') {
+      out += '\r';
+    } else {
+      out += next;
+    }
+  }
+  return out;
+}
+
 }  // namespace microtools::strings

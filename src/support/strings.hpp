@@ -40,4 +40,12 @@ std::string replaceAll(std::string s, std::string_view from,
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Escapes '\n', '\r' and '\\' so an arbitrary string fits on one line of a
+/// line-oriented format (cache records, wire-protocol fields).
+std::string escapeLineBreaks(std::string_view s);
+
+/// Inverse of escapeLineBreaks; unknown escapes decode to the literal
+/// character (forward compatible with later escape additions).
+std::string unescapeLineBreaks(std::string_view s);
+
 }  // namespace microtools::strings

@@ -14,6 +14,7 @@
 #include "launcher/launcher.hpp"
 #include "launcher/options.hpp"
 #include "launcher/planner.hpp"
+#include "launcher/remote_store.hpp"
 #include "launcher/sim_backend.hpp"
 #include "native/affinity.hpp"
 #include "native/compile.hpp"
@@ -125,6 +126,11 @@ int runCampaign(const LauncherOptions& options) {
   campaign.pinWorkers = options.backend == "native";
 
   bool halving = options.searchMode == "halving";
+  if (!options.connectAddr.empty() && halving) {
+    throw McError(
+        "--connect requires the full sweep: the halving planner adapts the "
+        "protocol per round, which sharded workers cannot coordinate");
+  }
 
   // Resuming into an existing CSV: rows already completed there are
   // skipped, so an interrupted campaign restart pays only for what is
@@ -156,7 +162,46 @@ int runCampaign(const LauncherOptions& options) {
   };
 
   std::vector<launcher::VariantResult> results;
-  if (halving) {
+  if (!options.connectAddr.empty()) {
+    // Sharded worker against a `microtools serve` daemon. The backend
+    // identity mirrors the explore driver's so both kinds of worker (and a
+    // single-process run over the daemon's cache directory) share keys.
+    std::string backendId = options.backend == "sim"
+                                ? "sim:" + options.arch
+                                : options.backend;
+    if (options.coreGHz) {
+      backendId += strings::format("@%.3fGHz", *options.coreGHz);
+    }
+    launcher::RemoteOptions remote;
+    remote.worker = options.workerName;
+    remote.jobs = campaign.jobs;
+    std::shared_ptr<launcher::RemoteResultStore> store =
+        launcher::bindRemoteCampaign(options.connectAddr, remote, variants,
+                                     backendId, options.toRequest(),
+                                     campaign);
+    // Dispatch must stream per variant: the batch path resolves every
+    // variant before its pool starts, so a worker at its lease cap would
+    // sleep in `defer` with nothing draining its queue.
+    launcher::CampaignRunner runner(factory, campaign);
+    // Rotated traversal: the daemon's joining ordinal staggers where each
+    // fleet member starts, so workers lease disjoint stretches; the row
+    // observer rewrites sequences back to the canonical order.
+    std::size_t offset =
+        launcher::shardOffset(store->ordinal(), variants.size());
+    std::size_t next = 0;
+    results = runner.runStream(
+        [&variants, &next, offset]() -> std::optional<launcher::CampaignVariant> {
+          if (next >= variants.size()) return std::nullopt;
+          return variants[(offset + next++) % variants.size()];
+        },
+        options.toRequest(), sink.get());
+    const launcher::CacheTelemetry t = store->telemetry();
+    std::fprintf(stderr, "service: %s (%llu hit(s), %llu lease(s) "
+                 "measured)\n",
+                 options.connectAddr.c_str(),
+                 static_cast<unsigned long long>(t.hits),
+                 static_cast<unsigned long long>(t.misses));
+  } else if (halving) {
     launcher::PlannerOptions planner;
     planner.screenRepetitions = options.screenRepetitions;
     planner.budget = launcher::parseBudget(options.budget);

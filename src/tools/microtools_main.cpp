@@ -14,6 +14,7 @@
 #include "creator/creator.hpp"
 #include "launcher/bench_diff.hpp"
 #include "launcher/explore.hpp"
+#include "launcher/serve.hpp"
 #include "launcher/sim_backend.hpp"
 #include "native/compile.hpp"
 #include "native/native_backend.hpp"
@@ -43,7 +44,12 @@ void printUsage() {
       "  bench-diff  compare two campaign CSV files variant by variant with\n"
       "            a noise-aware regression threshold; exits nonzero when a\n"
       "            regression exceeds the combined measurement noise (use\n"
-      "            `microtools bench-diff --help` for options)\n");
+      "            `microtools bench-diff --help` for options)\n"
+      "  serve     run the campaign-service daemon: owns the shared\n"
+      "            measurement cache, hands out work leases to `explore\n"
+      "            --connect` workers, and merges their rows into one\n"
+      "            canonical CSV + ranked report (use `microtools serve\n"
+      "            --help` for options)\n");
 }
 
 cli::Parser makeExploreParser() {
@@ -138,6 +144,15 @@ cli::Parser makeExploreParser() {
                    "variants already terminal in the file are resumed, not "
                    "re-measured or re-appended)");
   parser.addString("report", "Write the ranked report here instead of stdout");
+  parser.addString("connect",
+                   "Shard this campaign against a `microtools serve` daemon "
+                   "at host:port or unix:/path — the daemon owns the "
+                   "measurement cache and hands out work leases, so several "
+                   "workers split one campaign without duplicating "
+                   "measurements (full sweeps only)");
+  parser.addString("worker-name",
+                   "Name reported in the daemon's telemetry (default: the "
+                   "worker's pid)");
   parser.addFlag("verbose", "Enable info logging");
   return parser;
 }
@@ -206,6 +221,12 @@ int runExploreCommand(int argc, char** argv) {
   }
   options.planner.screenRepetitions =
       static_cast<int>(parser.getInt("screen-reps"));
+  if (parser.has("connect")) {
+    options.connectAddr = parser.getString("connect");
+    if (parser.has("worker-name")) {
+      options.workerName = parser.getString("worker-name");
+    }
+  }
   if (parser.getFlag("verbose")) log::setLevel(log::Level::Info);
 
   if (options.backend == "native") {
@@ -289,7 +310,15 @@ int runExploreCommand(int argc, char** argv) {
         result.fullFidelityVariants, result.generated, result.rounds.size(),
         result.workRepetitions, result.stopReason.c_str());
   }
-  if (options.useCache) {
+  if (!options.connectAddr.empty()) {
+    // In connect mode the daemon owns the cache; the worker-side telemetry
+    // counts acquires answered inline (hits) vs leases this worker measured.
+    const launcher::CacheTelemetry& t = result.cacheTelemetry;
+    std::printf("service: %s (%llu hit(s), %llu lease(s) measured)\n",
+                options.connectAddr.c_str(),
+                static_cast<unsigned long long>(t.hits),
+                static_cast<unsigned long long>(t.misses));
+  } else if (options.useCache) {
     const launcher::CacheTelemetry& t = result.cacheTelemetry;
     std::printf("cache: %s (%llu hit(s), %llu miss(es), %llu corrupt, "
                 "%llu record file read(s))\n",
@@ -463,6 +492,65 @@ int runBenchDiffCommand(int argc, char** argv) {
   return report.regressions == 0 ? 0 : 1;
 }
 
+cli::Parser makeServeParser() {
+  cli::Parser parser(
+      "microtools serve",
+      "Runs the campaign-service daemon: owns the shared content-addressed "
+      "measurement cache, hands out idempotent work leases to `microtools "
+      "explore --connect` workers sharding one campaign, and merges every "
+      "worker's rows into the canonical campaign CSV and ranked report — "
+      "byte-identical to a single-process run. Scheduling is cache-first: "
+      "warm variants are answered inline with zero backend work. Runs until "
+      "SIGINT/SIGTERM, then drains in-flight leases and prints per-worker "
+      "cache telemetry.");
+  parser.addString("listen",
+                   "Bind address: host:port (port 0 = ephemeral, printed on "
+                   "startup) or unix:/path",
+                   "127.0.0.1:0");
+  parser.addString("cache", "Shared measurement cache directory",
+                   ".microtools-cache");
+  parser.addString("csv",
+                   "Write the canonical merged campaign CSV here when a "
+                   "campaign completes (rows in sequence order)");
+  parser.addString("report",
+                   "Write the canonical ranked report here when a campaign "
+                   "completes");
+  parser.addInt("top", "Ranked-report size (0 = all)", 0);
+  parser.addInt("lease-deadline-ms",
+                "A lease not acknowledged within this window is re-issued "
+                "to the next worker that asks",
+                30000);
+  parser.addInt("max-leases",
+                "Outstanding leases one worker may hold (0 = twice its "
+                "announced measurement jobs, at least 2)",
+                0);
+  parser.addInt("drain-timeout-ms",
+                "On shutdown, wait this long for in-flight leases before "
+                "cutting connections",
+                10000);
+  parser.addFlag("verbose", "Enable info logging");
+  return parser;
+}
+
+int runServeCommand(int argc, char** argv) {
+  cli::Parser parser = makeServeParser();
+  if (!parser.parse(argc, argv)) return 0;  // --help handled
+
+  launcher::ServeOptions options;
+  options.listen = parser.getString("listen");
+  options.cacheDir = parser.getString("cache");
+  if (parser.has("csv")) options.csvPath = parser.getString("csv");
+  if (parser.has("report")) options.reportPath = parser.getString("report");
+  options.topK = static_cast<int>(parser.getInt("top"));
+  options.leaseDeadlineMs =
+      static_cast<int>(parser.getInt("lease-deadline-ms"));
+  options.maxLeasesPerWorker = static_cast<int>(parser.getInt("max-leases"));
+  options.drainTimeoutMs =
+      static_cast<int>(parser.getInt("drain-timeout-ms"));
+  if (parser.getFlag("verbose")) log::setLevel(log::Level::Info);
+  return launcher::serveMain(options);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -480,6 +568,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "bench-diff") == 0) {
       return runBenchDiffCommand(argc - 1, argv + 1);
+    }
+    if (std::strcmp(argv[1], "serve") == 0) {
+      return runServeCommand(argc - 1, argv + 1);
     }
     std::fprintf(stderr, "error: unknown subcommand '%s'\n\n", argv[1]);
     printUsage();

@@ -3,8 +3,11 @@
 // creator -> campaign handoff, and the ranked top-K report.
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -383,6 +386,59 @@ TEST(MeasurementCache, WarmReopenServesLoadsWithZeroRecordFileOpens) {
   CacheTelemetry t = cache.telemetry();
   EXPECT_EQ(t.recordFileReads, 0u);
   EXPECT_EQ(t.hits, keys.size());
+  EXPECT_EQ(t.misses, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(MeasurementCache, TwoProcessesAppendOneIntactJournal) {
+  // Two writer processes hammer the same cache directory; the flock around
+  // each index.pack append must keep every journal record whole. If appends
+  // interleaved mid-record the reopen would fall back to per-record file
+  // reads (or drop entries), so the assertions below pin both: every key
+  // loads AND the warm reopen never touches a record file.
+  std::string dir = freshDir("mtcache_flock");
+  constexpr int kKeysPerChild = 200;
+  std::vector<pid_t> children;
+  for (int child = 0; child < 2; ++child) {
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: its own MeasurementCache handle over the shared directory.
+      // A large note pushes each journal record across one write's worth
+      // of internal buffering so torn appends would actually interleave.
+      MeasurementCache cache(dir);
+      std::string padding(4096, 'a' + static_cast<char>(child));
+      for (int i = 0; i < kKeysPerChild; ++i) {
+        VariantResult r =
+            okResult("c" + std::to_string(child) + "_v" + std::to_string(i),
+                     1.0 + i);
+        r.note = padding;
+        cache.store(strings::format("%08x%08x", child, i), r);
+      }
+      std::_Exit(0);  // no gtest teardown in the child
+    }
+    children.push_back(pid);
+  }
+  for (pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "writer child failed";
+  }
+
+  MeasurementCache reopened(dir);
+  for (int child = 0; child < 2; ++child) {
+    for (int i = 0; i < kKeysPerChild; ++i) {
+      std::string key = strings::format("%08x%08x", child, i);
+      std::optional<VariantResult> loaded = reopened.load(key);
+      ASSERT_TRUE(loaded.has_value()) << key;
+      EXPECT_EQ(loaded->name,
+                "c" + std::to_string(child) + "_v" + std::to_string(i));
+    }
+  }
+  CacheTelemetry t = reopened.telemetry();
+  EXPECT_EQ(t.recordFileReads, 0u) << "a torn journal forced record reads";
+  EXPECT_EQ(t.hits, static_cast<std::uint64_t>(2 * kKeysPerChild));
   EXPECT_EQ(t.misses, 0u);
   fs::remove_all(dir);
 }

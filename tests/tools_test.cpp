@@ -389,6 +389,58 @@ TEST_F(ToolsTest, ExploreWritesCampaignCsvAndReportFile) {
   std::remove(reportPath.c_str());
 }
 
+TEST_F(ToolsTest, ServeDaemonShardsExploreWorkerOverUnixSocket) {
+  std::string small =
+      writeTempXml(testing::figure6Xml(1, 2, false), "tools_serve.xml");
+  std::string dir = ::testing::TempDir() + "/tools_serve_" +
+                    std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string addr = "unix:" + dir + "/serve.sock";
+
+  // One shell script drives the whole lifecycle: daemon up, wait for the
+  // ready line, one --connect worker, SIGTERM, drained summary.
+  std::ostringstream script;
+  script << "set -e\n"
+         << "'" << MT_MICROTOOLS_PATH << "' serve --listen '" << addr
+         << "' --cache '" << dir << "/cache' --csv '" << dir
+         << "/campaign.csv' --report '" << dir << "/report.csv' > '" << dir
+         << "/serve.log' 2>&1 &\n"
+         << "pid=$!\n"
+         << "for i in $(seq 1 100); do\n"
+         << "  grep -q 'serve: listening on' '" << dir
+         << "/serve.log' && break\n"
+         << "  sleep 0.1\n"
+         << "done\n"
+         << "'" << MT_MICROTOOLS_PATH << "' explore '" << small
+         << "' --connect '" << addr << "' --worker-name smoke "
+         << "--array-bytes 16384 --inner 1 --outer 3 --max-repetitions 6\n"
+         << "kill -TERM \"$pid\"\n"
+         << "wait \"$pid\"\n"
+         << "cat '" << dir << "/serve.log'\n";
+  std::string scriptPath = dir + "/smoke.sh";
+  std::ofstream(scriptPath) << script.str();
+
+  CommandResult r = run("sh '" + scriptPath + "'");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  // The worker's summary names the daemon instead of a local cache...
+  EXPECT_NE(r.output.find("service: " + addr), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("2 lease(s) measured"), std::string::npos)
+      << r.output;
+  // ...and the daemon drained cleanly with per-worker telemetry.
+  EXPECT_NE(r.output.find("serve: drained; 1 campaign(s) finalized"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("serve: worker smoke:"), std::string::npos)
+      << r.output;
+  std::ifstream report(dir + "/report.csv");
+  ASSERT_TRUE(report.good()) << "daemon wrote no ranked report";
+  std::string reportText((std::istreambuf_iterator<char>(report)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(reportText.find("rank,variant"), std::string::npos) << reportText;
+  std::filesystem::remove_all(dir);
+}
+
 TEST_F(ToolsTest, MicrotoolsUsageAndUnknownSubcommand) {
   CommandResult bare = run(std::string(MT_MICROTOOLS_PATH));
   EXPECT_EQ(bare.exitCode, 2);
