@@ -239,7 +239,12 @@ Program parseAssembly(std::string_view text) {
         program.functionName = label;
       }
       if (program.labels.count(label)) {
-        throw ParseError("duplicate label '" + label + "'", lineNo);
+        std::size_t labelColumn = static_cast<std::size_t>(
+                                      lineText.data() -
+                                      lines[lineNo - 1].data()) +
+                                  1;
+        throw ParseError("duplicate label '" + label + "'", lineNo,
+                         labelColumn);
       }
       program.labels[label] = program.instructions.size();
       continue;

@@ -59,29 +59,38 @@ std::vector<InstrDesc> buildTable() {
 
   // -- SSE floating point ---------------------------------------------------
   add({.mnemonic = "addss", .kind = InstrKind::FpAdd, .memBytes = 4,
-       .isFp = true, .latency = 3, .readsDest = true});
+       .isFp = true, .latency = 3, .readsDest = true,
+       .unit = ExecUnit::FpAdd});
   add({.mnemonic = "addsd", .kind = InstrKind::FpAdd, .memBytes = 8,
-       .isFp = true, .latency = 3, .readsDest = true});
+       .isFp = true, .latency = 3, .readsDest = true,
+       .unit = ExecUnit::FpAdd});
   add({.mnemonic = "addps", .kind = InstrKind::FpAdd, .memBytes = 16,
        .requiresAlignment = true, .isVector = true, .isFp = true,
-       .latency = 3, .readsDest = true});
+       .latency = 3, .readsDest = true, .unit = ExecUnit::FpAdd});
   add({.mnemonic = "addpd", .kind = InstrKind::FpAdd, .memBytes = 16,
        .requiresAlignment = true, .isVector = true, .isFp = true,
-       .latency = 3, .readsDest = true});
+       .latency = 3, .readsDest = true, .unit = ExecUnit::FpAdd});
   add({.mnemonic = "mulss", .kind = InstrKind::FpMul, .memBytes = 4,
-       .isFp = true, .latency = 4, .readsDest = true});
+       .isFp = true, .latency = 4, .readsDest = true,
+       .unit = ExecUnit::FpMul});
   add({.mnemonic = "mulsd", .kind = InstrKind::FpMul, .memBytes = 8,
-       .isFp = true, .latency = 5, .readsDest = true});
+       .isFp = true, .latency = 5, .readsDest = true,
+       .unit = ExecUnit::FpMul});
   add({.mnemonic = "mulps", .kind = InstrKind::FpMul, .memBytes = 16,
        .requiresAlignment = true, .isVector = true, .isFp = true,
-       .latency = 4, .readsDest = true});
+       .latency = 4, .readsDest = true, .unit = ExecUnit::FpMul});
   add({.mnemonic = "mulpd", .kind = InstrKind::FpMul, .memBytes = 16,
        .requiresAlignment = true, .isVector = true, .isFp = true,
-       .latency = 5, .readsDest = true});
+       .latency = 5, .readsDest = true, .unit = ExecUnit::FpMul});
+  // The divider is unpipelined: each micro-op occupies the shared FpMul
+  // port for the full latency (the simulator keeps the port busy for
+  // `latency` cycles).
   add({.mnemonic = "divss", .kind = InstrKind::FpDiv, .memBytes = 4,
-       .isFp = true, .latency = 14, .readsDest = true});
+       .isFp = true, .latency = 14, .readsDest = true,
+       .unit = ExecUnit::FpDiv, .recipThroughput = 14.0});
   add({.mnemonic = "divsd", .kind = InstrKind::FpDiv, .memBytes = 8,
-       .isFp = true, .latency = 22, .readsDest = true});
+       .isFp = true, .latency = 22, .readsDest = true,
+       .unit = ExecUnit::FpDiv, .recipThroughput = 22.0});
   add({.mnemonic = "xorps", .kind = InstrKind::FpLogic, .memBytes = 16,
        .isVector = true, .isFp = true, .latency = 1, .readsDest = true});
   add({.mnemonic = "xorpd", .kind = InstrKind::FpLogic, .memBytes = 16,
@@ -90,10 +99,12 @@ std::vector<InstrDesc> buildTable() {
        .isVector = true, .isFp = true, .latency = 1, .readsDest = true});
 
   // -- control flow ---------------------------------------------------------
-  add({.mnemonic = "jmp", .kind = InstrKind::Jump, .writesDest = false});
+  add({.mnemonic = "jmp", .kind = InstrKind::Jump, .writesDest = false,
+       .unit = ExecUnit::Branch});
   auto branch = [&add](const char* m, Condition c) {
     add({.mnemonic = m, .kind = InstrKind::CondBranch, .condition = c,
-         .writesDest = false, .readsFlags = true});
+         .writesDest = false, .readsFlags = true,
+         .unit = ExecUnit::Branch});
   };
   branch("je", Condition::E);
   branch("jz", Condition::E);
@@ -110,12 +121,28 @@ std::vector<InstrDesc> buildTable() {
   branch("js", Condition::S);
   branch("jns", Condition::NS);
 
-  add({.mnemonic = "ret", .kind = InstrKind::Ret, .writesDest = false});
-  add({.mnemonic = "nop", .kind = InstrKind::Nop, .writesDest = false});
+  // ret ends dispatch without a micro-op; nop consumes a dispatch slot
+  // but never reaches an execution port.
+  add({.mnemonic = "ret", .kind = InstrKind::Ret, .writesDest = false,
+       .unit = ExecUnit::None, .uops = 0});
+  add({.mnemonic = "nop", .kind = InstrKind::Nop, .writesDest = false,
+       .unit = ExecUnit::None, .uops = 0});
   return t;
 }
 
 }  // namespace
+
+std::string_view execUnitName(ExecUnit unit) {
+  switch (unit) {
+    case ExecUnit::None: return "none";
+    case ExecUnit::Alu: return "alu";
+    case ExecUnit::FpAdd: return "fp-add";
+    case ExecUnit::FpMul: return "fp-mul";
+    case ExecUnit::FpDiv: return "fp-div";
+    case ExecUnit::Branch: return "branch";
+  }
+  return "unknown";
+}
 
 const std::vector<InstrDesc>& instructionTable() {
   static const std::vector<InstrDesc> table = buildTable();

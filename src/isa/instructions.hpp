@@ -27,6 +27,21 @@ enum class InstrKind : std::uint8_t {
   Nop,
 };
 
+/// Execution-port class of an instruction's compute micro-op, mirroring
+/// the simulator's port model: loads and stores are split into separate
+/// micro-ops by operand shape (not by mnemonic), and the FP divider shares
+/// the FP multiply port.
+enum class ExecUnit : std::uint8_t {
+  None,    ///< no compute micro-op (ret, nop)
+  Alu,     ///< integer ALU / move / lea / compare / vector logic
+  FpAdd,
+  FpMul,
+  FpDiv,   ///< issues on the FpMul port, occupies it for `latency` cycles
+  Branch,
+};
+
+std::string_view execUnitName(ExecUnit unit);
+
 /// Branch condition codes for the jcc family.
 enum class Condition : std::uint8_t {
   None,  // not a conditional branch
@@ -59,6 +74,21 @@ struct InstrDesc {
   bool writesDest = true;      // destination operand is written
   bool writesFlags = false;    // updates the status flags (SF/ZF/OF/CF)
   bool readsFlags = false;     // consumes the status flags (jcc family)
+
+  // -- port-level cost metadata (static performance analysis) ---------------
+  // Describes the compute micro-op that remains after the operand-driven
+  // load/store split (memory micro-ops are derived from the operands, not
+  // stored here). `unit` is the execution-port class, `uops` the number of
+  // compute micro-ops (0 for dispatch-slot-only instructions like nop),
+  // and `recipThroughput` the cycles each micro-op occupies its port (1.0
+  // for fully pipelined units; the unpipelined divider blocks the shared
+  // FP multiply port for its full latency). `unmodeled` flags entries whose
+  // cost metadata is not trustworthy: the cost model declines to predict
+  // and warns once instead of guessing.
+  ExecUnit unit = ExecUnit::Alu;
+  int uops = 1;                // compute micro-ops dispatched
+  double recipThroughput = 1.0;  // port occupancy per micro-op, in cycles
+  bool unmodeled = false;      // metadata incomplete: skip cost predictions
 };
 
 /// Looks up a mnemonic, accepting AT&T size suffixes for the suffixable

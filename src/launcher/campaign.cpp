@@ -212,10 +212,23 @@ VariantResult CampaignRunner::runOne(Backend& backend,
     };
   }
 
+  // Stability-directed screening: the override caps both the protocol's
+  // outer repetitions and the adaptive budget for this variant. explore's
+  // cacheKey() applies the same cap, so the entry is keyed by the protocol
+  // that actually ran.
+  ProtocolOptions protocol = options_.protocol;
+  int maxRepetitions = options_.maxRepetitions;
+  if (options_.repOverride) {
+    int cap = options_.repOverride(variant);
+    if (cap > 0) {
+      protocol.outerRepetitions = std::min(protocol.outerRepetitions, cap);
+      maxRepetitions = std::min(maxRepetitions, cap);
+    }
+  }
+
   AdaptivePolicy policy;
   policy.maxCv = options_.maxCv;
-  policy.maxRepetitions =
-      std::max(options_.maxRepetitions, options_.protocol.outerRepetitions);
+  policy.maxRepetitions = std::max(maxRepetitions, protocol.outerRepetitions);
 
   for (int attempt = 1; attempt <= 2; ++attempt) {
     result.attempts = attempt;
@@ -225,7 +238,7 @@ VariantResult CampaignRunner::runOne(Backend& backend,
           backend.loadSource(variant.kind, variant.source,
                              variant.functionName);
       AdaptiveMeasurement am = measureKernelAdaptive(
-          backend, *kernel, request, options_.protocol, policy, outOfTime);
+          backend, *kernel, request, protocol, policy, outOfTime);
       result.measurement = am.measurement;
       result.repetitions = am.repetitions;
       result.finalCv = am.measurement.cyclesPerIteration.cv;
@@ -269,6 +282,12 @@ bool CampaignRunner::resolveUpfront(const CampaignVariant& variant,
     r.note = "already completed in resumed CSV";
     return true;  // its row already exists in the file being resumed
   }
+  // Static prediction annotates every row this run appends (strict skips,
+  // cache hits, fresh measurements). Cache hits get theirs recomputed here
+  // because predictions never enter the measurement cache.
+  auto annotate = [&](VariantResult& row) {
+    if (options_.predict) options_.predict(variant, row);
+  };
   std::string verdict;
   if (options_.verify != VerifyMode::Off && variant.kind == "asm") {
     verify::VerifyReport report =
@@ -286,6 +305,7 @@ bool CampaignRunner::resolveUpfront(const CampaignVariant& variant,
         r.verify = verdict;
         r.error = "static verification failed: " + detail;
         r.note = "skipped by --verify=strict";
+        annotate(r);
         log::warn("variant '" + r.name + "' skipped by verification: " +
                   verdict);
         if (options_.rowObserver) options_.rowObserver(variant, r);
@@ -302,6 +322,7 @@ bool CampaignRunner::resolveUpfront(const CampaignVariant& variant,
     r.name = variant.name;
     r.cached = true;
     r.verify = verdict;
+    annotate(r);
     if (options_.rowObserver) options_.rowObserver(variant, r);
     if (sink) sink->append(r);
     return true;
@@ -311,6 +332,7 @@ bool CampaignRunner::resolveUpfront(const CampaignVariant& variant,
   r.round = options_.round;
   r.name = variant.name;
   r.verify = std::move(verdict);
+  annotate(r);
   return false;
 }
 
@@ -360,10 +382,17 @@ std::vector<VariantResult> CampaignRunner::run(
                                  const CampaignVariant& prepared) {
     KernelRequest workerRequest = request;
     if (options_.pinWorkers) workerRequest.core = worker;
+    // Pre-flight annotations (verify verdict, static prediction) were
+    // resolved upfront on the campaign thread; carry them across runOne's
+    // fresh result.
     std::string verdict = std::move(results[i].verify);
+    double predCpiLo = results[i].predCpiLo;
+    std::string predBound = std::move(results[i].predBound);
     results[i] = runOne(*backends[static_cast<std::size_t>(worker)], prepared,
                         i, workerRequest);
     results[i].verify = std::move(verdict);
+    results[i].predCpiLo = predCpiLo;
+    results[i].predBound = std::move(predBound);
     measured[i] = 1;
     if (results[i].status == "ok" && options_.cacheStore) {
       options_.cacheStore(variants[i], results[i]);
@@ -493,11 +522,15 @@ std::vector<VariantResult> CampaignRunner::run(
   for (std::size_t i : pending) {
     if (measured[i]) continue;
     std::string verdict = std::move(results[i].verify);
+    double predCpiLo = results[i].predCpiLo;
+    std::string predBound = std::move(results[i].predBound);
     results[i] = VariantResult{};
     results[i].sequence = i;
     results[i].round = options_.round;
     results[i].name = variants[i].name;
     results[i].verify = std::move(verdict);
+    results[i].predCpiLo = predCpiLo;
+    results[i].predBound = std::move(predBound);
     results[i].status = "error";
     results[i].error = "never measured: compile pipeline aborted";
     if (options_.rowObserver) options_.rowObserver(variants[i], results[i]);
@@ -546,6 +579,8 @@ std::vector<VariantResult> CampaignRunner::runStream(
       backend = slot.get();
     }
     std::string verdict = std::move(results[i].verify);
+    double predCpiLo = results[i].predCpiLo;
+    std::string predBound = std::move(results[i].predBound);
     if (backend == nullptr) {
       results[i] = VariantResult{};
       results[i].sequence = i;
@@ -559,6 +594,8 @@ std::vector<VariantResult> CampaignRunner::runStream(
       results[i] = runOne(*backend, variants[i], i, workerRequest);
     }
     results[i].verify = std::move(verdict);
+    results[i].predCpiLo = predCpiLo;
+    results[i].predBound = std::move(predBound);
     if (results[i].status == "ok" && options_.cacheStore) {
       options_.cacheStore(variants[i], results[i]);
     }
@@ -607,7 +644,10 @@ std::vector<std::string> CampaignRunner::csvHeader() {
           "verify",
           "error",
           "cached",
-          "note"};
+          "note",
+          "pred_cpi_lo",
+          "pred_bound",
+          "pred_err"};
 }
 
 std::vector<std::string> CampaignRunner::csvRow(const VariantResult& r) {
@@ -646,6 +686,18 @@ std::vector<std::string> CampaignRunner::csvRow(const VariantResult& r) {
   cells.push_back(r.error);
   cells.push_back(r.cached ? "1" : "0");
   cells.push_back(r.note);
+  // Static cost-model columns: the prediction is independent of measurement
+  // status, so even error/skipped rows keep their bound. pred_err is the
+  // relative gap of the measured best over the static lower bound,
+  // (min - pred) / pred — available only when both sides exist.
+  metricCell(r.predCpiLo, "%.4f");
+  cells.push_back(r.predBound);
+  double predErr = std::numeric_limits<double>::quiet_NaN();
+  if (r.status == "ok" && std::isfinite(r.predCpiLo) && r.predCpiLo > 0.0) {
+    predErr =
+        (r.measurement.cyclesPerIteration.min - r.predCpiLo) / r.predCpiLo;
+  }
+  metricCell(predErr, "%.4f");
   return cells;
 }
 

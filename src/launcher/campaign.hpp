@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -45,6 +46,14 @@ struct VariantResult {
   bool cached = false;        ///< served from the measurement cache
   std::string note;           ///< diagnostic annotation (degenerate CV, resume)
   std::string verify;  ///< pre-flight verdict ("ok", "E:.../W:...", or "")
+
+  /// Static cost-model annotation (CampaignOptions::predict): lower bound on
+  /// cycles/iteration and the binding constraint ("frontend", "latency", or
+  /// a port pool). NaN/"" when no predictor ran or the kernel's shape is
+  /// outside the model. Recomputed per run — never stored in the
+  /// measurement cache, so cached rows pick up model improvements for free.
+  double predCpiLo = std::numeric_limits<double>::quiet_NaN();
+  std::string predBound;
 };
 
 /// Pre-measurement hook: return true and fill `out` to satisfy a variant
@@ -56,6 +65,19 @@ using CacheLookup =
 /// Post-measurement hook: persist a completed (status == "ok") result.
 using CacheStore = std::function<void(const CampaignVariant& variant,
                                       const VariantResult& result)>;
+
+/// Static-prediction hook: annotate `out` (predCpiLo/predBound) for a
+/// variant. Called once per variant on the campaign thread before any
+/// measurement or cache decision, on every path that appends a row.
+using Predictor =
+    std::function<void(const CampaignVariant& variant, VariantResult& out)>;
+
+/// Per-variant screening-repetition override: returns a cap applied to both
+/// the protocol's outer repetitions and the adaptive budget for this
+/// variant, or 0 to keep the campaign protocol untouched. The measurement
+/// cache key incorporates the effective (capped) protocol, so overridden
+/// rows never alias full-fidelity entries.
+using RepetitionOverride = std::function<int(const CampaignVariant& variant)>;
 
 /// Row hook: fires once per terminal row exactly where the CSV sink would
 /// append it (cache hits, verify-strict skips, measured rows, pipeline
@@ -105,6 +127,11 @@ struct CampaignOptions {
   CacheLookup cacheLookup;     ///< pre-measurement cache probe (optional)
   CacheStore cacheStore;       ///< post-measurement cache write (optional)
   RowObserver rowObserver;     ///< per-terminal-row hook (optional)
+  Predictor predict;           ///< static cost-model annotation (optional)
+
+  /// Per-variant repetition cap for stability-directed screening
+  /// (optional). Applied inside runOne and inside explore's cacheKey.
+  RepetitionOverride repOverride;
 
   /// Stamped onto every VariantResult (and its CSV row) this run produces.
   /// The successive-halving planner runs one campaign per round and bumps

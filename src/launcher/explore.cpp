@@ -9,6 +9,7 @@
 
 #include "creator/creator.hpp"
 #include "launcher/arch_registry.hpp"
+#include "launcher/predict.hpp"
 #include "launcher/remote_store.hpp"
 #include "launcher/sim_backend.hpp"
 #include "support/error.hpp"
@@ -33,11 +34,23 @@ std::string cacheKey(const CampaignVariant& variant,
   // the same program gets the same key whether it arrived in memory from
   // MicroCreator or from a .s file written to a campaign directory.
   h.str(variant.kind).str(variant.functionName).str(variant.source);
-  // How it is measured.
+  // How it is measured. A per-variant repetition override changes what
+  // actually runs, so the key hashes the EFFECTIVE protocol — a
+  // stability-capped screening row can never serve (or be served by) a
+  // full-fidelity probe of the same variant.
   const ProtocolOptions& p = options.protocol;
-  h.i64(p.innerRepetitions).i64(p.outerRepetitions);
+  int outerRepetitions = p.outerRepetitions;
+  int maxRepetitions = options.maxRepetitions;
+  if (options.repOverride) {
+    int cap = options.repOverride(variant);
+    if (cap > 0) {
+      outerRepetitions = std::min(outerRepetitions, cap);
+      maxRepetitions = std::min(maxRepetitions, cap);
+    }
+  }
+  h.i64(p.innerRepetitions).i64(outerRepetitions);
   h.boolean(p.warmup).boolean(p.subtractOverhead);
-  h.f64(options.maxCv).i64(options.maxRepetitions);
+  h.f64(options.maxCv).i64(maxRepetitions);
   // Where it runs. request.core is excluded on purpose: campaign workers
   // pin to different cores, and per-core keys would fragment the cache.
   h.str(backendId);
@@ -112,10 +125,14 @@ CacheBinder makeCacheBinder(std::shared_ptr<MeasurementCache> cache,
                             const std::string& backendId,
                             const KernelRequest& request) {
   return [cache, backendId, request](CampaignOptions& roundOptions) {
-    // Key fields only — the hook-free copy avoids self-capture.
+    // Key fields only — the hook-free copy avoids self-capture. repOverride
+    // stays: cacheKey() folds the per-variant cap into the effective
+    // protocol it hashes.
     CampaignOptions keyOptions = roundOptions;
     keyOptions.cacheLookup = nullptr;
     keyOptions.cacheStore = nullptr;
+    keyOptions.rowObserver = nullptr;
+    keyOptions.predict = nullptr;
     keyOptions.completed.clear();
     roundOptions.cacheLookup = [cache, keyOptions, backendId, request](
                                    const CampaignVariant& v,
@@ -132,6 +149,14 @@ CacheBinder makeCacheBinder(std::shared_ptr<MeasurementCache> cache,
       cache->store(cacheKey(v, keyOptions, backendId, request), result);
     };
   };
+}
+
+/// Builds the run's StaticAnnotator (nullptr when prediction is off); see
+/// launcher/predict.hpp for what it feeds.
+std::shared_ptr<StaticAnnotator> makeAnnotator(const ExploreOptions& options,
+                                               const KernelRequest& request) {
+  if (!options.predict) return nullptr;
+  return makeStaticAnnotator(options.arch, request);
 }
 
 void tallyFullSweep(ExploreResult& out) {
@@ -308,6 +333,7 @@ ExploreResult runExplore(const ExploreOptions& options,
     out.request = request;
 
     CampaignOptions campaign = options.campaign;
+    installPredict(campaign, makeAnnotator(options, request));
     if (cache) makeCacheBinder(cache, backendId, request)(campaign);
     CampaignRunner runner(std::move(factory), campaign);
     std::size_t streamed = 0;
@@ -359,6 +385,8 @@ ExploreResult runExplore(const ExploreOptions& options,
   CacheBinder bindCache;
   if (cache) bindCache = makeCacheBinder(cache, backendId, request);
 
+  std::shared_ptr<StaticAnnotator> annotator = makeAnnotator(options, request);
+
   out.generated = programs.size();
   out.request = request;
 
@@ -368,6 +396,7 @@ ExploreResult runExplore(const ExploreOptions& options,
     // every variant before its pool starts, so a worker at its lease cap
     // would sleep in `defer` with nothing draining its queue.
     CampaignOptions campaign = options.campaign;
+    installPredict(campaign, annotator);
     RemoteOptions remote;
     remote.worker = options.workerName;
     remote.jobs = campaign.jobs;
@@ -393,9 +422,12 @@ ExploreResult runExplore(const ExploreOptions& options,
   }
 
   if (options.search == SearchMode::Halving) {
-    PlannerResult planned =
-        runSuccessiveHalving(variants, request, factory, options.campaign,
-                             options.planner, bindCache, sink);
+    CampaignOptions campaign = options.campaign;
+    PlannerOptions planner = options.planner;
+    installPredict(campaign, annotator);
+    installPlannerHooks(planner, annotator);
+    PlannerResult planned = runSuccessiveHalving(
+        variants, request, factory, campaign, planner, bindCache, sink);
     out.results = std::move(planned.results);
     out.rounds = std::move(planned.rounds);
     out.budgetExhausted = planned.budgetExhausted;
@@ -411,6 +443,7 @@ ExploreResult runExplore(const ExploreOptions& options,
   }
 
   CampaignOptions campaign = options.campaign;
+  installPredict(campaign, annotator);
   if (bindCache) bindCache(campaign);
   CampaignRunner runner(std::move(factory), campaign);
   out.results = runner.run(variants, request, sink);

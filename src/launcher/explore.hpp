@@ -67,6 +67,16 @@ struct ExploreOptions {
   /// exists to prove that, and to debug the fast path when it isn't.
   bool simExact = false;
 
+  /// Static cost-model integration (`--no-predict` turns it off). When on,
+  /// every asm variant is annotated with the port-level cycles/iteration
+  /// lower bound (CSV columns pred_cpi_lo/pred_bound/pred_err, priced
+  /// against `arch`), the halving planner seeds its screening round in
+  /// predicted order, and provably-stable variants screen with
+  /// planner.stableScreenRepetitions instead of planner.screenRepetitions.
+  /// Predictions are recomputed per run and never cached; measured values
+  /// are never altered.
+  bool predict = true;
+
   /// How the variant space is walked: Full sweeps everything at the
   /// baseline protocol (the paper's pipeline); Halving runs the
   /// successive-halving planner (screen cheap, keep the best half, double

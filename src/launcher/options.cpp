@@ -120,6 +120,15 @@ cli::Parser makeLauncherParser() {
                 "Campaign halving: outer repetitions of the round-0 "
                 "screening pass",
                 1);
+  parser.addInt("stable-screen-reps",
+                "Campaign halving: screening repetitions for variants the "
+                "static stability analysis proves tight; only applies when "
+                "below --screen-reps",
+                1);
+  parser.addFlag("no-predict",
+                 "Disable the static cost model: no pred_cpi_lo/pred_bound "
+                 "CSV columns, no predicted screening order, no "
+                 "stability-reduced screening repetitions");
   parser.addString("connect",
                    "Campaign: shard against a `microtools serve` daemon at "
                    "host:port or unix:/path — the daemon owns the "
@@ -196,6 +205,9 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   o.searchMode = parser.getString("search");
   if (parser.has("budget")) o.budget = parser.getString("budget");
   o.screenRepetitions = static_cast<int>(parser.getInt("screen-reps"));
+  o.stableScreenRepetitions =
+      static_cast<int>(parser.getInt("stable-screen-reps"));
+  o.predict = !parser.getFlag("no-predict");
   if (parser.has("connect")) o.connectAddr = parser.getString("connect");
   if (parser.has("worker-name")) o.workerName = parser.getString("worker-name");
   o.backend = parser.getString("backend");
@@ -240,6 +252,9 @@ LauncherOptions optionsFromParser(const cli::Parser& parser) {
   }
   if (o.screenRepetitions < 1) {
     throw ParseError("--screen-reps must be >= 1");
+  }
+  if (o.stableScreenRepetitions < 1) {
+    throw ParseError("--stable-screen-reps must be >= 1");
   }
   return o;
 }

@@ -77,6 +77,9 @@ struct LauncherOptions {
   std::string searchMode = "full";    ///< variant walk: full|halving
   std::string budget;          ///< halving budget: "<seconds>s" or variants
   int screenRepetitions = 1;   ///< halving round-0 screening outer reps
+  int stableScreenRepetitions = 1;  ///< screening reps for provably-stable
+                                    ///< variants (--stable-screen-reps)
+  bool predict = true;         ///< static cost-model annotation/ordering
   std::string connectAddr;     ///< serve daemon address ("" = standalone)
   std::string workerName;      ///< telemetry name at the daemon ("": pid)
 

@@ -127,6 +127,8 @@ std::map<std::string, VariantResult> readRoundResults(
   std::ptrdiff_t convergedCol = columnOf(header, "converged");
   std::ptrdiff_t cachedCol = columnOf(header, "cached");
   std::ptrdiff_t errorCol = columnOf(header, "error");
+  std::ptrdiff_t predCpiCol = columnOf(header, "pred_cpi_lo");
+  std::ptrdiff_t predBoundCol = columnOf(header, "pred_bound");
   if (seqCol < 0 || roundCol < 0 || nameCol < 0 || statusCol < 0) return rows;
 
   auto cell = [](const std::vector<std::string>& cells, std::ptrdiff_t col) {
@@ -172,6 +174,10 @@ std::map<std::string, VariantResult> readRoundResults(
     }
     r.converged = cell(cells, convergedCol) == "1";
     r.cached = cell(cells, cachedCol) == "1";
+    // Static cost-model columns are optional (older CSVs lack them);
+    // backfilled rows keep whatever the interrupted run predicted.
+    r.predCpiLo = numeric(cells, predCpiCol);
+    r.predBound = cell(cells, predBoundCol);
     rows[r.name] = std::move(r);
   }
   return rows;
@@ -209,6 +215,26 @@ PlannerResult runSuccessiveHalving(const std::vector<CampaignVariant>& variants,
 
   PlannerResult out;
   std::vector<CampaignVariant> survivors = variants;
+  if (planner.predictedCpi) {
+    // Seed the screening round in ascending predicted cycles/iteration
+    // (NaN-unboundable variants last, original order preserved within
+    // ties). Ranking past round 0 is measured, so this only decides which
+    // variants a --budget truncation drops: the predicted-slow tail.
+    std::vector<double> predicted(survivors.size());
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      predicted[i] = planner.predictedCpi(survivors[i]);
+    }
+    std::vector<std::size_t> order(survivors.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&predicted](std::size_t a, std::size_t b) {
+                       return stats::nanLastLess(predicted[a], predicted[b]);
+                     });
+    std::vector<CampaignVariant> seeded;
+    seeded.reserve(order.size());
+    for (std::size_t idx : order) seeded.push_back(survivors[idx]);
+    survivors = std::move(seeded);
+  }
   long long freshMeasured = 0;  // fresh variant measurements, all rounds
   int budget = planner.screenRepetitions;
   int round = 0;
@@ -235,6 +261,21 @@ PlannerResult runSuccessiveHalving(const std::vector<CampaignVariant>& variants,
       roundOptions.maxRepetitions = budget;
     }
     roundOptions.round = round;
+    if (round == 0 && !finalRound && planner.stable &&
+        planner.stableScreenRepetitions >= 1 &&
+        planner.stableScreenRepetitions <
+            roundOptions.protocol.outerRepetitions) {
+      // Stability-directed screening: provably-stable variants need fewer
+      // repetitions to produce the same median, so round 0 caps them at
+      // stableScreenRepetitions. Installed before bindCache so the cache
+      // key hashes the effective (capped) protocol — a stable variant's
+      // screening row must never alias an uncapped entry.
+      roundOptions.repOverride = [stable = planner.stable,
+                                  cap = planner.stableScreenRepetitions](
+                                     const CampaignVariant& v) {
+        return stable(v) ? cap : 0;
+      };
+    }
     if (!planner.resumeCsv.empty()) {
       roundOptions.completed = readCompletedVariants(planner.resumeCsv, round);
     }

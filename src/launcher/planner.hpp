@@ -66,6 +66,27 @@ struct PlannerOptions {
 
   Budget budget;  ///< stop-with-best-so-far contract (see Budget)
 
+  /// Static cost-model hooks (optional; `explore --no-predict` leaves them
+  /// empty). `predictedCpi` returns the port-level cycles/iteration lower
+  /// bound of a variant (NaN when the analyzer cannot bound it); when set,
+  /// the round-0 screening pass measures variants in ascending predicted
+  /// order, so a variant budget truncates the *predicted-slow* tail instead
+  /// of an arbitrary suffix. Later rounds keep measured rank order.
+  std::function<double(const CampaignVariant&)> predictedCpi;
+
+  /// Returns true when the μOpTime-style stability analysis proves a
+  /// variant's measurement distribution is tight (regular single-block
+  /// loop, L1-resident footprint, no loop-carried load dependence). Stable
+  /// variants screen with `stableScreenRepetitions` outer reps in round 0
+  /// instead of `screenRepetitions` — their median does not move, so the
+  /// extra repetitions are pure waste. Unstable variants are untouched, and
+  /// every round past screening runs the full schedule regardless.
+  std::function<bool(const CampaignVariant&)> stable;
+
+  /// Round-0 repetition cap for provably-stable variants (see `stable`).
+  /// Only applies when it is an actual reduction over screenRepetitions.
+  int stableScreenRepetitions = 1;
+
   /// Path of a previously interrupted halving CSV. Rows already terminal
   /// for a round are not re-measured: the campaign skips them and the
   /// planner backfills their metrics from the CSV so ranking still works.

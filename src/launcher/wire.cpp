@@ -1,5 +1,6 @@
 #include "launcher/wire.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <vector>
 
@@ -162,6 +163,13 @@ std::string encodeResult(const VariantResult& r) {
     oss << "pc_llc_miss_rate " << fmtDouble(c.llcMissRate) << '\n';
     oss << "pc_stall_ratio " << fmtDouble(c.stallRatio) << '\n';
   }
+  // Static cost-model annotation: optional keys, so daemons and workers of
+  // mixed versions interoperate (decoders ignore unknown keys and tolerate
+  // absent ones).
+  if (std::isfinite(r.predCpiLo)) {
+    oss << "pred_cpi_lo " << fmtDouble(r.predCpiLo) << '\n';
+    oss << "pred_bound " << strings::escapeLineBreaks(r.predBound) << '\n';
+  }
   return oss.str();
 }
 
@@ -242,6 +250,12 @@ VariantResult decodeResult(const std::string& text) {
     c.l1MissRate = getDouble("pc_l1_miss_rate");
     c.llcMissRate = getDouble("pc_llc_miss_rate");
     c.stallRatio = getDouble("pc_stall_ratio");
+  }
+  if (fields.count("pred_cpi_lo")) {
+    r.predCpiLo = getDouble("pred_cpi_lo");
+    if (fields.count("pred_bound")) {
+      r.predBound = strings::unescapeLineBreaks(getStr("pred_bound"));
+    }
   }
   return r;
 }

@@ -14,6 +14,7 @@
 #include "launcher/launcher.hpp"
 #include "launcher/options.hpp"
 #include "launcher/planner.hpp"
+#include "launcher/predict.hpp"
 #include "launcher/remote_store.hpp"
 #include "launcher/sim_backend.hpp"
 #include "native/affinity.hpp"
@@ -125,6 +126,15 @@ int runCampaign(const LauncherOptions& options) {
   // over one. The simulator pins inside its own machine model instead.
   campaign.pinWorkers = options.backend == "native";
 
+  // Static cost-model annotation (pred_cpi_lo/pred_bound/pred_err CSV
+  // columns), priced against --arch; --no-predict turns it off.
+  std::shared_ptr<launcher::StaticAnnotator> annotator;
+  if (options.predict) {
+    annotator =
+        launcher::makeStaticAnnotator(options.arch, options.toRequest());
+  }
+  launcher::installPredict(campaign, annotator);
+
   bool halving = options.searchMode == "halving";
   if (!options.connectAddr.empty() && halving) {
     throw McError(
@@ -204,8 +214,10 @@ int runCampaign(const LauncherOptions& options) {
   } else if (halving) {
     launcher::PlannerOptions planner;
     planner.screenRepetitions = options.screenRepetitions;
+    planner.stableScreenRepetitions = options.stableScreenRepetitions;
     planner.budget = launcher::parseBudget(options.budget);
     if (!options.csvOutput.empty()) planner.resumeCsv = options.csvOutput;
+    launcher::installPlannerHooks(planner, annotator);
     launcher::PlannerResult planned = launcher::runSuccessiveHalving(
         variants, options.toRequest(), factory, campaign, planner,
         /*bindCache=*/nullptr, sink.get());

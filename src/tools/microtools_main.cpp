@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "creator/creator.hpp"
+#include "launcher/arch_registry.hpp"
 #include "launcher/bench_diff.hpp"
 #include "launcher/explore.hpp"
 #include "launcher/serve.hpp"
@@ -23,6 +24,8 @@
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
+#include "verify/costmodel.hpp"
+#include "verify/stability.hpp"
 #include "verify/verify.hpp"
 
 using namespace microtools;
@@ -41,6 +44,11 @@ void printUsage() {
       "            variant generated from an XML description) against the\n"
       "            MT-* rule catalog without executing anything (use\n"
       "            `microtools lint --help` for options)\n"
+      "  analyze   statically predict each kernel's cycles/iteration lower\n"
+      "            bound from the port-level cost model (frontend, port\n"
+      "            pressure, dependence recurrence) plus its stability\n"
+      "            verdict, without executing anything (use `microtools\n"
+      "            analyze --help` for options)\n"
       "  bench-diff  compare two campaign CSV files variant by variant with\n"
       "            a noise-aware regression threshold; exits nonzero when a\n"
       "            regression exceeds the combined measurement noise (use\n"
@@ -122,6 +130,16 @@ cli::Parser makeExploreParser() {
   parser.addInt("screen-reps",
                 "Halving: outer repetitions of the round-0 screening pass",
                 1);
+  parser.addInt("stable-screen-reps",
+                "Halving: screening repetitions for variants the static "
+                "stability analysis proves tight (regular L1-resident loop, "
+                "no loop-carried load); only applies when below "
+                "--screen-reps",
+                1);
+  parser.addFlag("no-predict",
+                 "Disable the static cost model: no pred_cpi_lo/pred_bound "
+                 "CSV columns, no predicted screening order, no "
+                 "stability-reduced screening repetitions");
   parser.addString("cache", "Measurement cache directory",
                    ".microtools-cache");
   parser.addFlag("no-cache", "Disable the measurement cache");
@@ -221,6 +239,9 @@ int runExploreCommand(int argc, char** argv) {
   }
   options.planner.screenRepetitions =
       static_cast<int>(parser.getInt("screen-reps"));
+  options.planner.stableScreenRepetitions =
+      static_cast<int>(parser.getInt("stable-screen-reps"));
+  options.predict = !parser.getFlag("no-predict");
   if (parser.has("connect")) {
     options.connectAddr = parser.getString("connect");
     if (parser.has("worker-name")) {
@@ -441,6 +462,184 @@ int runLintCommand(int argc, char** argv) {
   return totalErrors == 0 ? 0 : 1;
 }
 
+cli::Parser makeAnalyzeParser() {
+  cli::Parser parser(
+      "microtools analyze",
+      "Statically predicts each kernel's steady-state cycles/iteration "
+      "lower bound from the port-level cost model: the dispatch-width "
+      "(frontend), port-pressure (throughput) and dependence-recurrence "
+      "(latency) bounds, the binding resource, and the muOpTime-style "
+      "stability verdict the halving planner uses to cut screening "
+      "repetitions. Inputs are .s files, or .xml descriptions whose "
+      "generated variants are each analyzed. Nothing is assembled or "
+      "executed. Exits 0 when every unit got a valid bound, 1 otherwise.");
+  parser.addString("input", "Kernel assembly (.s) or description (.xml); "
+                            "extra positional paths are analyzed too");
+  parser.addString("arch",
+                   "Machine whose port geometry and L1 size the bounds are "
+                   "priced against (see microlauncher --list-arch)",
+                   "nehalem_x5650_2s");
+  parser.addInt("nbvectors",
+                "Arrays passed to the kernel (0 = derive from the generated "
+                "program; bare .s files then score fits_l1 as unknown)",
+                0);
+  parser.addInt("array-bytes", "Size of each array in bytes", 1 << 20);
+  parser.addFlag("json", "Emit one JSON object per analyzed unit "
+                         "(JSON lines)");
+  parser.addFlag("verbose", "Enable info logging");
+  return parser;
+}
+
+std::string analyzeJsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strings::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int runAnalyzeCommand(int argc, char** argv) {
+  cli::Parser parser = makeAnalyzeParser();
+  if (!parser.parse(argc, argv)) return 0;  // --help handled
+
+  std::vector<std::string> inputs = parser.positional();
+  if (parser.has("input")) {
+    inputs.insert(inputs.begin(), parser.getString("input"));
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "error: no input (.s or .xml) to analyze "
+                         "(see --help)\n");
+    return 2;
+  }
+  if (parser.getFlag("verbose")) log::setLevel(log::Level::Info);
+
+  bool json = parser.getFlag("json");
+  auto arrayBytes = static_cast<std::uint64_t>(parser.getInt("array-bytes"));
+  int nbVectors = static_cast<int>(parser.getInt("nbvectors"));
+  verify::CoreModel model = verify::coreModelFromMachine(
+      launcher::archByName(parser.getString("arch")).config);
+
+  std::size_t totalUnits = 0;
+  std::size_t unbounded = 0;  // units without a valid prediction
+  bool headerPrinted = false;
+
+  auto analyzeUnit = [&](const std::string& label, const std::string& asmText,
+                         int arrayCount) {
+    ++totalUnits;
+    verify::CyclePrediction p = verify::predictAssembly(asmText, model);
+    verify::StabilityOptions geometry;
+    if (arrayCount > 0) {
+      geometry.footprintBytes =
+          static_cast<std::uint64_t>(arrayCount) * arrayBytes;
+    }
+    verify::StabilityReport s =
+        verify::analyzeStability(asmText, model, geometry);
+    if (!p.valid) ++unbounded;
+
+    if (json) {
+      std::ostringstream out;
+      out << "{\"source\":\"" << analyzeJsonEscape(label) << "\"";
+      if (p.valid) {
+        out << ",\"pred_cpi_lo\":" << strings::format("%.6g", p.cyclesLowerBound())
+            << ",\"bound\":\"" << analyzeJsonEscape(p.binding) << "\""
+            << ",\"frontend_bound\":" << strings::format("%.6g", p.frontendBound)
+            << ",\"throughput_bound\":"
+            << strings::format("%.6g", p.throughputBound)
+            << ",\"latency_bound\":" << strings::format("%.6g", p.latencyBound)
+            << ",\"load_carried\":" << (p.loadCarried ? "true" : "false");
+        out << ",\"ports\":[";
+        for (std::size_t i = 0; i < p.pressure.size(); ++i) {
+          const verify::PortPressure& port = p.pressure[i];
+          out << (i ? "," : "") << "{\"unit\":\""
+              << analyzeJsonEscape(port.unit) << "\",\"occupancy\":"
+              << strings::format("%.6g", port.occupancy)
+              << ",\"ports\":" << port.ports
+              << ",\"bound\":" << strings::format("%.6g", port.bound()) << "}";
+        }
+        out << "]";
+      } else {
+        out << ",\"pred_cpi_lo\":null";
+      }
+      out << ",\"stability\":{\"regular_loop\":"
+          << (s.regularLoop ? "true" : "false")
+          << ",\"fits_l1\":" << (s.fitsL1 ? "true" : "false")
+          << ",\"steady_dependences\":"
+          << (s.steadyDependences ? "true" : "false")
+          << ",\"score\":" << strings::format("%.6g", s.score())
+          << ",\"stable\":" << (s.stable() ? "true" : "false") << "}";
+      out << ",\"warnings\":[";
+      for (std::size_t i = 0; i < p.warnings.size(); ++i) {
+        out << (i ? "," : "") << "\"" << analyzeJsonEscape(p.warnings[i])
+            << "\"";
+      }
+      out << "]}\n";
+      std::fputs(out.str().c_str(), stdout);
+      return;
+    }
+
+    if (!headerPrinted) {
+      std::printf("%-42s %9s %-10s %8s %8s %8s %6s\n", "unit", "pred_cpi",
+                  "bound", "frontend", "port", "latency", "stable");
+      headerPrinted = true;
+    }
+    if (p.valid) {
+      std::printf("%-42s %9.4f %-10s %8.4f %8.4f %8.4f %3d/3\n",
+                  label.c_str(), p.cyclesLowerBound(), p.binding.c_str(),
+                  p.frontendBound, p.throughputBound, p.latencyBound,
+                  static_cast<int>(s.regularLoop) +
+                      static_cast<int>(s.fitsL1) +
+                      static_cast<int>(s.steadyDependences));
+    } else {
+      std::printf("%-42s %9s %-10s %8s %8s %8s %3d/3\n", label.c_str(), "-",
+                  "-", "-", "-", "-",
+                  static_cast<int>(s.regularLoop) +
+                      static_cast<int>(s.fitsL1) +
+                      static_cast<int>(s.steadyDependences));
+    }
+    for (const std::string& warning : p.warnings) {
+      std::printf("  warning: %s\n", warning.c_str());
+    }
+  };
+
+  for (const std::string& path : inputs) {
+    if (strings::endsWith(path, ".xml")) {
+      // Analyze the variants explore would measure: the pipeline's own
+      // Verification pass stays on, so the unit set matches the campaign.
+      creator::MicroCreator creator;
+      std::vector<creator::GeneratedProgram> programs =
+          creator.generateFromFile(path);
+      for (const creator::GeneratedProgram& p : programs) {
+        int arrays = nbVectors > 0 ? nbVectors : p.arrayCount;
+        analyzeUnit(path + ":" + p.name, p.asmText, arrays);
+      }
+    } else {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw McError("cannot open input file: " + path);
+      std::ostringstream oss;
+      oss << in.rdbuf();
+      analyzeUnit(path, oss.str(), nbVectors);
+    }
+  }
+  if (!json) {
+    std::printf("analyze: %zu unit(s), %zu without a valid bound\n",
+                totalUnits, unbounded);
+  }
+  return unbounded == 0 ? 0 : 1;
+}
+
 cli::Parser makeBenchDiffParser() {
   cli::Parser parser(
       "microtools bench-diff",
@@ -565,6 +764,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "lint") == 0) {
       return runLintCommand(argc - 1, argv + 1);
+    }
+    if (std::strcmp(argv[1], "analyze") == 0) {
+      return runAnalyzeCommand(argc - 1, argv + 1);
     }
     if (std::strcmp(argv[1], "bench-diff") == 0) {
       return runBenchDiffCommand(argc - 1, argv + 1);

@@ -28,7 +28,13 @@ std::optional<std::size_t> branchTargetIndex(
     const asmparse::Program& program, const asmparse::DecodedInsn& insn) {
   for (const DecodedOperand& op : insn.operands) {
     if (op.kind == DecodedOperand::Kind::Label) {
-      return program.labelTarget(op.label);
+      try {
+        return program.labelTarget(op.label);
+      } catch (const ParseError& e) {
+        // labelTarget has no notion of where the reference came from; pin
+        // the diagnostic to the branch instruction so lint can point at it.
+        throw ParseError(e.message(), insn.line, insn.column);
+      }
     }
   }
   return std::nullopt;

@@ -1,0 +1,460 @@
+#include "verify/costmodel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "sim/arch.hpp"
+#include "support/error.hpp"
+#include "verify/dataflow.hpp"
+
+namespace microtools::verify {
+
+namespace {
+
+/// Port pools of the core model. The divider has no pool of its own: its
+/// micro-ops occupy the FpMul ports (for their full latency), exactly as
+/// the simulator schedules them.
+enum Pool : int { kLoad, kStore, kAlu, kFpAdd, kFpMul, kBranch, kPoolCount };
+
+constexpr std::array<const char*, kPoolCount> kPoolNames = {
+    "load", "store", "alu", "fp-add", "fp-mul", "branch"};
+
+int poolFor(isa::ExecUnit unit) {
+  switch (unit) {
+    case isa::ExecUnit::FpAdd: return kFpAdd;
+    case isa::ExecUnit::FpMul: return kFpMul;
+    case isa::ExecUnit::FpDiv: return kFpMul;  // shared divider port
+    case isa::ExecUnit::Branch: return kBranch;
+    default: return kAlu;
+  }
+}
+
+int poolPorts(const CoreModel& model, int pool) {
+  switch (pool) {
+    case kLoad: return model.loadPorts;
+    case kStore: return model.storePorts;
+    case kAlu: return model.aluPorts;
+    case kFpAdd: return model.fpAddPorts;
+    case kFpMul: return model.fpMulPorts;
+    case kBranch: return model.branchPorts;
+    default: return 1;
+  }
+}
+
+/// One micro-op of the loop body after the operand-driven load/store split
+/// (the same decomposition the simulator's dispatch stage performs).
+struct UopNode {
+  enum class Kind { Load, Store, Compute } kind = Kind::Compute;
+  int pool = kAlu;
+  double latency = 1.0;      ///< producer latency seen by dependents
+  double occupancy = 1.0;    ///< port-cycles this micro-op holds its pool
+};
+
+/// Register def-use edge between micro-ops. `distance` counts iteration
+/// boundaries the value crosses (0: within one iteration, 1: loop-carried).
+struct DepEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double weight = 0.0;  ///< producer latency
+  int distance = 0;
+};
+
+struct BodyGraph {
+  std::vector<UopNode> nodes;
+  std::vector<DepEdge> edges;
+  /// Dispatch-slot demand per instruction, in program order. A fused
+  /// load+compute pair is atomic: both slots must land in one cycle.
+  struct SlotDemand {
+    int slots = 0;
+    bool atomic = false;
+  };
+  std::vector<SlotDemand> demands;
+  bool ok = true;
+  std::vector<std::string> warnings;
+};
+
+/// Mirrors CoreSim::dispatch()'s instruction decomposition and dependency
+/// wiring over one loop iteration [loop.headIndex, loop.branchIndex].
+/// Register dependences use the RegSet slot numbering; a use with no
+/// earlier writer in the iteration binds to the iteration's final writer
+/// at distance 1 (the straight-line body makes that reaching def exact).
+BodyGraph buildBodyGraph(const asmparse::Program& program,
+                         const LoopInfo& loop, const CoreModel& model) {
+  BodyGraph graph;
+
+  struct Use {
+    std::size_t node;
+    int reg;
+  };
+  struct Def {
+    std::size_t node;
+    int reg;
+  };
+  std::vector<Use> uses;
+  std::vector<Def> defs;  // in program order
+
+  std::vector<std::string> unmodeled;
+  for (std::size_t pc = loop.headIndex; pc <= loop.branchIndex; ++pc) {
+    const asmparse::DecodedInsn& insn = program.instructions[pc];
+    const isa::InstrDesc& desc = *insn.desc;
+
+    if (desc.unmodeled) {
+      std::string base{desc.mnemonic};
+      if (std::find(unmodeled.begin(), unmodeled.end(), base) ==
+          unmodeled.end()) {
+        unmodeled.push_back(base);
+        graph.warnings.push_back("unmodeled opcode '" + base +
+                                 "': no cost metadata");
+      }
+      graph.ok = false;
+      continue;
+    }
+    if (desc.kind == isa::InstrKind::Ret) {
+      graph.warnings.push_back("ret inside loop body");
+      graph.ok = false;
+      continue;
+    }
+    if (desc.kind == isa::InstrKind::Nop) {
+      graph.demands.push_back({1, false});
+      continue;
+    }
+
+    const asmparse::DecodedOperand* memOp = nullptr;
+    bool memIsDest = false;
+    for (std::size_t i = 0; i < insn.operands.size(); ++i) {
+      if (insn.operands[i].kind == asmparse::DecodedOperand::Kind::Mem) {
+        memOp = &insn.operands[i];
+        memIsDest = (i + 1 == insn.operands.size()) &&
+                    desc.kind != isa::InstrKind::Compare &&
+                    desc.kind != isa::InstrKind::Lea;
+      }
+    }
+    bool isLoad = memOp && !memIsDest && desc.kind != isa::InstrKind::Lea;
+    bool isStore = memOp && memIsDest;
+    bool fusedLoadOp = isLoad && desc.kind != isa::InstrKind::Move;
+
+    auto memRegUses = [&](std::size_t node) {
+      if (!memOp) return;
+      if (memOp->mem.base) uses.push_back({node, RegSet::slot(*memOp->mem.base)});
+      if (memOp->mem.index) {
+        uses.push_back({node, RegSet::slot(*memOp->mem.index)});
+      }
+    };
+
+    int slots = 0;
+    std::size_t loadNode = static_cast<std::size_t>(-1);
+    if (isLoad) {
+      loadNode = graph.nodes.size();
+      graph.nodes.push_back({UopNode::Kind::Load, kLoad,
+                             static_cast<double>(model.loadLatency), 1.0});
+      memRegUses(loadNode);
+      if (!fusedLoadOp) {
+        const auto& dst = insn.operands.back();
+        if (dst.kind == asmparse::DecodedOperand::Kind::Reg) {
+          defs.push_back({loadNode, RegSet::slot(dst.reg)});
+        }
+      }
+      ++slots;
+    }
+
+    if (isStore) {
+      std::size_t node = graph.nodes.size();
+      graph.nodes.push_back({UopNode::Kind::Store, kStore, 1.0, 1.0});
+      memRegUses(node);
+      for (std::size_t i = 0; i + 1 < insn.operands.size(); ++i) {
+        if (insn.operands[i].kind == asmparse::DecodedOperand::Kind::Reg) {
+          uses.push_back({node, RegSet::slot(insn.operands[i].reg)});
+        }
+      }
+      ++slots;
+    } else if (!isLoad || fusedLoadOp) {
+      std::size_t node = graph.nodes.size();
+      graph.nodes.push_back(
+          {UopNode::Kind::Compute, poolFor(desc.unit),
+           static_cast<double>(std::max(desc.latency, 1)),
+           std::max(desc.uops, 1) * desc.recipThroughput});
+      if (fusedLoadOp) {
+        graph.edges.push_back(
+            {loadNode, node, graph.nodes[loadNode].latency, 0});
+      }
+      bool isPlainMove = desc.kind == isa::InstrKind::Move ||
+                         desc.kind == isa::InstrKind::Lea;
+      for (std::size_t i = 0; i < insn.operands.size(); ++i) {
+        const auto& op = insn.operands[i];
+        if (op.kind != asmparse::DecodedOperand::Kind::Reg) continue;
+        if (i + 1 == insn.operands.size() && isPlainMove) continue;
+        uses.push_back({node, RegSet::slot(op.reg)});
+      }
+      if (desc.kind == isa::InstrKind::Lea) memRegUses(node);
+      if (desc.kind == isa::InstrKind::CondBranch) {
+        uses.push_back({node, RegSet::kFlags});
+      }
+      if (!insn.operands.empty() &&
+          insn.operands.back().kind == asmparse::DecodedOperand::Kind::Reg &&
+          desc.kind != isa::InstrKind::Compare &&
+          desc.kind != isa::InstrKind::CondBranch &&
+          desc.kind != isa::InstrKind::Jump) {
+        defs.push_back({node, RegSet::slot(insn.operands.back().reg)});
+      }
+      if (desc.kind == isa::InstrKind::IntAlu ||
+          desc.kind == isa::InstrKind::IntMul ||
+          desc.kind == isa::InstrKind::Compare) {
+        defs.push_back({node, RegSet::kFlags});
+      }
+      slots += std::max(desc.uops, 1);
+    }
+
+    graph.demands.push_back({slots, fusedLoadOp});
+  }
+
+  if (!graph.ok) return graph;
+
+  // Resolve every register use to its reaching def: the closest earlier
+  // writer in this iteration, else the iteration's final writer one trip
+  // back (distance 1). Uses and defs both carry program order via the
+  // node index, so a single sweep suffices.
+  std::array<std::int64_t, RegSet::kSlots> finalWriter;
+  finalWriter.fill(-1);
+  for (const Def& d : defs) {
+    if (d.reg >= 0) finalWriter[static_cast<std::size_t>(d.reg)] =
+        static_cast<std::int64_t>(d.node);
+  }
+  std::array<std::int64_t, RegSet::kSlots> lastWriter;
+  lastWriter.fill(-1);
+  std::size_t nextDef = 0;
+  // Walk nodes in order, interleaving defs (defs vector is already in
+  // program order; a node's own defs land after its uses are resolved).
+  std::sort(uses.begin(), uses.end(),
+            [](const Use& a, const Use& b) { return a.node < b.node; });
+  std::size_t nextUse = 0;
+  for (std::size_t node = 0; node < graph.nodes.size(); ++node) {
+    for (; nextUse < uses.size() && uses[nextUse].node == node; ++nextUse) {
+      int reg = uses[nextUse].reg;
+      if (reg < 0) continue;
+      std::int64_t writer = lastWriter[static_cast<std::size_t>(reg)];
+      int distance = 0;
+      if (writer < 0) {
+        writer = finalWriter[static_cast<std::size_t>(reg)];
+        distance = 1;
+      }
+      if (writer < 0) continue;  // loop-invariant input
+      std::size_t from = static_cast<std::size_t>(writer);
+      graph.edges.push_back({from, node, graph.nodes[from].latency, distance});
+    }
+    for (; nextDef < defs.size() && defs[nextDef].node == node; ++nextDef) {
+      if (defs[nextDef].reg >= 0) {
+        lastWriter[static_cast<std::size_t>(defs[nextDef].reg)] =
+            static_cast<std::int64_t>(node);
+      }
+    }
+  }
+  return graph;
+}
+
+/// Dispatch cycles one iteration needs at best: greedy issue-width packing
+/// with the fused load+compute pair kept in one cycle, mirroring the
+/// simulator's frontend (which additionally ends the cycle at the taken
+/// backward branch, so consecutive iterations never share a cycle).
+double frontendCycles(const BodyGraph& graph, const CoreModel& model) {
+  int cycles = 1;
+  int used = 0;
+  for (const BodyGraph::SlotDemand& d : graph.demands) {
+    int slots = d.slots;
+    if (slots == 0) continue;
+    if (d.atomic) {
+      if (used + slots > model.issueWidth) {
+        ++cycles;
+        used = 0;
+      }
+      used += slots;
+      continue;
+    }
+    for (int i = 0; i < slots; ++i) {
+      if (used + 1 > model.issueWidth) {
+        ++cycles;
+        used = 0;
+      }
+      ++used;
+    }
+  }
+  return static_cast<double>(cycles);
+}
+
+/// True when the dependence graph still admits a positive-weight cycle with
+/// edge weights (latency - lambda * distance): some recurrence has mean
+/// latency strictly above lambda cycles/iteration.
+bool hasCycleAboveLambda(const BodyGraph& graph, double lambda) {
+  std::vector<double> dist(graph.nodes.size(), 0.0);
+  std::size_t sweeps = graph.nodes.size() + 1;
+  for (std::size_t it = 0; it < sweeps; ++it) {
+    bool changed = false;
+    for (const DepEdge& e : graph.edges) {
+      double cand = dist[e.from] + e.weight - lambda * e.distance;
+      if (cand > dist[e.to] + 1e-12) {
+        dist[e.to] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+/// Maximum dependence-cycle mean (recurrence MII), as a sound lower bound:
+/// binary search keeps the returned value strictly below the true maximum
+/// ratio, never above. Loop-carried distances are all 1 in a straight-line
+/// body, and distance-0 edges point forward, so every cycle crosses an
+/// iteration boundary and the ratio is finite.
+double recurrenceBound(const BodyGraph& graph) {
+  if (!hasCycleAboveLambda(graph, 0.0)) return 0.0;
+  double hi = 1.0;
+  for (const DepEdge& e : graph.edges) hi += e.weight;
+  double lo = 0.0;
+  for (int i = 0; i < 64 && hi - lo > 1e-9; ++i) {
+    double mid = 0.5 * (lo + hi);
+    (hasCycleAboveLambda(graph, mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+/// True when some load micro-op sits on a dependence cycle (all cycles are
+/// loop-carried, see recurrenceBound).
+bool loadOnCycle(const BodyGraph& graph) {
+  std::size_t n = graph.nodes.size();
+  std::vector<std::vector<std::size_t>> succ(n);
+  for (const DepEdge& e : graph.edges) succ[e.from].push_back(e.to);
+  for (std::size_t start = 0; start < n; ++start) {
+    if (graph.nodes[start].kind != UopNode::Kind::Load) continue;
+    std::vector<bool> seen(n, false);
+    std::vector<std::size_t> stack = succ[start];
+    bool found = false;
+    while (!stack.empty() && !found) {
+      std::size_t v = stack.back();
+      stack.pop_back();
+      if (v == start) {
+        found = true;
+        break;
+      }
+      if (seen[v]) continue;
+      seen[v] = true;
+      for (std::size_t s : succ[v]) stack.push_back(s);
+    }
+    if (found) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CoreModel coreModelFromMachine(const sim::MachineConfig& machine) {
+  CoreModel model;
+  model.issueWidth = machine.issueWidth;
+  model.loadPorts = machine.loadPorts;
+  model.storePorts = machine.storePorts;
+  model.aluPorts = machine.aluPorts;
+  model.fpAddPorts = machine.fpAddPorts;
+  model.fpMulPorts = machine.fpMulPorts;
+  model.branchPorts = machine.branchPorts;
+  model.loadLatency = machine.l1.latencyCycles;
+  model.l1SizeBytes = machine.l1.sizeBytes;
+  return model;
+}
+
+double CyclePrediction::cyclesLowerBound() const {
+  return std::max({frontendBound, throughputBound, latencyBound});
+}
+
+CyclePrediction predictLoop(const asmparse::Program& program,
+                            const LoopInfo& loop, const CoreModel& model) {
+  CyclePrediction pred;
+  pred.headIndex = loop.headIndex;
+  pred.branchIndex = loop.branchIndex;
+  pred.headLine = program.instructions[loop.headIndex].line;
+
+  BodyGraph graph = buildBodyGraph(program, loop, model);
+  pred.warnings = graph.warnings;
+  if (!graph.ok) return pred;
+
+  pred.frontendBound = frontendCycles(graph, model);
+
+  std::array<double, kPoolCount> occupancy{};
+  for (const UopNode& node : graph.nodes) {
+    occupancy[static_cast<std::size_t>(node.pool)] += node.occupancy;
+  }
+  pred.binding = "frontend";
+  double best = pred.frontendBound;
+  for (int pool = 0; pool < kPoolCount; ++pool) {
+    PortPressure pressure{kPoolNames[static_cast<std::size_t>(pool)],
+                          occupancy[static_cast<std::size_t>(pool)],
+                          poolPorts(model, pool)};
+    if (pressure.occupancy > 0.0) {
+      pred.throughputBound = std::max(pred.throughputBound, pressure.bound());
+      if (pressure.bound() > best) {
+        best = pressure.bound();
+        pred.binding = pressure.unit;
+      }
+      pred.pressure.push_back(std::move(pressure));
+    }
+  }
+
+  pred.latencyBound = recurrenceBound(graph);
+  if (pred.latencyBound > best) {
+    best = pred.latencyBound;
+    pred.binding = "latency";
+  }
+  pred.loadCarried = loadOnCycle(graph);
+  pred.valid = true;
+  return pred;
+}
+
+CyclePrediction predictProgram(const asmparse::Program& program,
+                               const CoreModel& model) {
+  CyclePrediction pred;
+  for (const std::string& mnemonic : unmodeledMnemonics(program)) {
+    pred.warnings.push_back("unmodeled opcode '" + mnemonic +
+                            "': no cost metadata");
+  }
+  Cfg cfg;
+  try {
+    cfg = buildCfg(program);
+  } catch (const ParseError& e) {
+    pred.warnings.push_back(e.message());
+    return pred;
+  }
+  LoopScan scan = findLoops(program, cfg);
+  if (scan.loops.size() != 1 || !scan.unanalyzedBranches.empty()) {
+    pred.warnings.push_back(
+        scan.loops.empty()
+            ? "no recognized single-block loop"
+            : "control flow beyond one single-block loop; bounds not computed");
+    return pred;
+  }
+  if (!pred.warnings.empty()) return pred;  // unmodeled opcodes present
+  return predictLoop(program, scan.loops.front(), model);
+}
+
+CyclePrediction predictAssembly(std::string_view asmText,
+                                const CoreModel& model) {
+  try {
+    return predictProgram(asmparse::parseAssembly(asmText), model);
+  } catch (const ParseError& e) {
+    CyclePrediction pred;
+    pred.warnings.push_back("parse error: " + e.message());
+    return pred;
+  }
+}
+
+std::vector<std::string> unmodeledMnemonics(const asmparse::Program& program) {
+  std::vector<std::string> out;
+  for (const asmparse::DecodedInsn& insn : program.instructions) {
+    if (!insn.desc->unmodeled) continue;
+    std::string base{insn.desc->mnemonic};
+    if (std::find(out.begin(), out.end(), base) == out.end()) {
+      out.push_back(base);
+    }
+  }
+  return out;
+}
+
+}  // namespace microtools::verify

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asmparse/asmparse.hpp"
+#include "verify/cfg.hpp"
+
+namespace microtools::sim {
+struct MachineConfig;
+}
+
+namespace microtools::verify {
+
+/// Machine geometry the static cost model prices against: the execution-port
+/// counts, dispatch width, and L1 parameters of the simulator's core model.
+/// Derived from a sim::MachineConfig so `microtools analyze` and the
+/// campaign predictions price against exactly the machine being measured.
+struct CoreModel {
+  int issueWidth = 4;       ///< micro-ops dispatched per cycle
+  int loadPorts = 1;
+  int storePorts = 1;
+  int aluPorts = 3;
+  int fpAddPorts = 1;
+  int fpMulPorts = 1;       ///< shared with the unpipelined divider
+  int branchPorts = 1;
+  int loadLatency = 4;      ///< L1 load-to-use, in core cycles
+  std::uint64_t l1SizeBytes = 32 * 1024;
+};
+
+CoreModel coreModelFromMachine(const sim::MachineConfig& machine);
+
+/// Summed micro-op occupancy of one loop iteration on one port pool.
+/// bound() is the pool's contribution to the throughput lower bound:
+/// occupancy divided by the number of ports serving the pool.
+struct PortPressure {
+  std::string unit;       ///< "load", "store", "alu", "fp-add", "fp-mul", "branch"
+  double occupancy = 0.0; ///< port-cycles demanded per iteration
+  int ports = 1;
+
+  double bound() const {
+    return ports > 0 ? occupancy / ports : occupancy;
+  }
+};
+
+/// Static cycles/iteration lower bound for one single-block loop.
+///
+/// Three independent bounds, each sound against the simulator's exact
+/// core model on L1-resident streaming kernels (cache misses, aliasing
+/// stalls, and mispredict bubbles only add cycles on top):
+///   - frontendBound: dispatch cycles per iteration (greedy issue-width
+///     packing; a taken backward branch ends its dispatch cycle, so
+///     iterations never share one),
+///   - throughputBound: max over port pools of occupancy / ports
+///     (the LP relaxation of port binding),
+///   - latencyBound: maximum dependence-cycle mean over the loop-carried
+///     def-use graph (the classic recurrence-constrained MII), including
+///     load-feeds-address chains at L1-hit load latency.
+/// The predicted interval is [cyclesLowerBound(), +inf).
+struct CyclePrediction {
+  bool valid = false;        ///< false: unsupported shape or unmodeled opcodes
+  std::size_t headIndex = 0;
+  std::size_t branchIndex = 0;
+  std::size_t headLine = 0;  ///< 1-based source line of the loop head
+
+  double frontendBound = 0.0;
+  double throughputBound = 0.0;
+  double latencyBound = 0.0;
+  std::vector<PortPressure> pressure;
+
+  /// Which bound is binding: "frontend", "latency", or a port pool name.
+  std::string binding;
+
+  /// A load micro-op sits on a loop-carried dependence cycle (pointer
+  /// chase / load-feeds-address): the recurrence length then depends on
+  /// where the data lives, not just on core latencies.
+  bool loadCarried = false;
+
+  /// Why the prediction is invalid or approximate (deduplicated; the
+  /// unmodeled-opcode warning is emitted once per mnemonic).
+  std::vector<std::string> warnings;
+
+  double cyclesLowerBound() const;
+};
+
+/// Predicts one recognized single-block loop of `program`.
+CyclePrediction predictLoop(const asmparse::Program& program,
+                            const LoopInfo& loop, const CoreModel& model);
+
+/// Whole-program prediction: valid only when the program has exactly one
+/// recognized single-block loop and no unanalyzed branches (the shape every
+/// MicroCreator kernel has). Never throws on unmodeled opcodes -- the
+/// prediction comes back invalid with warnings instead.
+CyclePrediction predictProgram(const asmparse::Program& program,
+                               const CoreModel& model);
+
+/// Parses and predicts; parse failures come back as an invalid prediction
+/// with a warning rather than an exception.
+CyclePrediction predictAssembly(std::string_view asmText,
+                                const CoreModel& model);
+
+/// Mnemonics whose cost metadata is flagged `unmodeled`, deduplicated in
+/// first-appearance order (for warn-once diagnostics).
+std::vector<std::string> unmodeledMnemonics(const asmparse::Program& program);
+
+}  // namespace microtools::verify

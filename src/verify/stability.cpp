@@ -1,0 +1,44 @@
+#include "verify/stability.hpp"
+
+#include "support/error.hpp"
+#include "verify/cfg.hpp"
+
+namespace microtools::verify {
+
+StabilityReport analyzeStability(const asmparse::Program& program,
+                                 const CoreModel& model,
+                                 const CyclePrediction& prediction,
+                                 const StabilityOptions& options) {
+  StabilityReport report;
+
+  try {
+    Cfg cfg = buildCfg(program);
+    LoopScan scan = findLoops(program, cfg);
+    if (scan.loops.size() == 1 && scan.unanalyzedBranches.empty()) {
+      const LoopInfo& loop = scan.loops.front();
+      report.regularLoop = loop.inductionReg.has_value() &&
+                           loop.delta.has_value() && !loop.writeAfterTest;
+    }
+  } catch (const ParseError&) {
+    return report;  // unknown branch target: nothing is provable
+  }
+
+  report.fitsL1 = options.footprintBytes > 0 &&
+                  options.footprintBytes <= model.l1SizeBytes;
+  report.steadyDependences = prediction.valid && !prediction.loadCarried;
+  return report;
+}
+
+StabilityReport analyzeStability(std::string_view asmText,
+                                 const CoreModel& model,
+                                 const StabilityOptions& options) {
+  try {
+    asmparse::Program program = asmparse::parseAssembly(asmText);
+    return analyzeStability(program, model, predictProgram(program, model),
+                            options);
+  } catch (const ParseError&) {
+    return {};
+  }
+}
+
+}  // namespace microtools::verify

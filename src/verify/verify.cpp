@@ -7,6 +7,7 @@
 
 #include "support/error.hpp"
 #include "verify/cfg.hpp"
+#include "verify/costmodel.hpp"
 #include "verify/dataflow.hpp"
 
 namespace microtools::verify {
@@ -267,6 +268,7 @@ class Checker {
     checkLoops();
     checkAbi();
     checkDataflow();
+    checkCostMetadata();
     if (options_.context) checkMemory();
 
     std::stable_sort(report_.diagnostics.begin(), report_.diagnostics.end(),
@@ -315,6 +317,22 @@ class Checker {
              "control falls off the end of the function without ret");
       }
     }
+  }
+
+  // -- MT-COST01 ------------------------------------------------------------
+  // One warning per program, not one per occurrence: the static cost model
+  // skips predictions for these kernels, nothing else is affected.
+  void checkCostMetadata() {
+    std::vector<std::string> missing = unmodeledMnemonics(program_);
+    if (missing.empty()) return;
+    std::string list;
+    for (const std::string& m : missing) {
+      if (!list.empty()) list += ", ";
+      list += '\'' + m + '\'';
+    }
+    emit("MT-COST01", Severity::Warning, nullptr,
+         "no cost metadata for " + list +
+             "; static cycle bounds are unavailable for this kernel");
   }
 
   // -- MT-CFG02 / MT-CFG03 --------------------------------------------------

@@ -157,8 +157,14 @@ TEST(AsmParse, EmptyInputThrows) {
   EXPECT_THROW(parseAssembly("\t.text\n# nothing\n"), ParseError);
 }
 
-TEST(AsmParse, DuplicateLabelThrows) {
-  EXPECT_THROW(parseAssembly("f:\nf:\n ret\n"), ParseError);
+TEST(AsmParse, DuplicateLabelThrowsWithLineAndColumn) {
+  try {
+    parseAssembly("f:\nf:\n ret\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 1u);  // the label starts the line
+  }
 }
 
 TEST(AsmParse, ReadsWritesMemoryClassification) {

@@ -220,6 +220,110 @@ TEST(MoveCandidates, UnsupportedWidthThrows) {
   EXPECT_THROW(moveCandidates(32, true), McError);
 }
 
+// ---------------------------------------------------------------------------
+// port-level cost metadata audit
+// ---------------------------------------------------------------------------
+
+// The static cost model relies on every table entry carrying complete cost
+// metadata (uops + execution unit + latency + reciprocal throughput) or an
+// explicit `unmodeled` flag — never a silent half-filled entry the analyzer
+// would price wrong.
+TEST(Instructions, EveryEntryIsCostModeledOrExplicitlyUnmodeled) {
+  for (const InstrDesc& d : instructionTable()) {
+    if (d.unmodeled) continue;  // explicit opt-out is the accepted alternative
+    EXPECT_GE(d.latency, 1) << d.mnemonic;
+    EXPECT_GE(d.uops, 0) << d.mnemonic;
+    EXPECT_GE(d.recipThroughput, 1.0) << d.mnemonic;
+    // Dispatch-slot-only instructions (no execution port) are exactly the
+    // uops == 0 entries, and only ret/nop qualify.
+    EXPECT_EQ(d.uops == 0, d.unit == ExecUnit::None) << d.mnemonic;
+    if (d.uops == 0) {
+      EXPECT_TRUE(d.kind == InstrKind::Ret || d.kind == InstrKind::Nop)
+          << d.mnemonic;
+    }
+  }
+}
+
+// The execution unit must agree with the instruction kind the simulator
+// dispatches on — a mismatch would make the static port pressure diverge
+// from what the sim core actually schedules.
+TEST(Instructions, ExecUnitMatchesSimulatorDispatchKind) {
+  for (const InstrDesc& d : instructionTable()) {
+    if (d.unmodeled) continue;
+    switch (d.kind) {
+      case InstrKind::FpAdd:
+        EXPECT_EQ(d.unit, ExecUnit::FpAdd) << d.mnemonic;
+        break;
+      case InstrKind::FpMul:
+        EXPECT_EQ(d.unit, ExecUnit::FpMul) << d.mnemonic;
+        break;
+      case InstrKind::FpDiv:
+        EXPECT_EQ(d.unit, ExecUnit::FpDiv) << d.mnemonic;
+        // Unpipelined divider: the micro-op occupies the shared FpMul port
+        // for its full latency, exactly as the simulator schedules it.
+        EXPECT_EQ(d.recipThroughput, static_cast<double>(d.latency))
+            << d.mnemonic;
+        break;
+      case InstrKind::CondBranch:
+      case InstrKind::Jump:
+        EXPECT_EQ(d.unit, ExecUnit::Branch) << d.mnemonic;
+        break;
+      case InstrKind::Ret:
+      case InstrKind::Nop:
+        EXPECT_EQ(d.unit, ExecUnit::None) << d.mnemonic;
+        break;
+      default:
+        // Moves, integer ALU/mul, lea, compares and FP logic all issue to
+        // the general ALU pool in the sim's default dispatch case.
+        EXPECT_EQ(d.unit, ExecUnit::Alu) << d.mnemonic;
+    }
+  }
+}
+
+// Def/use metadata consistency: flags readers/writers and destination
+// semantics must line up with the instruction kind, or the dataflow and
+// dependence analyses disagree about who produces what.
+TEST(Instructions, DefUseMetadataConsistentWithKind) {
+  for (const InstrDesc& d : instructionTable()) {
+    switch (d.kind) {
+      case InstrKind::Compare:
+        EXPECT_TRUE(d.writesFlags) << d.mnemonic;
+        EXPECT_FALSE(d.writesDest) << d.mnemonic;
+        EXPECT_FALSE(d.readsDest) << d.mnemonic;
+        break;
+      case InstrKind::CondBranch:
+        EXPECT_TRUE(d.readsFlags) << d.mnemonic;
+        EXPECT_FALSE(d.writesDest) << d.mnemonic;
+        break;
+      case InstrKind::Jump:
+      case InstrKind::Ret:
+      case InstrKind::Nop:
+        EXPECT_FALSE(d.writesDest) << d.mnemonic;
+        EXPECT_FALSE(d.readsFlags) << d.mnemonic;
+        EXPECT_FALSE(d.writesFlags) << d.mnemonic;
+        break;
+      case InstrKind::Move:
+      case InstrKind::Lea:
+        EXPECT_TRUE(d.writesDest) << d.mnemonic;
+        EXPECT_FALSE(d.readsDest) << d.mnemonic;
+        EXPECT_FALSE(d.writesFlags) << d.mnemonic;
+        break;
+      default:
+        EXPECT_TRUE(d.writesDest) << d.mnemonic;
+        EXPECT_TRUE(d.readsDest) << d.mnemonic;
+    }
+  }
+}
+
+TEST(Instructions, ExecUnitNamesAreStable) {
+  EXPECT_EQ(execUnitName(ExecUnit::None), "none");
+  EXPECT_EQ(execUnitName(ExecUnit::Alu), "alu");
+  EXPECT_EQ(execUnitName(ExecUnit::FpAdd), "fp-add");
+  EXPECT_EQ(execUnitName(ExecUnit::FpMul), "fp-mul");
+  EXPECT_EQ(execUnitName(ExecUnit::FpDiv), "fp-div");
+  EXPECT_EQ(execUnitName(ExecUnit::Branch), "branch");
+}
+
 TEST(MoveCandidates, AllCandidatesExistInTable) {
   for (int bytes : {4, 8, 16}) {
     for (bool aligned : {true, false}) {
@@ -227,7 +331,9 @@ TEST(MoveCandidates, AllCandidatesExistInTable) {
         const InstrDesc* d = findInstruction(m);
         ASSERT_NE(d, nullptr) << m;
         EXPECT_EQ(d->memBytes, bytes);
-        if (bytes == 16) EXPECT_EQ(d->requiresAlignment, aligned);
+        if (bytes == 16) {
+          EXPECT_EQ(d->requiresAlignment, aligned);
+        }
       }
     }
   }

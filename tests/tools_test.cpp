@@ -380,6 +380,10 @@ TEST_F(ToolsTest, ExploreWritesCampaignCsvAndReportFile) {
   std::string csvText((std::istreambuf_iterator<char>(csvIn)),
                       std::istreambuf_iterator<char>());
   EXPECT_NE(csvText.find("sequence,round,variant,status"), std::string::npos);
+  // The static-prediction columns ride along on every campaign CSV.
+  EXPECT_NE(csvText.find("pred_cpi_lo,pred_bound,pred_err"),
+            std::string::npos)
+      << csvText;
   std::ifstream reportIn(reportPath);
   ASSERT_TRUE(reportIn.good());
   std::string reportText((std::istreambuf_iterator<char>(reportIn)),
@@ -489,10 +493,69 @@ TEST_F(ToolsTest, LintFlagsBadAssemblyWithRuleIdAndExitCode) {
       << json.output;
   EXPECT_NE(json.output.find("\"severity\":\"error\""), std::string::npos)
       << json.output;
+  // Located errors carry the documented column field (the mnemonic starts
+  // after two leading spaces).
+  EXPECT_NE(json.output.find("\"column\":3"), std::string::npos)
+      << json.output;
 }
 
 TEST_F(ToolsTest, LintRequiresAnInput) {
   CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " lint");
+  EXPECT_EQ(r.exitCode, 2);
+  EXPECT_NE(r.output.find("no input"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// analyze
+// ---------------------------------------------------------------------------
+
+TEST_F(ToolsTest, AnalyzeReportsABoundForEveryGeneratedVariant) {
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " analyze " +
+                        xmlPath_ + " --array-bytes 8192");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("pred_cpi"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("analyze: 30 unit(s), 0 without a valid bound"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(ToolsTest, AnalyzeJsonEmitsTheDocumentedSchema) {
+  std::string small =
+      writeTempXml(testing::figure6Xml(1, 2, false), "tools_analyze.xml");
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " analyze --json " +
+                        small + " --array-bytes 8192");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  // One JSON object per line, one line per generated variant.
+  EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 2)
+      << r.output;
+  for (const char* key :
+       {"\"source\":", "\"pred_cpi_lo\":", "\"bound\":", "\"frontend_bound\":",
+        "\"throughput_bound\":", "\"latency_bound\":", "\"load_carried\":",
+        "\"ports\":", "\"occupancy\":", "\"stability\":", "\"regular_loop\":",
+        "\"fits_l1\":", "\"steady_dependences\":", "\"score\":",
+        "\"warnings\":"}) {
+    EXPECT_NE(r.output.find(key), std::string::npos) << key << "\n" << r.output;
+  }
+  // One 8 KiB array against a 32 KiB L1, a regular streaming loop: the
+  // stability verdict must come back provably stable.
+  EXPECT_NE(r.output.find("\"stable\":true"), std::string::npos) << r.output;
+}
+
+TEST_F(ToolsTest, AnalyzeUnboundableUnitWarnsAndExitsOne) {
+  std::string straight = writeTempXml(
+      "microkernel:\n xor %eax, %eax\n ret\n", "tools_analyze_flat.s");
+  CommandResult r =
+      run(std::string(MT_MICROTOOLS_PATH) + " analyze " + straight);
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("no recognized single-block loop"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 without a valid bound"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(ToolsTest, AnalyzeRequiresAnInput) {
+  CommandResult r = run(std::string(MT_MICROTOOLS_PATH) + " analyze");
   EXPECT_EQ(r.exitCode, 2);
   EXPECT_NE(r.output.find("no input"), std::string::npos);
 }

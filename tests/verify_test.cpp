@@ -374,6 +374,26 @@ TEST(VerifyReporting, RenderJsonLinesIsOneObjectPerDiagnostic) {
   EXPECT_NE(json.find("\"rule\":\"MT-ABI01\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"line\":2"), std::string::npos) << json;
+  // Located diagnostics carry the documented column field too.
+  EXPECT_NE(json.find("\"column\":2"), std::string::npos) << json;
+}
+
+TEST(VerifyReporting, ParseDiagnosticsAlwaysCarryAColumn) {
+  // Every MT-PARSE flavor must locate the offending token: an unknown
+  // mnemonic, a duplicate label, and an unknown branch target.
+  for (const char* bad : {"f:\n\tbogus %rax\n",            //
+                          "f:\nf:\n ret\n",                //
+                          "f:\n jge .Lmissing\n ret\n"}) {
+    VerifyReport r = verifyAssembly(bad);
+    ASSERT_TRUE(hasRule(r, "MT-PARSE")) << bad;
+    for (const Diagnostic& d : r.diagnostics) {
+      if (d.rule != "MT-PARSE") continue;
+      EXPECT_GT(d.line, 0u) << bad;
+      EXPECT_GT(d.column, 0u) << bad;
+      std::string json = renderJsonLines(r, "bad.s");
+      EXPECT_NE(json.find("\"column\":"), std::string::npos) << json;
+    }
+  }
 }
 
 // -- the five seeded-bad fixtures of the issue -------------------------------
